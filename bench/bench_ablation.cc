@@ -1,0 +1,220 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   * the descriptor (SDW) cache — without it every reference walks the
+//     descriptor segment, which is what makes per-reference validation
+//     affordable;
+//   * the trap cost — how the hardware-vs-software crossing ratio (C3)
+//     moves as traps get cheaper or dearer (the paper's conclusion is
+//     robust unless traps are nearly free);
+//   * upward-call emulation cost vs the hardware downward path.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rings {
+namespace {
+
+PerCallCost MeasureHardwareWithModel(const CycleModel& model, Ring caller,
+                                     const SegmentAccess& target, int nargs) {
+  // Local reimplementation of MeasureHardwareCrossing with a custom cycle
+  // model (machine config).
+  auto run = [&](bool with_call) {
+    MachineConfig config;
+    config.cycle_model = model;
+    Machine machine(config);
+    std::map<std::string, AccessControlList> acls;
+    acls["main"] = AccessControlList::Public(MakeProcedureSegment(caller, caller));
+    acls["counter"] = AccessControlList::Public(MakeDataSegment(caller, caller));
+    acls["argdata"] = AccessControlList::Public(MakeDataSegment(caller, caller));
+    acls["target"] = AccessControlList::Public(target);
+    std::string error;
+    if (!machine.LoadProgramSource(HardwareCallSource(caller, nargs, with_call, kBenchIterations),
+                                   acls, &error)) {
+      std::abort();
+    }
+    Process* p = machine.Login("bench");
+    machine.supervisor().InitiateAll(p);
+    machine.Start(p, "main", "start", caller);
+    machine.Run(2'000'000'000);
+    if (p->state != ProcessState::kExited) {
+      std::abort();
+    }
+    return machine.cpu().cycles();
+  };
+  PerCallCost cost;
+  cost.cycles = static_cast<double>(run(true) - run(false)) / kBenchIterations;
+  return cost;
+}
+
+double Measure645WithModel(const CycleModel& model, int nargs) {
+  auto run = [&](bool with_call) {
+    MachineConfig config;
+    config.cycle_model = model;
+    B645Machine machine(config);
+    std::map<std::string, SegmentAccess> specs;
+    specs["main"] = MakeProcedureSegment(4, 4);
+    specs["counter"] = MakeDataSegment(4, 4);
+    specs["argdata"] = MakeDataSegment(4, 4);
+    specs["target"] = MakeProcedureSegment(1, 1, 7, 1);
+    std::string error;
+    if (!machine.LoadProgramSource(B645CallSource(nargs, with_call, kBenchIterations), specs,
+                                   &error)) {
+      std::abort();
+    }
+    const Segno tgt = machine.registry().Find("target")->segno;
+    machine.Start("main", "start", 4);
+    const auto addr = machine.registry().Find("main")->symbols.at("tgtword");
+    machine.PokeWordForTest("main", addr, PackB645Target(tgt, 0));
+    machine.Run(2'000'000'000);
+    if (!machine.exited()) {
+      std::abort();
+    }
+    return machine.cpu().cycles();
+  };
+  return static_cast<double>(run(true) - run(false)) / kBenchIterations;
+}
+
+void PrintReport() {
+  PrintBanner("Ablations — descriptor cache, trap cost, upward-call emulation",
+              "Sensitivity of the headline results to the cycle-model choices.");
+
+  // 1. Descriptor cache.
+  std::printf("  descriptor cache ablation (straight-line kernel, cycles/instr):\n");
+  {
+    auto cpi = [&](bool cache) {
+      PhysicalMemory memory(1 << 20);
+      auto dseg = DescriptorSegment::Create(&memory, 16, 0);
+      Cpu cpu(&memory);
+      cpu.SetDbr(dseg->dbr());
+      cpu.sdw_cache().set_enabled(cache);
+      const AbsAddr data = *memory.Allocate(8);
+      Sdw sdw;
+      sdw.present = true;
+      sdw.base = data;
+      sdw.bound = 8;
+      sdw.access = MakeDataSegment(4, 4);
+      dseg->Store(1, sdw);
+      const AbsAddr code = *memory.Allocate(2);
+      memory.Write(code, EncodeInstruction(MakeInsPr(Opcode::kLda, 2, 0)));
+      memory.Write(code + 1, EncodeInstruction(MakeIns(Opcode::kTra, 0)));
+      sdw.base = code;
+      sdw.bound = 2;
+      sdw.access = MakeProcedureSegment(0, 7);
+      dseg->Store(0, sdw);
+      cpu.regs().ipr = Ipr{4, 0, 0};
+      cpu.regs().pr[2] = PointerRegister{4, 1, 0};
+      for (int i = 0; i < 10000; ++i) {
+        cpu.Step();
+      }
+      return static_cast<double>(cpu.cycles()) / 10000;
+    };
+    std::printf("    cache on:  %6.3f\n    cache off: %6.3f\n", cpi(true), cpi(false));
+  }
+
+  // 2. Trap-cost sweep: the C3 ratio as the trap gets cheaper/dearer.
+  std::printf("\n  trap-cost sensitivity of the hardware advantage (4 args):\n");
+  std::printf("    trap cycles   hw cycles   645 cycles      x\n");
+  for (const uint64_t trap_cost : {5ull, 20ull, 40ull, 100ull, 400ull}) {
+    CycleModel model = CycleModel::Default();
+    model.trap = trap_cost;
+    model.rett = trap_cost / 2;
+    const PerCallCost hw = MeasureHardwareWithModel(model, 4, MakeProcedureSegment(1, 1, 7, 1), 4);
+    const double sw = Measure645WithModel(model, 4);
+    std::printf("    %11llu   %9.2f   %10.2f  %5.1f\n",
+                static_cast<unsigned long long>(trap_cost), hw.cycles, sw, sw / hw.cycles);
+  }
+
+  // 2b. Dynamic linking: one-time snap cost vs a pre-resolved pointer.
+  std::printf("\n  dynamic linking (.link vs .its), 1000 references to one word:\n");
+  {
+    auto run = [&](const char* ptr_directive) {
+      Machine machine;
+      std::map<std::string, AccessControlList> acls;
+      acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+      acls["counter"] = AccessControlList::Public(MakeDataSegment(4, 4));
+      acls["data"] = AccessControlList::Public(MakeDataSegment(4, 4));
+      const std::string source = StrFormat(R"(
+        .segment main
+start:  lda   lk,*
+        aos   cnt,*
+        lda   cnt,*
+        sba   limit
+        tmi   start
+        mme   0
+limit:  .word 1000
+lk:     %s 4, data, 0
+cnt:    .its  4, counter, 0
+
+        .segment data
+        .word 7
+        .segment counter
+        .word 0
+)",
+                                           ptr_directive);
+      std::string error;
+      if (!machine.LoadProgramSource(source, acls, &error)) {
+        std::abort();
+      }
+      Process* p = machine.Login("bench");
+      machine.supervisor().InitiateAll(p);
+      machine.Start(p, "main", "start", kUserRing);
+      machine.Run(100'000'000);
+      if (p->state != ProcessState::kExited) {
+        std::abort();
+      }
+      return machine.cpu().cycles();
+    };
+    const uint64_t with_link = run(".link");
+    const uint64_t with_its = run(".its ");
+    std::printf("    .its (pre-resolved): %8llu cycles\n",
+                static_cast<unsigned long long>(with_its));
+    std::printf("    .link (snapped):     %8llu cycles (one-time snap cost %lld;\n"
+                "                          0 per subsequent reference)\n",
+                static_cast<unsigned long long>(with_link),
+                static_cast<long long>(with_link - with_its));
+  }
+
+  // 3. Upward-call emulation vs hardware downward call.
+  std::printf("\n  the case hardware does NOT handle (upward call, supervisor\n"
+              "  emulation with copy-in/copy-out) vs the case it does:\n");
+  {
+    const PerCallCost down = MeasureHardwareCrossing(4, MakeProcedureSegment(1, 1, 7, 1), 2);
+    const PerCallCost up = MeasureHardwareCrossing(4, MakeProcedureSegment(6, 6, 6, 1), 2);
+    std::printf("    downward (hardware):  %8.2f cycles\n", down.cycles);
+    std::printf("    upward  (emulated):   %8.2f cycles  (%.1fx)\n", up.cycles,
+                up.cycles / down.cycles);
+  }
+}
+
+void BM_CachedLda(benchmark::State& state) {
+  PhysicalMemory memory(1 << 20);
+  auto dseg = DescriptorSegment::Create(&memory, 16, 0);
+  Cpu cpu(&memory);
+  cpu.SetDbr(dseg->dbr());
+  cpu.sdw_cache().set_enabled(state.range(0) != 0);
+  const AbsAddr code = *memory.Allocate(2);
+  memory.Write(code, EncodeInstruction(MakeIns(Opcode::kNop)));
+  memory.Write(code + 1, EncodeInstruction(MakeIns(Opcode::kTra, 0)));
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = code;
+  sdw.bound = 2;
+  sdw.access = MakeProcedureSegment(0, 7);
+  dseg->Store(0, sdw);
+  cpu.regs().ipr = Ipr{4, 0, 0};
+  for (auto _ : state) {
+    cpu.Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachedLda)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace rings
+
+int main(int argc, char** argv) {
+  rings::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

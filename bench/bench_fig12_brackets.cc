@@ -1,0 +1,100 @@
+// Experiments F1 and F2 — Figures 1 and 2: example access indicators for
+// a writable data segment and for a gated pure procedure segment.
+//
+// Regenerates the figures as per-ring allow/deny matrices computed by the
+// core validation functions, and benchmarks the raw throughput of the
+// validation predicates (the comparisons the paper argues cost "very
+// small additional ... processor speed").
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/access.h"
+#include "src/core/transfer.h"
+
+namespace rings {
+namespace {
+
+void PrintAccessMatrix(const char* title, const SegmentAccess& access) {
+  std::printf("\n%s  [flags=%s brackets=%s gates=%u]\n", title,
+              access.flags.ToString().c_str(), access.brackets.ToString().c_str(),
+              access.gate_count);
+  std::printf("  ring   read  write  execute  call-via-gate\n");
+  for (Ring r = 0; r < kRingCount; ++r) {
+    const bool gate_call =
+        ResolveCall(access, r, r, /*word=*/0, /*same_segment=*/false).ok() ||
+        ResolveCall(access, r, r, 0, false).cause == TrapCause::kUpwardCall;
+    std::printf("  %4u   %4s  %5s  %7s  %13s\n", r, CheckRead(access, r).ok() ? "yes" : "-",
+                CheckWrite(access, r).ok() ? "yes" : "-",
+                CheckExecute(access, r).ok() ? "yes" : "-",
+                access.gate_count > 0 && gate_call && !CheckExecute(access, r).ok() ? "gate"
+                : gate_call ? "direct"
+                            : "-");
+  }
+}
+
+void PrintFigures() {
+  PrintBanner("F1/F2 — Figures 1 and 2: example access indicators",
+              "Per-ring capability matrices for the paper's two example segments.");
+
+  // Figure 1: a writable data segment — write bracket [0,4], read
+  // bracket [0,5].
+  PrintAccessMatrix("Figure 1: writable data segment", MakeDataSegment(4, 5));
+
+  // Figure 2: a pure procedure segment with gates — execute bracket
+  // [2,4], gate extension (4,6], 2 gates.
+  PrintAccessMatrix("Figure 2: gated pure procedure segment", MakeProcedureSegment(2, 4, 6, 2));
+
+  // A ring-n stack segment, for contrast.
+  PrintAccessMatrix("Stack segment for ring 4", MakeStackSegment(4));
+}
+
+void BM_CheckRead(benchmark::State& state) {
+  const SegmentAccess access = MakeDataSegment(4, 5);
+  Ring ring = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckRead(access, ring));
+    ring = (ring + 1) & 7;
+  }
+}
+BENCHMARK(BM_CheckRead);
+
+void BM_CheckWrite(benchmark::State& state) {
+  const SegmentAccess access = MakeDataSegment(4, 5);
+  Ring ring = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckWrite(access, ring));
+    ring = (ring + 1) & 7;
+  }
+}
+BENCHMARK(BM_CheckWrite);
+
+void BM_CheckExecute(benchmark::State& state) {
+  const SegmentAccess access = MakeProcedureSegment(2, 4, 6, 2);
+  Ring ring = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckExecute(access, ring));
+    ring = (ring + 1) & 7;
+  }
+}
+BENCHMARK(BM_CheckExecute);
+
+void BM_ResolveCall(benchmark::State& state) {
+  const SegmentAccess access = MakeProcedureSegment(2, 4, 6, 2);
+  Ring ring = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResolveCall(access, ring, ring, 0, false));
+    ring = (ring + 1) & 7;
+  }
+}
+BENCHMARK(BM_ResolveCall);
+
+}  // namespace
+}  // namespace rings
+
+int main(int argc, char** argv) {
+  rings::PrintFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Experiments F6/F7 — Figures 6 and 7: operand validation for reads and
+// writes, EAP-type instructions (no validation), and the advance check
+// for plain transfers.
+//
+// Reports simulated cycles and validation counts per instruction kind.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/cpu/cpu.h"
+#include "src/mem/descriptor_segment.h"
+
+namespace rings {
+namespace {
+
+// One rig per opcode-under-test: a loop of `op ; tra loop`.
+struct OpRig {
+  PhysicalMemory memory{1 << 20};
+  DescriptorSegment dseg;
+  Cpu cpu;
+
+  explicit OpRig(const Instruction& op)
+      : dseg(*DescriptorSegment::Create(&memory, 16, 0)), cpu(&memory) {
+    cpu.SetDbr(dseg.dbr());
+    const AbsAddr data_base = *memory.Allocate(8);
+    Sdw data_sdw;
+    data_sdw.present = true;
+    data_sdw.base = data_base;
+    data_sdw.bound = 8;
+    data_sdw.access = MakeDataSegment(4, 4);
+    dseg.Store(1, data_sdw);
+
+    const AbsAddr code_base = *memory.Allocate(2);
+    memory.Write(code_base, EncodeInstruction(op));
+    memory.Write(code_base + 1, EncodeInstruction(MakeIns(Opcode::kTra, 0)));
+    Sdw code_sdw;
+    code_sdw.present = true;
+    code_sdw.base = code_base;
+    code_sdw.bound = 2;
+    code_sdw.access = MakeProcedureSegment(0, 7);
+    dseg.Store(0, code_sdw);
+
+    cpu.regs().ipr = Ipr{4, 0, 0};
+    cpu.regs().pr[2] = PointerRegister{4, 1, 0};
+  }
+
+  // Runs `steps` instruction pairs and reports per-pair cycle cost plus
+  // the per-pair check counts.
+  void Measure(int steps, double* cycles, Counters* per_pair) {
+    for (int i = 0; i < 2 * steps; ++i) {
+      cpu.Step();
+    }
+    *cycles = static_cast<double>(cpu.cycles()) / steps;
+    *per_pair = cpu.counters();
+  }
+};
+
+void Report(const char* name, const Instruction& op) {
+  OpRig rig(op);
+  double cycles = 0;
+  Counters c;
+  rig.Measure(10000, &cycles, &c);
+  std::printf("  %-22s %10.3f  %9.2f  %9.2f  %9.2f  %9.2f\n", name, cycles,
+              static_cast<double>(c.checks_read) / 10000, static_cast<double>(c.checks_write) / 10000,
+              static_cast<double>(c.checks_transfer) / 10000,
+              static_cast<double>(c.checks_fetch) / 10000);
+}
+
+void PrintReport() {
+  PrintBanner("F6/F7 — Figures 6 and 7: operand and transfer validation",
+              "Cycles per (op + tra) pair and hardware validations performed per\n"
+              "pair, by instruction class. EPP performs no operand validation.");
+  std::printf("  instruction             cycles   read-chk  write-chk  xfer-chk  fetch-chk\n");
+  Report("lda pr2|0    (read)", MakeInsPr(Opcode::kLda, 2, 0));
+  Report("sta pr2|0    (write)", MakeInsPr(Opcode::kSta, 2, 0));
+  Report("aos pr2|0    (r-m-w)", MakeInsPr(Opcode::kAos, 2, 0));
+  Report("epp pr3,pr2|0 (EAP)", MakeInsPrReg(Opcode::kEpp, 2, 3, 0));
+  Report("ldai 5  (immediate)", MakeIns(Opcode::kLdai, 5));
+  Report("nop", MakeIns(Opcode::kNop));
+
+  std::printf("\n  The advance check (Figure 7): a TRA to a segment outside the\n"
+              "  execute bracket traps at the TRA, not at the target fetch:\n");
+  {
+    OpRig rig(MakeInsPr(Opcode::kTra, 3, 0));
+    // PR3 -> segment 1 (a data segment: not executable).
+    rig.cpu.regs().pr[3] = PointerRegister{4, 1, 0};
+    rig.cpu.Step();
+    std::printf("    trap=%s cause=%s at %u|%u (the transfer instruction itself)\n",
+                rig.cpu.trap_pending() ? "yes" : "no",
+                std::string(TrapCauseName(rig.cpu.trap_state().cause)).c_str(),
+                rig.cpu.trap_state().regs.ipr.segno, rig.cpu.trap_state().regs.ipr.wordno);
+  }
+}
+
+void BM_OperandRead(benchmark::State& state) {
+  OpRig rig(MakeInsPr(Opcode::kLda, 2, 0));
+  for (auto _ : state) {
+    rig.cpu.Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OperandRead);
+
+void BM_OperandWrite(benchmark::State& state) {
+  OpRig rig(MakeInsPr(Opcode::kSta, 2, 0));
+  for (auto _ : state) {
+    rig.cpu.Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OperandWrite);
+
+void BM_Epp(benchmark::State& state) {
+  OpRig rig(MakeInsPrReg(Opcode::kEpp, 2, 3, 0));
+  for (auto _ : state) {
+    rig.cpu.Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Epp);
+
+}  // namespace
+}  // namespace rings
+
+int main(int argc, char** argv) {
+  rings::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment F8 — Figure 8: the CALL instruction.
+//
+// Reports the differential cost (cycles, instructions, traps, supervisor
+// steps) of one complete epp+CALL+callee+RETURN sequence on the ring
+// hardware, by caller ring and target bracket shape: same-ring calls,
+// downward calls across 1..7 rings, and (for contrast) the upward call
+// that needs supervisor emulation. The headline: downward and same-ring
+// calls cost the same and involve the supervisor not at all.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rings {
+namespace {
+
+void PrintReport() {
+  PrintBanner("F8 — Figure 8: CALL, by ring distance",
+              "Differential cost of one epp+CALL+RET round trip. Downward calls\n"
+              "through gates cost the same as same-ring calls; only the upward\n"
+              "call traps to supervisor software.");
+
+  std::printf("  scenario                          cycles  instructions   traps  sup-steps\n");
+
+  // Same-ring call: caller ring 4, target bracket [4,4].
+  {
+    const PerCallCost c = MeasureHardwareCrossing(4, MakeProcedureSegment(4, 4, 4, 1));
+    std::printf("  same-ring    (4 -> 4)           %8.2f  %12.2f  %6.2f  %9.2f\n", c.cycles,
+                c.instructions, c.traps, c.supervisor_steps);
+  }
+  // Downward calls of increasing distance: caller ring 4 or 7 into lower
+  // execute brackets with gate extensions reaching the caller.
+  for (const int target : {3, 2, 1, 0}) {
+    const PerCallCost c = MeasureHardwareCrossing(
+        4, MakeProcedureSegment(static_cast<Ring>(target), static_cast<Ring>(target), 7, 1));
+    std::printf("  downward     (4 -> %d)           %8.2f  %12.2f  %6.2f  %9.2f\n", target,
+                c.cycles, c.instructions, c.traps, c.supervisor_steps);
+  }
+  {
+    const PerCallCost c = MeasureHardwareCrossing(7, MakeProcedureSegment(0, 0, 7, 1));
+    std::printf("  downward     (7 -> 0)           %8.2f  %12.2f  %6.2f  %9.2f\n", c.cycles,
+                c.instructions, c.traps, c.supervisor_steps);
+  }
+  // Upward call: caller ring 4, target bracket [6,6] — the trap case.
+  {
+    const PerCallCost c = MeasureHardwareCrossing(4, MakeProcedureSegment(6, 6, 6, 1));
+    std::printf("  upward       (4 -> 6, trapped)  %8.2f  %12.2f  %6.2f  %9.2f\n", c.cycles,
+                c.instructions, c.traps, c.supervisor_steps);
+  }
+
+  std::printf("\n  note: the gate check is a single comparison of the target word\n"
+              "  number against the SDW.GATE count ('the list of gate locations of\n"
+              "  a segment is compressed to a single length field'), so its cost is\n"
+              "  independent of how many gates a segment declares.\n");
+}
+
+void BM_DownwardCallRoundTrip(benchmark::State& state) {
+  // Host-time throughput of simulated downward call round trips.
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string source = HardwareCallSource(4, 0, true, 200);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(RunHardware(source, 4, MakeProcedureSegment(1, 1, 7, 1)));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_DownwardCallRoundTrip)->Iterations(20);
+
+}  // namespace
+}  // namespace rings
+
+int main(int argc, char** argv) {
+  rings::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

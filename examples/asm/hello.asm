@@ -1,0 +1,18 @@
+; hello.asm — write "HELLO" to the typewriter through the ring-1 gate and
+; exit with the number of characters written.
+;
+;   ./build/tools/ringsim examples/asm/hello.asm
+;
+;; acl main * procedure 4 4
+;; start main start 4
+
+        .segment main
+start:  epp   pr1, arglist
+        epp   pr2, gateptr,*
+        call  pr2|0            ; sup_gates gate 1: tty write
+        mme   0                ; exit; A = characters written
+arglist: .word 1
+        .its  4, main, buf
+        .word 5
+buf:    .string HELLO
+gateptr: .its 4, sup_gates, 1

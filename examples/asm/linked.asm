@@ -1,0 +1,42 @@
+; linked.asm — dynamic linking: the main program calls `greeter` purely by
+; name through a .link word. The first CALL takes a link fault; the
+; supervisor snaps the link and the call proceeds into the ring-1 service,
+; which prints through the typewriter gate and returns.
+;
+;   ./build/tools/ringsim --trace examples/asm/linked.asm
+;
+;; acl main * procedure 4 4
+;; acl greeter * procedure 1 1 5
+;; acl gdata * data 1 1
+;; start main start 4
+
+        .segment main
+start:  epp   pr2, lk,*        ; link fault here, exactly once
+        call  pr2|0
+        epp   pr2, lk,*        ; already snapped: no fault
+        call  pr2|0
+        mme   0                ; exit with greeting count
+lk:     .link 4, greeter, 0
+
+        .segment greeter
+        .gates 1
+gate:   tra   body
+body:   spp   pr7, savew,*     ; nested call below clobbers PR7
+        epp   pr1, arglist
+        epp   pr3, ttyg,*
+        call  pr3|0            ; ring 1 -> ring 1 tty gate (same ring)
+        aos   countp,*
+        lda   countp,*
+        ret   saver,*
+arglist: .word 1
+        .its  1, greeter, msg
+        .word 4
+msg:    .string hi!
+        .word 10               ; newline
+ttyg:   .its  1, sup_gates, 1
+countp: .its  1, gdata, 0
+savew:  .its  1, gdata, 1
+saver:  .its  1, gdata, 1,*
+
+        .segment gdata
+        .block 2

@@ -1,0 +1,88 @@
+// User self-protection (paper, "Use of Rings"): "a user may debug a
+// program by executing it in ring 5, where only procedure and data
+// segments intended to be referenced by the program would be made
+// accessible. The ring protection mechanisms would detect many of the
+// addressing errors that could be made by the program and would prevent
+// the untested program from accidently damaging other segments accessible
+// from ring 4."
+//
+// The same buggy program (a stray store through a miscomputed pointer) is
+// run twice: in ring 4, where it silently corrupts the user's address
+// book, and in ring 5, where the ring hardware stops it cold.
+//
+// Build & run:  ./build/examples/debug_ring
+#include <cstdio>
+
+#include "src/sys/machine.h"
+
+using namespace rings;
+
+constexpr char kBuggyProgram[] = R"(
+; A program whose pointer arithmetic is off by one segment: it means to
+; write into `scratch` but writes through a pointer into `addressbook`.
+        .segment buggy
+start:  ldai  0
+        sta   okptr,*        ; the intended write (fine in both rings)
+        ldai  999
+        sta   badptr,*       ; the bug: stomps the address book
+        mme   0
+okptr:  .its  4, scratch, 0
+badptr: .its  4, addressbook, 0
+
+        .segment scratch
+        .block 4
+
+        .segment addressbook ; precious ring-4 data, writable to ring 4
+        .word 5551234
+        .word 5555678
+)";
+
+int run_in_ring(Ring ring, bool* killed, Word* book0) {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  // The buggy program is certified for rings 4..5 (a wider execute
+  // bracket, like a library under test).
+  acls["buggy"] = AccessControlList::Public(MakeProcedureSegment(4, 5));
+  // The debug scratch area is writable from ring 5.
+  acls["scratch"] = AccessControlList::Public(MakeDataSegment(5, 5));
+  // The address book is a normal ring-4 segment: ring 5 cannot touch it.
+  acls["addressbook"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  std::string error;
+  if (!machine.LoadProgramSource(kBuggyProgram, acls, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  Process* p = machine.Login("dev");
+  machine.supervisor().InitiateAll(p);
+  machine.Start(p, "buggy", "start", ring);
+  machine.Run();
+  *killed = p->state == ProcessState::kKilled;
+  *book0 = *machine.PeekSegment("addressbook", 0);
+  if (*killed) {
+    std::printf("ring %u: process killed by %s at %u|%u — bug caught, address book intact\n",
+                ring, std::string(TrapCauseName(p->kill_cause)).c_str(), p->kill_pc.segno,
+                p->kill_pc.wordno);
+  } else {
+    std::printf("ring %u: process exited normally — address book word 0 is now %llu\n", ring,
+                static_cast<unsigned long long>(*book0));
+  }
+  return 0;
+}
+
+int main() {
+  std::printf("running the buggy program in ring 4 (production):\n  ");
+  bool killed4 = false;
+  Word book4 = 0;
+  run_in_ring(4, &killed4, &book4);
+
+  std::printf("running the buggy program in ring 5 (debug ring):\n  ");
+  bool killed5 = false;
+  Word book5 = 0;
+  run_in_ring(5, &killed5, &book5);
+
+  const bool ok = !killed4 && book4 == 999 &&  // ring 4: damage done
+                  killed5 && book5 == 5551234;  // ring 5: damage prevented
+  std::printf("\n%s\n", ok ? "debug ring contained the bug exactly as the paper describes"
+                           : "UNEXPECTED BEHAVIOUR");
+  return ok ? 0 : 1;
+}

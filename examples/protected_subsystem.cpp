@@ -1,0 +1,115 @@
+// Protected subsystem (paper, "Use of Rings"): "user A may wish to allow
+// user B to access a sensitive data segment, but only through a special
+// program, provided by A, that audits references to the segment."
+//
+// A's auditor executes in ring 3 with a gate callable from rings 4-5; the
+// sensitive segment's ACL gives B brackets that end at ring 3, so B's
+// ring-4 code can reach the data only through the auditor. Every access is
+// counted in an audit-log segment writable only in ring 3.
+//
+// Build & run:  ./build/examples/protected_subsystem
+#include <cstdio>
+
+#include "src/sys/machine.h"
+
+using namespace rings;
+
+constexpr char kSubsystem[] = R"(
+; --- A's auditor: ring-3 protected subsystem with one gate -------------
+        .segment auditor
+        .gates 1
+gate:   tra   body
+body:   aos   logptr,*       ; audit: count the access (ring-3 write)
+        ldx   x2, pr1|1,*    ; X2 = requested index, via B's argument list
+        epp   pr3, dataptr,*
+        lda   pr3|0,x2       ; A = sensitive[index]
+        ret   pr7|0
+logptr:  .its 3, auditlog, 0
+dataptr: .its 3, sensitive, 0
+
+; --- the sensitive data and audit log ----------------------------------
+        .segment sensitive
+        .word 1001
+        .word 1002
+        .word 1003
+
+        .segment auditlog
+        .word 0
+
+; --- B's program: must go through the gate -----------------------------
+        .segment bprog
+bstart: epp   pr1, args
+        epp   pr2, gateptr,*
+        call  pr2|0          ; downward call: ring 4 -> ring 3
+        mme   0              ; exit with the value the auditor returned
+args:   .word 1
+        .its  4, bprog, index
+        .word 1
+index:  .word 2              ; ask for sensitive[2]
+gateptr: .its 4, auditor, 0
+
+; --- B's naughty program: tries to read the data directly --------------
+        .segment bsneak
+sstart: lda   dptr,*
+        mme   0
+dptr:   .its  4, sensitive, 0
+)";
+
+int main() {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  // The auditor: executes in ring 3 only, gate extension lets rings 4-5
+  // call in. (Its ACL could also be restricted to B; kept public here.)
+  acls["auditor"] = AccessControlList::Public(MakeProcedureSegment(3, 3, 5, /*gate_count=*/1));
+  // The sensitive segment: A uses it freely from ring 4; B's brackets end
+  // at ring 3, so only code executing in ring <= 3 (the auditor) can read
+  // it on B's behalf.
+  acls["sensitive"] = AccessControlList{{"userA", MakeDataSegment(4, 4)},
+                                        {"userB", MakeReadOnlyDataSegment(3)}};
+  // The audit log: writable only in ring 3 (the auditor), readable by A.
+  acls["auditlog"] = AccessControlList{{"userA", MakeDataSegment(3, 4)},
+                                       {"userB", MakeDataSegment(3, 3)}};
+  acls["bprog"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["bsneak"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+
+  std::string error;
+  if (!machine.LoadProgramSource(kSubsystem, acls, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // --- B goes through the gate: allowed, audited ------------------------
+  Process* b1 = machine.Login("userB");
+  machine.supervisor().InitiateAll(b1);
+  machine.Start(b1, "bprog", "bstart", kUserRing);
+  machine.Run();
+  std::printf("B via auditor gate:   state=%s value=%lld (expected 1003)\n",
+              b1->state == ProcessState::kExited ? "exited" : "KILLED",
+              static_cast<long long>(b1->exit_code));
+  std::printf("audit log count:      %llu (expected 1)\n",
+              static_cast<unsigned long long>(*machine.PeekSegment("auditlog", 0)));
+
+  // --- B tries to read the segment directly: denied ---------------------
+  Process* b2 = machine.Login("userB");
+  machine.supervisor().InitiateAll(b2);
+  machine.Start(b2, "bsneak", "sstart", kUserRing);
+  machine.Run();
+  std::printf("B direct access:      state=%s cause=%s (expected killed/read_violation)\n",
+              b2->state == ProcessState::kKilled ? "killed" : "EXITED?",
+              std::string(TrapCauseName(b2->kill_cause)).c_str());
+
+  // --- A reads the segment directly from ring 4: allowed ----------------
+  Process* a = machine.Login("userA");
+  machine.supervisor().InitiateAll(a);
+  machine.Start(a, "bsneak", "sstart", kUserRing);
+  machine.Run();
+  std::printf("A direct access:      state=%s value=%lld (expected 1001)\n",
+              a->state == ProcessState::kExited ? "exited" : "KILLED",
+              static_cast<long long>(a->exit_code));
+
+  const bool ok = b1->exit_code == 1003 && b2->state == ProcessState::kKilled &&
+                  a->exit_code == 1001;
+  std::printf("\n%s\n", ok ? "protected subsystem behaves as the paper describes"
+                           : "UNEXPECTED BEHAVIOUR");
+  return ok ? 0 : 1;
+}

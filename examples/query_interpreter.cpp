@@ -1,0 +1,149 @@
+// Protected subsystem #2 (paper, "Use of Rings"): "a subsystem to provide
+// interpretive access to some sensitive data base and safely log each
+// request for information."
+//
+// A ring-3 query interpreter guards a salary database that ordinary users
+// cannot read. Users submit query programs (tiny bytecode in their own
+// segments); the interpreter logs every request, executes only aggregate
+// queries (SUM, COUNT), and refuses record-level SELECTs. The query
+// buffer is read through the argument-list machinery, so a malicious
+// query address is validated at the caller's ring automatically.
+//
+// Build & run:  ./build/examples/query_interpreter
+#include <cstdio>
+
+#include "src/sys/machine.h"
+
+using namespace rings;
+
+constexpr char kSubsystem[] = R"(
+; ---- the ring-3 interpreter -------------------------------------------
+        .segment querysys
+        .gates 1
+gate:   tra   body
+body:   aos   logp,*          ; safely log each request (ring-3 write)
+        epp   pr4, pr1|1,*    ; PR4 = the caller's query buffer (caller-
+                              ; level validation rides on the ring field)
+        lda   pr4|0           ; query opcode
+        sba   c_sum
+        tze   do_sum
+        lda   pr4|0
+        sba   c_cnt
+        tze   do_cnt
+        ldai  -1              ; SELECT and anything else: refused
+        ret   pr7|0
+do_sum: epp   pr5, dbp,*
+        stz   acc,*
+        stz   idx,*
+sloop:  ldx   x1, idx,*
+        lda   pr5|0,x1
+        ada   acc,*
+        sta   acc,*
+        aos   idx,*
+        lda   idx,*
+        sba   dblen
+        tmi   sloop
+        lda   acc,*
+        ret   pr7|0
+do_cnt: lda   dblen
+        ret   pr7|0
+c_sum:  .word 2
+c_cnt:  .word 3
+dblen:  .word 5
+logp:   .its  3, querylog, 0
+dbp:    .its  3, salarydb, 0
+acc:    .its  3, qscratch, 0
+idx:    .its  3, qscratch, 1
+
+        .segment salarydb     ; the sensitive data: rings <= 3 only
+        .word 91000
+        .word 87000
+        .word 105000
+        .word 99000
+        .word 118000
+
+        .segment querylog
+        .word 0
+
+        .segment qscratch
+        .block 2
+
+; ---- user programs ------------------------------------------------------
+        .segment sumq         ; SUM query
+qs1:    epp   pr1, args1
+        epp   pr2, gp1,*
+        call  pr2|0
+        mme   0
+args1:  .word 1
+        .its  4, sumq, q1
+        .word 1
+q1:     .word 2               ; opcode SUM
+gp1:    .its  4, querysys, 0
+
+        .segment selq         ; record-level SELECT: must be refused
+qs2:    epp   pr1, args2
+        epp   pr2, gp2,*
+        call  pr2|0
+        mme   0
+args2:  .word 1
+        .its  4, selq, q2
+        .word 1
+q2:     .word 1               ; opcode SELECT
+gp2:    .its  4, querysys, 0
+
+        .segment peek         ; bypass attempt: read the db directly
+qs3:    lda   dbp2,*
+        mme   0
+dbp2:   .its  4, salarydb, 0
+)";
+
+int main() {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["querysys"] = AccessControlList::Public(MakeProcedureSegment(3, 3, 5, /*gate_count=*/1));
+  acls["salarydb"] = AccessControlList::Public(MakeReadOnlyDataSegment(3));
+  acls["querylog"] = AccessControlList::Public(MakeDataSegment(3, 4));  // users may read the log
+  acls["qscratch"] = AccessControlList::Public(MakeDataSegment(3, 3));
+  acls["sumq"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["selq"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["peek"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+
+  std::string error;
+  if (!machine.LoadProgramSource(kSubsystem, acls, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  const auto run = [&](const char* seg, const char* entry) {
+    Process* p = machine.Login("analyst");
+    machine.supervisor().InitiateAll(p);
+    machine.Start(p, seg, entry, kUserRing);
+    machine.Run();
+    return p;
+  };
+
+  Process* sum = run("sumq", "qs1");
+  std::printf("SUM query:      state=%s result=%lld (expected 500000)\n",
+              sum->state == ProcessState::kExited ? "exited" : "KILLED",
+              static_cast<long long>(sum->exit_code));
+
+  Process* sel = run("selq", "qs2");
+  std::printf("SELECT query:   state=%s result=%lld (expected -1: refused by policy)\n",
+              sel->state == ProcessState::kExited ? "exited" : "KILLED",
+              static_cast<long long>(sel->exit_code));
+
+  Process* peek = run("peek", "qs3");
+  std::printf("direct read:    state=%s cause=%s (expected killed/read_violation)\n",
+              peek->state == ProcessState::kKilled ? "killed" : "EXITED?",
+              std::string(TrapCauseName(peek->kill_cause)).c_str());
+
+  std::printf("query log:      %llu requests recorded (expected 2)\n",
+              static_cast<unsigned long long>(*machine.PeekSegment("querylog", 0)));
+
+  const bool ok = sum->exit_code == 500000 && sel->exit_code == -1 &&
+                  peek->state == ProcessState::kKilled &&
+                  *machine.PeekSegment("querylog", 0) == 2;
+  std::printf("\n%s\n", ok ? "interpretive access with per-request logging, as the paper sketches"
+                           : "UNEXPECTED BEHAVIOUR");
+  return ok ? 0 : 1;
+}

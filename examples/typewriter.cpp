@@ -1,0 +1,142 @@
+// Typewriter I/O restructuring (paper, Conclusions): "in the Multics
+// typewriter I/O package, only the functions of copying data in and out
+// of shared buffer areas and of executing the privileged instruction to
+// initiate I/O channel operation need to be protected. But, since these
+// two functions are deeply tangled with typewriter operation strategy and
+// code conversion, the typewriter I/O control package is currently
+// implemented as a set of procedures all located in the lowest numbered
+// ring ... thus increasing the quantity of code which has maximum
+// privilege."
+//
+// With cheap hardware ring crossings the package can be split: the
+// strategy and code-conversion code runs in the user ring, and only a
+// tiny buffer-copy + SIO stub runs in ring 0. This example runs both
+// structures and reports the quantity of ring-0 code and the output.
+//
+// Build & run:  ./build/examples/typewriter
+#include <cstdio>
+
+#include "src/sys/machine.h"
+
+using namespace rings;
+
+// Monolithic structure: conversion (lower-case -> upper-case) AND channel
+// start all live in a ring-0 segment, entered through a gate.
+constexpr char kMonolithic[] = R"(
+        .segment tty0        ; everything in ring 0: max-privilege code
+        .gates 1
+gate:   tra   conv
+conv:   lda   pr1|1,*        ; A = character (one per call, for simplicity)
+        sba   lower_a
+        tmi   emit           ; not lower case: emit as-is
+        lda   pr1|1,*
+        sba   case_delta     ; code conversion, needlessly in ring 0
+        tra   send
+emit:   lda   pr1|1,*
+send:   sio   0, pr1|1,*     ; privileged channel start
+        ret   pr7|0
+lower_a: .word 97
+case_delta: .word 32
+
+        .segment umainA
+astart: epp   pr1, args
+        epp   pr2, g,*
+        call  pr2|0          ; one crossing per character, into BIG ring-0 code
+        mme   0
+args:   .word 1
+        .its  4, umainA, ch
+        .word 1
+ch:     .word 104            ; 'h'
+g:      .its  4, tty0, 0
+)";
+
+// Split structure: conversion in ring 4; only copy+SIO in ring 0.
+constexpr char kSplit[] = R"(
+        .segment sio0        ; ring-0 stub: 4 words of max privilege
+        .gates 1
+gate:   sio   0, pr1|1,*     ; start channel on the caller's (validated) word
+        ret   pr7|0
+
+        .segment umainB
+bstart: lda   ch             ; conversion strategy in the USER ring
+        sba   lower_a
+        tmi   emit
+        lda   ch
+        sba   case_delta
+        sta   chv,*
+        tra   send
+emit:   lda   ch
+        sta   chv,*
+send:   epp   pr1, args
+        epp   pr2, g,*
+        call  pr2|0          ; tiny crossing: copy+SIO only
+        mme   0
+ch:     .word 104            ; 'h'
+lower_a: .word 97
+case_delta: .word 32
+args:   .word 1
+        .its  4, chbuf, 0
+        .word 1
+chv:    .its  4, chbuf, 0
+g:      .its  4, sio0, 0
+
+        .segment chbuf
+        .word 0
+)";
+
+struct Report {
+  uint64_t ring0_words = 0;
+  uint64_t crossings = 0;
+  uint64_t cycles = 0;
+  ProcessState state{};
+};
+
+Report RunStructure(const char* source, const char* ring0_seg, const char* main_seg,
+                    const char* entry) {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls[ring0_seg] = AccessControlList::Public(MakeProcedureSegment(0, 0, 5, 1));
+  acls[main_seg] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["chbuf"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  std::string error;
+  if (!machine.LoadProgramSource(source, acls, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  Process* p = machine.Login("user");
+  machine.supervisor().InitiateAll(p);
+  machine.Start(p, main_seg, entry, kUserRing);
+  const RunResult result = machine.Run();
+
+  Report report;
+  report.ring0_words = machine.registry().Find(ring0_seg)->bound;
+  report.crossings = machine.cpu().counters().calls_downward;
+  report.cycles = result.cycles;
+  report.state = p->state;
+  return report;
+}
+
+int main() {
+  const Report mono = RunStructure(kMonolithic, "tty0", "umainA", "astart");
+  const Report split = RunStructure(kSplit, "sio0", "umainB", "bstart");
+
+  std::printf("structure      ring0-code-words  crossings  cycles  state\n");
+  std::printf("monolithic     %16llu  %9llu  %6llu  %s\n",
+              static_cast<unsigned long long>(mono.ring0_words),
+              static_cast<unsigned long long>(mono.crossings),
+              static_cast<unsigned long long>(mono.cycles),
+              mono.state == ProcessState::kExited ? "exited" : "KILLED");
+  std::printf("split          %16llu  %9llu  %6llu  %s\n",
+              static_cast<unsigned long long>(split.ring0_words),
+              static_cast<unsigned long long>(split.crossings),
+              static_cast<unsigned long long>(split.cycles),
+              split.state == ProcessState::kExited ? "exited" : "KILLED");
+
+  const bool ok = mono.state == ProcessState::kExited && split.state == ProcessState::kExited &&
+                  split.ring0_words < mono.ring0_words;
+  std::printf("\n%s: the split structure shrinks the maximum-privilege code by %.0f%%\n",
+              ok ? "as the paper argues" : "UNEXPECTED",
+              100.0 * (1.0 - static_cast<double>(split.ring0_words) /
+                                 static_cast<double>(mono.ring0_words)));
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+// The software-rings baseline: a Honeywell-645-style machine.
+//
+// "The 645 processor provides only a limited set of access control
+// mechanisms, forcing software intervention to implement protection rings.
+// ... An initial software implementation of rings using multiple
+// descriptor segments was worked out by Graham and R.C. Daley." — and
+// that is what this module builds:
+//
+//   * The processor runs in ProtectionMode::kFlags645: SDWs carry only
+//     R/W/E flags (ring fields ignored, no effective-ring tracking), and
+//     the CALL/RETURN ring-crossing instructions do not exist.
+//   * Each process has ONE DESCRIPTOR SEGMENT PER RING; the ring brackets
+//     of every segment are compiled down into per-ring access flags.
+//   * Every ring crossing is a trap: guest code executes MME with a
+//     packed target; the gatekeeper (ring-0 software) validates the gate
+//     against its software ring tables, validates every argument in
+//     software, pushes a crossing record, swaps the DBR to the target
+//     ring's descriptor segment, and resumes. Returns trap again.
+//
+// The ring-crossing *semantics* (which calls are legal, which ring is
+// entered) are computed with the same core functions as the hardware
+// (ResolveCall), so the two systems allow/deny identically — only the cost
+// differs. That differential is experiment C3.
+#ifndef SRC_B645_B645_MACHINE_H_
+#define SRC_B645_B645_MACHINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cpu/cpu.h"
+#include "src/kasm/assembler.h"
+#include "src/mem/physical_memory.h"
+#include "src/sup/abi.h"
+#include "src/sup/segment_registry.h"
+#include "src/sys/machine.h"
+
+namespace rings {
+
+// MME service codes used by guest code on the 645-style machine.
+enum B645Mme : int64_t {
+  kMmeExit = 0,       // terminate; exit code in A
+  kMmeCrossCall = 1,  // Q = (segno << 18) | wordno; PR1 = argument list
+  kMmeCrossReturn = 2,
+  kMmeGetRing = 3,    // A <- current ring (gatekeeper's notion)
+};
+
+inline constexpr Word PackB645Target(Segno segno, Wordno wordno) {
+  return (static_cast<Word>(segno) << kWordnoBits) | wordno;
+}
+
+class B645Machine {
+ public:
+  explicit B645Machine(MachineConfig config = MachineConfig{});
+
+  bool ok() const { return ok_; }
+
+  // Loads an assembled program. `ring_specs` gives each segment's intended
+  // flags/brackets/gates — these populate the gatekeeper's software ring
+  // tables and are compiled into the eight descriptor segments.
+  bool LoadProgram(const Program& program, const std::map<std::string, SegmentAccess>& ring_specs,
+                   std::string* error = nullptr);
+  bool LoadProgramSource(std::string_view source,
+                         const std::map<std::string, SegmentAccess>& ring_specs,
+                         std::string* error = nullptr);
+
+  // Adds/overrides the ring spec for a segment registered outside
+  // LoadProgram (e.g. directly through the registry). Must be called
+  // before Start.
+  bool SetRingSpec(const std::string& name, const SegmentAccess& spec);
+
+  // Creates the (single) user process: eight descriptor segments compiled
+  // from the ring tables, eight stack segments, execution starting at
+  // `entry` in `segname`, ring `ring`.
+  bool Start(const std::string& segname, const std::string& entry, Ring ring);
+
+  RunResult Run(uint64_t max_cycles = 100'000'000);
+
+  // Outcome.
+  bool exited() const { return exited_; }
+  int64_t exit_code() const { return exit_code_; }
+  TrapCause kill_cause() const { return kill_cause_; }
+  Ring current_ring() const { return current_ring_; }
+
+  Cpu& cpu() { return cpu_; }
+  SegmentRegistry& registry() { return registry_; }
+
+  // Test/bench setup helpers: direct word access to a registered segment
+  // (used to patch packed crossing targets whose segment numbers are only
+  // known after loading).
+  bool PokeWordForTest(const std::string& name, Wordno wordno, Word value);
+  std::optional<Word> PeekWordForTest(const std::string& name, Wordno wordno) const;
+
+  // Gatekeeper statistics.
+  uint64_t crossings() const { return crossings_; }
+  uint64_t args_validated() const { return args_validated_; }
+  uint64_t gatekeeper_steps() const { return gatekeeper_steps_; }
+
+ private:
+  struct CrossRecord {
+    Ring caller_ring = 0;
+    Ipr return_point{};
+    PointerRegister saved_sp{};
+  };
+
+  void Charge(uint64_t steps);
+  void BuildDescriptorSegments();
+  // Returns false if the process was killed.
+  bool HandleMme(const TrapState& trap);
+  bool HandleCrossCall(const TrapState& trap);
+  bool HandleCrossReturn(const TrapState& trap);
+  void Kill(TrapCause cause);
+
+  const SegmentAccess* RingSpec(Segno segno) const;
+
+  MachineConfig config_;
+  PhysicalMemory memory_;
+  Cpu cpu_;
+  SegmentRegistry registry_;
+  bool ok_ = false;
+
+  // Software ring tables: segno -> intended access spec.
+  std::map<Segno, SegmentAccess> ring_table_;
+
+  // Per-ring descriptor segments of the single process.
+  std::vector<DbrValue> ring_dbrs_;
+
+  Ring current_ring_ = kUserRing;
+  std::vector<CrossRecord> cross_stack_;
+
+  bool started_ = false;
+  bool exited_ = false;
+  bool killed_ = false;
+  int64_t exit_code_ = 0;
+  TrapCause kill_cause_ = TrapCause::kNone;
+
+  uint64_t crossings_ = 0;
+  uint64_t args_validated_ = 0;
+  uint64_t gatekeeper_steps_ = 0;
+};
+
+}  // namespace rings
+
+#endif  // SRC_B645_B645_MACHINE_H_

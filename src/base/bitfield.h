@@ -1,0 +1,56 @@
+// Bit-field extraction and deposit helpers used by the ISA and memory
+// format encoders. All machine words in the simulator are 64-bit; the
+// original Honeywell hardware used 36-bit words (see DESIGN.md for the
+// substitution rationale). Fields are described by (shift, width) pairs.
+#ifndef SRC_BASE_BITFIELD_H_
+#define SRC_BASE_BITFIELD_H_
+
+#include <cstdint>
+
+namespace rings {
+
+// Returns a mask with `width` low bits set. `width` must be in [0, 64].
+constexpr uint64_t BitMask(unsigned width) {
+  return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+// Extracts the `width`-bit field starting at bit `shift` of `word`.
+constexpr uint64_t ExtractBits(uint64_t word, unsigned shift, unsigned width) {
+  return (word >> shift) & BitMask(width);
+}
+
+// Returns `word` with the `width`-bit field at `shift` replaced by the low
+// bits of `value`. Bits of `value` above `width` are discarded.
+constexpr uint64_t DepositBits(uint64_t word, unsigned shift, unsigned width, uint64_t value) {
+  const uint64_t mask = BitMask(width) << shift;
+  return (word & ~mask) | ((value << shift) & mask);
+}
+
+// Sign-extends the low `width` bits of `value` to a signed 64-bit integer.
+constexpr int64_t SignExtend(uint64_t value, unsigned width) {
+  const uint64_t sign_bit = uint64_t{1} << (width - 1);
+  const uint64_t masked = value & BitMask(width);
+  return static_cast<int64_t>((masked ^ sign_bit)) - static_cast<int64_t>(sign_bit);
+}
+
+// Encodes a signed value into `width` bits (two's complement). The caller
+// is responsible for ensuring the value fits; out-of-range values wrap.
+constexpr uint64_t EncodeSigned(int64_t value, unsigned width) {
+  return static_cast<uint64_t>(value) & BitMask(width);
+}
+
+// True if `value` is representable in a signed field of `width` bits.
+constexpr bool FitsSigned(int64_t value, unsigned width) {
+  const int64_t lo = -(int64_t{1} << (width - 1));
+  const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+// True if `value` is representable in an unsigned field of `width` bits.
+constexpr bool FitsUnsigned(uint64_t value, unsigned width) {
+  return value <= BitMask(width);
+}
+
+}  // namespace rings
+
+#endif  // SRC_BASE_BITFIELD_H_

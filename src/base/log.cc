@@ -1,0 +1,49 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+
+namespace rings {
+
+namespace {
+
+LogLevel g_level = LogLevel::kNone;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogSink(std::function<void(LogLevel, const std::string&)> sink) {
+  g_sink = std::move(sink);
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[rings %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace rings

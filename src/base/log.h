@@ -1,0 +1,52 @@
+// Minimal leveled logger. The simulator is a library first; logging is off
+// by default and routed to a caller-provided sink so tests can capture it.
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace rings {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global log configuration. Not thread-safe by design: the simulator is
+// single-threaded (one simulated processor per Machine).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void SetLogSink(std::function<void(LogLevel, const std::string&)> sink);
+void LogMessage(LogLevel level, const std::string& message);
+
+// Stream-style helper: RINGS_LOG(kInfo) << "segno " << segno;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rings
+
+#define RINGS_LOG(level)                                  \
+  if (::rings::GetLogLevel() <= ::rings::LogLevel::level) \
+  ::rings::LogLine(::rings::LogLevel::level)
+
+#endif  // SRC_BASE_LOG_H_

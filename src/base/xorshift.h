@@ -1,0 +1,48 @@
+// Deterministic, seedable PRNG (xorshift128+) used by fuzz-style property
+// tests and workload generators in the benchmark harness. We avoid
+// std::mt19937 in hot benchmark loops and want cross-platform determinism.
+#ifndef SRC_BASE_XORSHIFT_H_
+#define SRC_BASE_XORSHIFT_H_
+
+#include <cstdint>
+
+namespace rings {
+
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding so that nearby seeds give unrelated streams.
+    for (auto& s : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  // Uniform value in [0, bound). `bound` must be nonzero.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t Between(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Bernoulli trial with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_[2];
+};
+
+}  // namespace rings
+
+#endif  // SRC_BASE_XORSHIFT_H_

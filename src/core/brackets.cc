@@ -1,0 +1,73 @@
+#include "src/core/brackets.h"
+
+#include "src/base/strings.h"
+
+namespace rings {
+
+std::optional<Brackets> Brackets::Make(unsigned r1, unsigned r2, unsigned r3) {
+  Brackets b{static_cast<Ring>(r1), static_cast<Ring>(r2), static_cast<Ring>(r3)};
+  if (r1 > kMaxRing || r2 > kMaxRing || r3 > kMaxRing || !b.IsWellFormed()) {
+    return std::nullopt;
+  }
+  return b;
+}
+
+std::string Brackets::ToString() const {
+  return StrFormat("(%u,%u,%u)", r1, r2, r3);
+}
+
+std::string AccessFlags::ToString() const {
+  std::string out = "---";
+  if (read) {
+    out[0] = 'r';
+  }
+  if (write) {
+    out[1] = 'w';
+  }
+  if (execute) {
+    out[2] = 'e';
+  }
+  return out;
+}
+
+std::string SegmentAccess::ToString() const {
+  return StrFormat("%s%s gates=%u", flags.ToString().c_str(), brackets.ToString().c_str(),
+                   gate_count);
+}
+
+SegmentAccess MakeDataSegment(Ring write_top, Ring read_top) {
+  SegmentAccess access;
+  access.flags = {.read = true, .write = true, .execute = false};
+  // R1 tops the write bracket, R2 tops the read bracket; R3 is irrelevant
+  // for a non-executable segment but must keep R2 <= R3.
+  access.brackets = {write_top, read_top, read_top};
+  return access;
+}
+
+SegmentAccess MakeReadOnlyDataSegment(Ring read_top) {
+  SegmentAccess access;
+  access.flags = {.read = true, .write = false, .execute = false};
+  access.brackets = {read_top, read_top, read_top};
+  return access;
+}
+
+SegmentAccess MakeProcedureSegment(Ring lo, Ring hi, Ring gate_top, uint32_t gate_count) {
+  SegmentAccess access;
+  // A pure procedure: not writable in any ring (write flag off); readable
+  // and executable within the execute bracket. R1 doubles as the execute
+  // bracket floor.
+  access.flags = {.read = true, .write = false, .execute = true};
+  access.brackets = {lo, hi, gate_top};
+  access.gate_count = gate_count;
+  return access;
+}
+
+SegmentAccess MakeProcedureSegment(Ring lo, Ring hi) {
+  return MakeProcedureSegment(lo, hi, hi, 0);
+}
+
+SegmentAccess MakeStackSegment(Ring ring) {
+  return MakeDataSegment(ring, ring);
+}
+
+}  // namespace rings

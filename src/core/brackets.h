@@ -1,0 +1,100 @@
+// Ring brackets: the (R1, R2, R3) triple stored in each segment descriptor
+// word, together with the single-bit read/write/execute flags.
+//
+// From the paper (Figure 3 and accompanying text):
+//   - write bracket   = rings [0,  R1]
+//   - execute bracket = rings [R1, R2]   (R1 is reused as the bracket floor,
+//     "the field of an SDW which specifies the top of the write bracket
+//      [specifies] the bottom of the execute bracket as well")
+//   - read bracket    = rings [0,  R2]   (R2 reused as the read-bracket top)
+//   - gate extension  = rings (R2, R3]
+// with the constraint R1 <= R2 <= R3 maintained by supervisor code.
+#ifndef SRC_CORE_BRACKETS_H_
+#define SRC_CORE_BRACKETS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/core/ring.h"
+
+namespace rings {
+
+struct Brackets {
+  Ring r1 = 0;
+  Ring r2 = 0;
+  Ring r3 = 0;
+
+  // Validated constructor helper: returns nullopt unless
+  // r1 <= r2 <= r3 < kRingCount. ("Supervisor code for constructing SDW's
+  // must guarantee that SDW.R1 <= SDW.R2 <= SDW.R3 is true.")
+  static std::optional<Brackets> Make(unsigned r1, unsigned r2, unsigned r3);
+
+  bool IsWellFormed() const { return r1 <= r2 && r2 <= r3 && r3 <= kMaxRing; }
+
+  bool InWriteBracket(Ring ring) const { return ring <= r1; }
+  bool InReadBracket(Ring ring) const { return ring <= r2; }
+  bool InExecuteBracket(Ring ring) const { return ring >= r1 && ring <= r2; }
+  // The rings strictly above the execute bracket that hold the "transfer to
+  // a gate and change ring" capability.
+  bool InGateExtension(Ring ring) const { return ring > r2 && ring <= r3; }
+
+  bool operator==(const Brackets&) const = default;
+
+  std::string ToString() const;  // "(r1,r2,r3)"
+};
+
+// Access flags of an SDW. Turning a flag off indicates that the
+// corresponding capability "is not included in any ring of the process".
+struct AccessFlags {
+  bool read = false;
+  bool write = false;
+  bool execute = false;
+
+  bool operator==(const AccessFlags&) const = default;
+  std::string ToString() const;  // "rwe", "r-e", ...
+};
+
+// The access-control content of an SDW, independent of its addressing
+// content. This is the unit the pure validation functions in access.h and
+// transfer.h operate on, and what an access-control-list entry supplies.
+struct SegmentAccess {
+  AccessFlags flags;
+  Brackets brackets;
+  // Number of gate locations. "The list of gate locations of a segment is
+  // compressed to a single length field by requiring all gate locations to
+  // be gathered together, beginning at location 0 of a segment."
+  uint32_t gate_count = 0;
+
+  bool operator==(const SegmentAccess&) const = default;
+  std::string ToString() const;
+};
+
+// Convenience factories mirroring the paper's Figure 1 and Figure 2
+// examples.
+
+// A data segment: read bracket [0,read_top], write bracket [0,write_top],
+// execute off. (Figure 1: "Example access indicators for a writable data
+// segment".) Requires write_top <= read_top.
+SegmentAccess MakeDataSegment(Ring write_top, Ring read_top);
+
+// A read-only data segment: read bracket [0, read_top].
+SegmentAccess MakeReadOnlyDataSegment(Ring read_top);
+
+// A pure procedure segment: execute bracket [lo,hi], gate extension to
+// gate_top, with `gate_count` gate words; write off; readable through the
+// execute bracket top. (Figure 2: "Example access indicators for a pure
+// procedure segment which contains gates".)
+SegmentAccess MakeProcedureSegment(Ring lo, Ring hi, Ring gate_top, uint32_t gate_count);
+
+// A procedure segment with no gate extension (not callable from above its
+// execute bracket).
+SegmentAccess MakeProcedureSegment(Ring lo, Ring hi);
+
+// A stack segment for procedures executing in ring n: "read and write
+// brackets that end at ring n. Thus, stack areas for these procedures are
+// not accessible to procedures executing in any ring m > n."
+SegmentAccess MakeStackSegment(Ring ring);
+
+}  // namespace rings
+
+#endif  // SRC_CORE_BRACKETS_H_

@@ -1,0 +1,39 @@
+// Ring numbers. Following the paper (and Multics), a process has a fixed
+// set of r protection rings numbered 0..r-1; ring 0 has the greatest access
+// privilege. Multics chose r = 8, and SDW ring fields are 3 bits wide, so
+// this library fixes r = 8 as well ("Eight rings are shown in the
+// examples, although more or fewer rings might be appropriate in another
+// system" — the bracket/validation algebra in this module is written
+// against kRingCount and would work for any power-of-two ring count).
+#ifndef SRC_CORE_RING_H_
+#define SRC_CORE_RING_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rings {
+
+using Ring = uint8_t;
+
+inline constexpr Ring kRingCount = 8;
+inline constexpr Ring kMaxRing = kRingCount - 1;
+inline constexpr unsigned kRingBits = 3;
+
+// Conventional ring assignments in Multics (Use of Rings section).
+inline constexpr Ring kSupervisorCore = 0;   // access control, I/O, multiplexing
+inline constexpr Ring kSupervisorOuter = 1;  // accounting, stream mgmt, search
+inline constexpr Ring kUserRing = 4;         // standard user procedures
+inline constexpr Ring kDebugRing = 5;        // user self-protection / debugging
+
+constexpr bool IsValidRing(unsigned value) { return value < kRingCount; }
+
+// The effective-ring combination rule of Figure 5: whenever an address is
+// influenced by a pointer register, an indirect word, or a segment writable
+// from a higher ring, validation proceeds relative to the *highest* ring
+// involved. "TPR.RING is updated with the larger of its current value..."
+constexpr Ring MaxRing(Ring a, Ring b) { return std::max(a, b); }
+constexpr Ring MaxRing(Ring a, Ring b, Ring c) { return std::max(a, std::max(b, c)); }
+
+}  // namespace rings
+
+#endif  // SRC_CORE_RING_H_

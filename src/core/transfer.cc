@@ -1,0 +1,81 @@
+#include "src/core/transfer.h"
+
+namespace rings {
+
+TransferOutcome ResolveCall(const SegmentAccess& target, Ring ring_of_execution,
+                            Ring effective_ring, uint64_t target_word, bool same_segment) {
+  // Step 1: an effective ring above the ring of execution means the address
+  // was influenced by a less privileged ring; the paper rejects the call
+  // outright "even if the current ring of execution is within the execute
+  // bracket of the called procedure segment".
+  if (effective_ring > ring_of_execution) {
+    return TransferOutcome::Trap(TrapCause::kCallRingViolation);
+  }
+
+  // Step 2: the segment must be executable at all.
+  if (!target.flags.execute) {
+    return TransferOutcome::Trap(TrapCause::kExecuteViolation);
+  }
+
+  // Step 3: the gate check. "A CALL must be directed at a gate location
+  // even when the called procedure will execute in the same ring as the
+  // calling procedure... The only exception ... occurs if the operand is in
+  // the same segment as the instruction."
+  if (!same_segment && target_word >= target.gate_count) {
+    return TransferOutcome::Trap(TrapCause::kGateViolation);
+  }
+
+  const Brackets& b = target.brackets;
+  const Ring ring = ring_of_execution;
+
+  if (ring < b.r1) {
+    // Upward call: the hardware "responds to each attempted upward call
+    // ... by generating a trap to a supervisor procedure which performs
+    // the necessary environment adjustments."
+    return TransferOutcome::Trap(TrapCause::kUpwardCall);
+  }
+  if (ring <= b.r2) {
+    // Within the execute bracket: a call that does not change the ring.
+    return TransferOutcome::Enter(ring, /*changed=*/false);
+  }
+  if (ring <= b.r3) {
+    // Within the gate extension: "the ring of execution of the process
+    // will switch down to the top of the execute bracket of the segment as
+    // the transfer occurs."
+    return TransferOutcome::Enter(b.r2, /*changed=*/true);
+  }
+  // Above the gate extension: no capability to enter this segment.
+  return TransferOutcome::Trap(TrapCause::kExecuteViolation);
+}
+
+TransferOutcome ResolveReturn(const SegmentAccess& target, Ring ring_of_execution,
+                              Ring effective_ring) {
+  if (!target.flags.execute) {
+    return TransferOutcome::Trap(TrapCause::kExecuteViolation);
+  }
+  const Brackets& b = target.brackets;
+  if (effective_ring > b.r2) {
+    // The return point is only executable below the effective ring: this
+    // is what a downward return (following an upward call) looks like to
+    // the hardware. It cannot tell a legitimate one from an attack, so it
+    // traps and the supervisor consults the dynamic return-gate stack.
+    return TransferOutcome::Trap(TrapCause::kDownwardReturn);
+  }
+  if (effective_ring < b.r1) {
+    // The return ring lies below the execute bracket floor: the target was
+    // never intended to execute there.
+    return TransferOutcome::Trap(TrapCause::kExecuteViolation);
+  }
+  return TransferOutcome::Enter(effective_ring,
+                                /*changed=*/effective_ring != ring_of_execution);
+}
+
+uint64_t SelectStackSegment(bool ring_changed, uint64_t current_stack_segno,
+                            uint64_t dbr_stack_base, Ring new_ring) {
+  if (!ring_changed) {
+    return current_stack_segno;
+  }
+  return dbr_stack_base + new_ring;
+}
+
+}  // namespace rings

@@ -1,0 +1,96 @@
+// Ring-resolution logic for the two instructions that can change the ring
+// of execution: CALL (Figure 8) and RETURN (Figure 9), expressed as pure
+// functions so the rules can be tested exhaustively over all ring/bracket
+// combinations, independent of the processor plumbing.
+#ifndef SRC_CORE_TRANSFER_H_
+#define SRC_CORE_TRANSFER_H_
+
+#include <cstdint>
+
+#include "src/core/access.h"
+#include "src/core/brackets.h"
+#include "src/core/ring.h"
+#include "src/core/trap_cause.h"
+
+namespace rings {
+
+// Outcome of resolving a CALL or RETURN: either a trap, or the new ring of
+// execution.
+struct TransferOutcome {
+  TrapCause cause = TrapCause::kNone;
+  Ring new_ring = 0;
+  // CALL only: true when the call crosses into a lower numbered ring (the
+  // "downward call" the paper's hardware performs without supervisor
+  // intervention).
+  bool ring_changed = false;
+
+  bool ok() const { return cause == TrapCause::kNone; }
+  static TransferOutcome Trap(TrapCause cause) { return {cause, 0, false}; }
+  static TransferOutcome Enter(Ring ring, bool changed) {
+    return {TrapCause::kNone, ring, changed};
+  }
+
+  bool operator==(const TransferOutcome&) const = default;
+};
+
+// Figure 8: validation and ring resolution for CALL.
+//
+// Inputs: the target segment's access fields, the current ring of execution
+// (IPR.RING), the effective ring of the operand address (TPR.RING), the
+// target word number, and whether the target lies in the same segment as
+// the CALL instruction itself.
+//
+// Checks, in the order the figure performs them:
+//   1. TPR.RING > IPR.RING: "what would appear to be a call within the
+//      same ring ... can in fact be an upward call with respect to
+//      IPR.RING. Because in normal circumstances this situation represents
+//      an error, the decision is made to generate an access violation."
+//   2. Execute flag must be on.
+//   3. Gate check: unless the target is in the same segment ("Allowing a
+//      CALL instruction to ignore the gate list of the segment containing
+//      the instruction permits it to be used to implement calls to
+//      internal procedures"), target_word must be < gate_count.
+//   4. Ring resolution:
+//        IPR.RING <  R1             -> upward call, trap for software
+//        R1 <= IPR.RING <= R2       -> same-ring call, ring unchanged
+//        R2 <  IPR.RING <= R3       -> downward call through the gate
+//                                      extension; new ring = R2
+//        IPR.RING >  R3             -> no gate capability: access violation
+TransferOutcome ResolveCall(const SegmentAccess& target, Ring ring_of_execution,
+                            Ring effective_ring, uint64_t target_word, bool same_segment);
+
+// Figure 9: validation and ring resolution for RETURN.
+//
+// "The ring to which the return is made is specified by the effective ring
+// portion of the effective address." Because the effective ring can never
+// be lower than the ring of execution, a RETURN can only keep the ring or
+// raise it; the downward-return case (after an upward call) manifests as
+// the target being executable only below the effective ring, which this
+// function reports as kDownwardReturn for the supervisor to emulate.
+//
+// Checks:
+//   1. Execute flag must be on (plain execute violation otherwise).
+//   2. effective_ring > target.R2: the return point is only executable
+//      below the effective ring — exactly what a downward return looks
+//      like to the hardware. Reported as kDownwardReturn; the supervisor
+//      decides legitimacy against the dynamic return-gate stack and kills
+//      the process if no matching gate exists.
+//   3. effective_ring < target.R1: the return ring cannot execute the
+//      target — execute violation.
+//   4. Otherwise the return enters effective_ring.
+TransferOutcome ResolveReturn(const SegmentAccess& target, Ring ring_of_execution,
+                              Ring effective_ring);
+
+// The stack-segment selection rule of Figure 8's footnote. The processor
+// computes the new stack base segment number for CALL: if the ring is
+// unchanged, the current stack segment continues in use ("allowing the
+// continued use of a nonstandard stack segment"); if the ring changes, the
+// stack segment is stack_base + new_ring, where stack_base is the DBR
+// field designating the process's eight consecutive standard stack
+// segments.
+uint64_t SelectStackSegment(bool ring_changed, uint64_t current_stack_segno,
+                            uint64_t dbr_stack_base, Ring new_ring);
+
+}  // namespace rings
+
+#endif  // SRC_CORE_TRANSFER_H_

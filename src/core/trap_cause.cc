@@ -1,0 +1,72 @@
+#include "src/core/trap_cause.h"
+
+namespace rings {
+
+std::string_view TrapCauseName(TrapCause cause) {
+  switch (cause) {
+    case TrapCause::kNone:
+      return "none";
+    case TrapCause::kMissingSegment:
+      return "missing_segment";
+    case TrapCause::kBoundsViolation:
+      return "bounds_violation";
+    case TrapCause::kMissingPage:
+      return "missing_page";
+    case TrapCause::kLinkFault:
+      return "link_fault";
+    case TrapCause::kReadViolation:
+      return "read_violation";
+    case TrapCause::kWriteViolation:
+      return "write_violation";
+    case TrapCause::kExecuteViolation:
+      return "execute_violation";
+    case TrapCause::kGateViolation:
+      return "gate_violation";
+    case TrapCause::kCallRingViolation:
+      return "call_ring_violation";
+    case TrapCause::kTransferRingViolation:
+      return "transfer_ring_violation";
+    case TrapCause::kUpwardCall:
+      return "upward_call";
+    case TrapCause::kDownwardReturn:
+      return "downward_return";
+    case TrapCause::kPrivilegedViolation:
+      return "privileged_violation";
+    case TrapCause::kIllegalOpcode:
+      return "illegal_opcode";
+    case TrapCause::kIndirectionLimit:
+      return "indirection_limit";
+    case TrapCause::kMasterModeEntry:
+      return "master_mode_entry";
+    case TrapCause::kSupervisorService:
+      return "supervisor_service";
+    case TrapCause::kTimerRunout:
+      return "timer_runout";
+    case TrapCause::kIoCompletion:
+      return "io_completion";
+    case TrapCause::kHalt:
+      return "halt";
+    case TrapCause::kNumCauses:
+      break;
+  }
+  return "invalid";
+}
+
+bool IsAccessViolation(TrapCause cause) {
+  switch (cause) {
+    case TrapCause::kMissingSegment:
+    case TrapCause::kBoundsViolation:
+    case TrapCause::kReadViolation:
+    case TrapCause::kWriteViolation:
+    case TrapCause::kExecuteViolation:
+    case TrapCause::kGateViolation:
+    case TrapCause::kCallRingViolation:
+    case TrapCause::kTransferRingViolation:
+    case TrapCause::kPrivilegedViolation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace rings

@@ -1,0 +1,59 @@
+// Trap causes raised by the simulated processor. "The access violations
+// and other conditions requiring software intervention ... generate traps,
+// derailing the instruction cycle." (paper, Hardware Implementation
+// section). The supervisor receives the cause together with the saved
+// processor state.
+#ifndef SRC_CORE_TRAP_CAUSE_H_
+#define SRC_CORE_TRAP_CAUSE_H_
+
+#include <string_view>
+
+namespace rings {
+
+enum class TrapCause {
+  kNone = 0,
+
+  // Segmented-memory faults.
+  kMissingSegment,     // segno out of descriptor-segment bounds or SDW not present
+  kBoundsViolation,    // wordno >= SDW.BOUND
+  kMissingPage,        // paged segment, PTW not present (demand paging)
+  kLinkFault,          // fault-tagged indirect word: unsnapped dynamic link
+
+  // Access violations from the ring checks of Figures 4-9.
+  kReadViolation,      // read flag off or TPR.RING > SDW.R2      (Fig 6)
+  kWriteViolation,     // write flag off or TPR.RING > SDW.R1     (Fig 6)
+  kExecuteViolation,   // execute flag off, or ring outside execute bracket (Fig 4)
+  kGateViolation,      // CALL target not one of the first SDW.GATE words   (Fig 8)
+  kCallRingViolation,  // CALL whose effective ring exceeds the ring of execution (Fig 8)
+  kTransferRingViolation,  // non-CALL transfer through a pointer with a raised ring (Fig 7)
+
+  // Conditions the hardware deliberately leaves to software (Call and
+  // Return section): an upward call, and the subsequent downward return.
+  kUpwardCall,         // CALL into a segment whose execute bracket lies below the ring
+  kDownwardReturn,     // RETURN whose target is only executable below the effective ring
+
+  // Instruction-level conditions.
+  kPrivilegedViolation,  // privileged instruction outside ring 0 (or SVC outside 0/1)
+  kIllegalOpcode,
+  kIndirectionLimit,   // runaway indirect-word chain
+
+  // Asynchronous / service conditions.
+  kMasterModeEntry,    // MME instruction: explicit trap to the supervisor
+  kSupervisorService,  // SVC instruction: supervisor service dispatch
+  kTimerRunout,        // end of scheduling quantum
+  kIoCompletion,       // simulated channel finished
+  kHalt,               // HLT executed in ring 0
+
+  kNumCauses,
+};
+
+// Stable human-readable name ("read_violation" etc) for traces and tests.
+std::string_view TrapCauseName(TrapCause cause);
+
+// True for the causes that represent access-control denials, as opposed to
+// service requests or asynchronous events.
+bool IsAccessViolation(TrapCause cause);
+
+}  // namespace rings
+
+#endif  // SRC_CORE_TRAP_CAUSE_H_

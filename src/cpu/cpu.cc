@@ -1,0 +1,803 @@
+#include "src/cpu/cpu.h"
+
+#include "src/base/bitfield.h"
+#include "src/mem/page_table.h"
+
+namespace rings {
+
+namespace {
+
+constexpr uint32_t kIndexMask = (uint32_t{1} << kWordnoBits) - 1;
+
+}  // namespace
+
+Cpu::Cpu(PhysicalMemory* memory, CycleModel cycle_model)
+    : memory_(memory), cycle_model_(cycle_model) {}
+
+// ---------------------------------------------------------------------------
+// Trap machinery
+// ---------------------------------------------------------------------------
+
+void Cpu::RaiseTrap(TrapCause cause, int64_t code) {
+  trap_pending_ = true;
+  trap_state_.cause = cause;
+  trap_state_.regs = state_at_fetch_;  // IPR addresses the disrupted instruction
+  trap_state_.tpr = tpr_;
+  trap_state_.instruction = current_ins_;
+  trap_state_.code = code;
+  trap_state_.fault_addr = pending_fault_addr_;
+  pending_fault_addr_ = SegAddr{};
+  counters_.CountTrap(cause);
+  cycles_ += cycle_model_.trap;
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{EventKind::kTrap, cycles_, state_at_fetch_.ipr.ring,
+                              SegAddr{state_at_fetch_.ipr.segno, state_at_fetch_.ipr.wordno},
+                              cause, 0, {}});
+  }
+}
+
+void Cpu::RaiseServiceTrap(TrapCause cause, int64_t code) {
+  // The saved IPR must address the next instruction so that RETT resumes
+  // after the service request, not at it.
+  RegisterFile after = regs_;
+  RaiseTrap(cause, code);
+  trap_state_.regs = after;
+  trap_state_.regs.ipr.wordno = state_at_fetch_.ipr.wordno + 1;
+}
+
+TrapState Cpu::TakeTrap() {
+  trap_pending_ = false;
+  return trap_state_;
+}
+
+void Cpu::Rett(const RegisterFile& state) {
+  const bool dbr_changed = !(state.dbr == regs_.dbr);
+  regs_ = state;
+  trap_pending_ = false;
+  cycles_ += cycle_model_.rett;
+  if (dbr_changed) {
+    sdw_cache_.Flush();
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(TraceEvent{EventKind::kTrapReturn, cycles_, regs_.ipr.ring,
+                              SegAddr{regs_.ipr.segno, regs_.ipr.wordno}, TrapCause::kNone, 0,
+                              {}});
+  }
+}
+
+void Cpu::SetDbr(const DbrValue& dbr) {
+  regs_.dbr = dbr;
+  sdw_cache_.Flush();
+}
+
+void Cpu::InjectTrap(TrapCause cause, int64_t code) {
+  state_at_fetch_ = regs_;
+  tpr_ = Tpr{};
+  current_ins_ = Instruction{};
+  RaiseTrap(cause, code);
+}
+
+// ---------------------------------------------------------------------------
+// Memory and descriptor access
+// ---------------------------------------------------------------------------
+
+bool Cpu::FetchSdw(Segno segno, Sdw* out) {
+  if (auto cached = sdw_cache_.Lookup(segno); cached.has_value()) {
+    ++counters_.sdw_cache_hits;
+    *out = *cached;
+    if (!out->present) {
+      RaiseTrap(TrapCause::kMissingSegment);
+      return false;
+    }
+    return true;
+  }
+  ++counters_.sdw_fetches;
+  cycles_ += cycle_model_.sdw_fetch;
+  if (segno >= regs_.dbr.bound) {
+    RaiseTrap(TrapCause::kMissingSegment);
+    return false;
+  }
+  const AbsAddr addr = regs_.dbr.base + static_cast<AbsAddr>(segno) * kSdwPairWords;
+  const Sdw sdw = DecodeSdw(memory_->Read(addr), memory_->Read(addr + 1));
+  sdw_cache_.Insert(segno, sdw);
+  if (!sdw.present) {
+    RaiseTrap(TrapCause::kMissingSegment);
+    return false;
+  }
+  *out = sdw;
+  return true;
+}
+
+bool Cpu::CheckBounds(const Sdw& sdw, Wordno wordno) {
+  if (wordno >= sdw.bound) {
+    RaiseTrap(TrapCause::kBoundsViolation);
+    return false;
+  }
+  return true;
+}
+
+// Final address resolution. Unpaged segments are contiguous; paged
+// segments cost one PTW fetch per reference ("paging is also taken into
+// account by the address translation logic, but is totally transparent to
+// an executing machine language program").
+TrapCause Cpu::ResolveAddress(const Sdw& sdw, Segno segno, Wordno wordno, AbsAddr* out) {
+  if (!sdw.paged) {
+    *out = sdw.base + wordno;
+    return TrapCause::kNone;
+  }
+  ++counters_.page_walks;
+  cycles_ += cycle_model_.memory_ref;
+  const Ptw ptw = DecodePtw(memory_->Read(sdw.base + (wordno >> kPageShift)));
+  if (!ptw.present) {
+    pending_fault_addr_ = SegAddr{segno, wordno};
+    return TrapCause::kMissingPage;
+  }
+  *out = ptw.frame + (wordno & kPageMask);
+  return TrapCause::kNone;
+}
+
+bool Cpu::ResolveOrFault(const Sdw& sdw, Segno segno, Wordno wordno, AbsAddr* out) {
+  const TrapCause cause = ResolveAddress(sdw, segno, wordno, out);
+  if (cause != TrapCause::kNone) {
+    RaiseTrap(cause);
+    return false;
+  }
+  return true;
+}
+
+std::optional<Sdw> Cpu::ReadSdw(Segno segno) const {
+  if (segno >= regs_.dbr.bound) {
+    return std::nullopt;
+  }
+  const AbsAddr addr = regs_.dbr.base + static_cast<AbsAddr>(segno) * kSdwPairWords;
+  return DecodeSdw(memory_->Read(addr), memory_->Read(addr + 1));
+}
+
+TrapCause Cpu::SupervisorRead(Segno segno, Wordno wordno, Ring effective_ring, Word* out) {
+  const auto sdw = ReadSdw(segno);
+  if (!sdw.has_value() || !sdw->present) {
+    return TrapCause::kMissingSegment;
+  }
+  if (wordno >= sdw->bound) {
+    return TrapCause::kBoundsViolation;
+  }
+  if (const auto decision = CheckRead(sdw->access, EffectiveRing(effective_ring));
+      !decision.ok()) {
+    return decision.cause;
+  }
+  AbsAddr addr = 0;
+  if (const TrapCause cause = ResolveAddress(*sdw, segno, wordno, &addr);
+      cause != TrapCause::kNone) {
+    return cause;
+  }
+  *out = memory_->Read(addr);
+  return TrapCause::kNone;
+}
+
+TrapCause Cpu::SupervisorWrite(Segno segno, Wordno wordno, Ring effective_ring, Word value) {
+  const auto sdw = ReadSdw(segno);
+  if (!sdw.has_value() || !sdw->present) {
+    return TrapCause::kMissingSegment;
+  }
+  if (wordno >= sdw->bound) {
+    return TrapCause::kBoundsViolation;
+  }
+  if (const auto decision = CheckWrite(sdw->access, EffectiveRing(effective_ring));
+      !decision.ok()) {
+    return decision.cause;
+  }
+  AbsAddr addr = 0;
+  if (const TrapCause cause = ResolveAddress(*sdw, segno, wordno, &addr);
+      cause != TrapCause::kNone) {
+    return cause;
+  }
+  memory_->Write(addr, value);
+  return TrapCause::kNone;
+}
+
+TrapCause Cpu::SupervisorReadRaw(Segno segno, Wordno wordno, Word* out) {
+  const auto sdw = ReadSdw(segno);
+  if (!sdw.has_value() || !sdw->present) {
+    return TrapCause::kMissingSegment;
+  }
+  if (wordno >= sdw->bound) {
+    return TrapCause::kBoundsViolation;
+  }
+  AbsAddr addr = 0;
+  if (const TrapCause cause = ResolveAddress(*sdw, segno, wordno, &addr);
+      cause != TrapCause::kNone) {
+    return cause;
+  }
+  *out = memory_->Read(addr);
+  return TrapCause::kNone;
+}
+
+TrapCause Cpu::SupervisorWriteRaw(Segno segno, Wordno wordno, Word value) {
+  const auto sdw = ReadSdw(segno);
+  if (!sdw.has_value() || !sdw->present) {
+    return TrapCause::kMissingSegment;
+  }
+  if (wordno >= sdw->bound) {
+    return TrapCause::kBoundsViolation;
+  }
+  AbsAddr addr = 0;
+  if (const TrapCause cause = ResolveAddress(*sdw, segno, wordno, &addr);
+      cause != TrapCause::kNone) {
+    return cause;
+  }
+  memory_->Write(addr, value);
+  return TrapCause::kNone;
+}
+
+// ---------------------------------------------------------------------------
+// Instruction cycle
+// ---------------------------------------------------------------------------
+
+bool Cpu::Step() {
+  if (trap_pending_) {
+    return false;
+  }
+  state_at_fetch_ = regs_;
+  tpr_ = Tpr{};
+  current_ins_ = Instruction{};
+
+  // Scheduling quantum (asynchronous condition checked between
+  // instructions).
+  if (timer_enabled_) {
+    if (timer_ <= 0) {
+      timer_enabled_ = false;
+      RaiseTrap(TrapCause::kTimerRunout);
+      return false;
+    }
+    --timer_;
+  }
+
+  ++counters_.instructions;
+  cycles_ += cycle_model_.instruction_base;
+
+  Instruction ins;
+  if (!FetchInstruction(&ins)) {
+    return false;
+  }
+  current_ins_ = ins;
+
+  const OpcodeInfo& info = GetOpcodeInfo(ins.opcode);
+
+  // Privileged-instruction check. "Such instructions are designated as
+  // privileged and will be executed by the processor only in ring 0."
+  // (SVC extends to ring 1; see opcode table.)
+  if (regs_.ipr.ring > info.max_ring) {
+    RaiseTrap(TrapCause::kPrivilegedViolation);
+    return false;
+  }
+
+  // Phase 2 (Figure 5): effective-address formation, for instructions
+  // with a memory operand.
+  const bool needs_ea = info.operand != OperandKind::kNone &&
+                        info.operand != OperandKind::kImmediate;
+  if (needs_ea && !FormEffectiveAddress(ins)) {
+    return false;
+  }
+
+  // Advance the instruction counter before execution; transfers overwrite
+  // it, and service traps save the advanced value.
+  regs_.ipr.wordno = state_at_fetch_.ipr.wordno + 1;
+
+  Execute(ins);
+
+  if (trace_ != nullptr && !trap_pending_) {
+    trace_->Record(TraceEvent{EventKind::kInstruction, cycles_, regs_.ipr.ring,
+                              SegAddr{state_at_fetch_.ipr.segno, state_at_fetch_.ipr.wordno},
+                              TrapCause::kNone, 0, {}});
+  }
+  return !trap_pending_;
+}
+
+// Figure 4: "Retrieval of next instruction to be executed." At the point
+// the SDW for the segment containing the instruction is available, the
+// ring of execution is matched against the execute bracket and the
+// execute flag is checked.
+bool Cpu::FetchInstruction(Instruction* ins) {
+  Sdw sdw;
+  if (!FetchSdw(regs_.ipr.segno, &sdw)) {
+    return false;
+  }
+  if (checks_enabled_) {
+    ++counters_.checks_fetch;
+    cycles_ += cycle_model_.access_check;
+    if (const auto decision = CheckExecute(sdw.access, EffectiveRing(regs_.ipr.ring));
+        !decision.ok()) {
+      RaiseTrap(decision.cause);
+      return false;
+    }
+  }
+  if (!CheckBounds(sdw, regs_.ipr.wordno)) {
+    return false;
+  }
+  AbsAddr addr = 0;
+  if (!ResolveOrFault(sdw, regs_.ipr.segno, regs_.ipr.wordno, &addr)) {
+    return false;
+  }
+  ++counters_.memory_reads;
+  cycles_ += cycle_model_.memory_ref;
+  const Word word = memory_->Read(addr);
+  if (!DecodeInstruction(word, ins)) {
+    RaiseTrap(TrapCause::kIllegalOpcode);
+    return false;
+  }
+  return true;
+}
+
+// Figure 5: "Formation in TPR of effective address of instruction
+// operand." TPR.RING accumulates, via max, every ring that could have
+// influenced the address: the current ring of execution, the ring in a
+// base pointer register, the ring in each indirect word, and the top of
+// the write bracket (SDW.R1) of each segment an indirect word was fetched
+// from.
+bool Cpu::FormEffectiveAddress(const Instruction& ins) {
+  tpr_.ring = regs_.ipr.ring;
+
+  int64_t wordno;
+  if (ins.pr_relative) {
+    const PointerRegister& pr = regs_.pr[ins.prnum];
+    tpr_.segno = pr.segno;
+    wordno = static_cast<int64_t>(pr.wordno) + ins.offset;
+    if (mode_ == ProtectionMode::kRingHardware) {
+      tpr_.ring = MaxRing(tpr_.ring, pr.ring);
+    }
+  } else {
+    tpr_.segno = regs_.ipr.segno;
+    wordno = ins.offset;
+  }
+  if (ins.tag != 0) {
+    wordno += static_cast<int64_t>(regs_.x[ins.tag]);
+  }
+  if (wordno < 0 || wordno > kMaxWordno) {
+    RaiseTrap(TrapCause::kBoundsViolation);
+    return false;
+  }
+  tpr_.wordno = static_cast<Wordno>(wordno);
+
+  bool indirect = ins.indirect;
+  unsigned depth = 0;
+  while (indirect) {
+    if (++depth > kMaxIndirectionDepth) {
+      RaiseTrap(TrapCause::kIndirectionLimit);
+      return false;
+    }
+    Sdw sdw;
+    if (!FetchSdw(tpr_.segno, &sdw)) {
+      return false;
+    }
+    // "The capability to read an indirect word during effective address
+    // formation must be validated before the indirect word is retrieved.
+    // Validation is with respect to the value in TPR.RING at the time the
+    // indirect word is encountered."
+    if (checks_enabled_) {
+      ++counters_.checks_indirect;
+      cycles_ += cycle_model_.access_check;
+      if (const auto decision = CheckIndirectRead(sdw.access, EffectiveRing(tpr_.ring));
+          !decision.ok()) {
+        RaiseTrap(decision.cause);
+        return false;
+      }
+    }
+    if (!CheckBounds(sdw, tpr_.wordno)) {
+      return false;
+    }
+    AbsAddr addr = 0;
+    if (!ResolveOrFault(sdw, tpr_.segno, tpr_.wordno, &addr)) {
+      return false;
+    }
+    ++counters_.memory_reads;
+    ++counters_.indirect_words;
+    cycles_ += cycle_model_.memory_ref;
+    const IndirectWord iw = DecodeIndirectWord(memory_->Read(addr));
+    if (iw.fault) {
+      // An unsnapped dynamic link: trap so the supervisor can resolve the
+      // symbolic reference, overwrite this word with a snapped pointer,
+      // and resume the disrupted instruction. The fault address locates
+      // the link word itself.
+      pending_fault_addr_ = SegAddr{tpr_.segno, tpr_.wordno};
+      RaiseTrap(TrapCause::kLinkFault);
+      return false;
+    }
+    if (mode_ == ProtectionMode::kRingHardware) {
+      // "TPR.RING is updated with the larger of its current value, the
+      // ring number in the indirect word (IND.RING), and the top of the
+      // write bracket for the segment containing the indirect word
+      // (SDW.R1)."
+      tpr_.ring = MaxRing(tpr_.ring, iw.ring, sdw.access.brackets.r1);
+    }
+    tpr_.segno = iw.segno;
+    tpr_.wordno = iw.wordno;
+    indirect = iw.indirect;
+  }
+  return true;
+}
+
+// Figure 6: instructions which read or write their operands.
+bool Cpu::ReadOperand(Word* out) {
+  Sdw sdw;
+  if (!FetchSdw(tpr_.segno, &sdw)) {
+    return false;
+  }
+  if (checks_enabled_) {
+    ++counters_.checks_read;
+    cycles_ += cycle_model_.access_check;
+    if (const auto decision = CheckRead(sdw.access, EffectiveRing(tpr_.ring)); !decision.ok()) {
+      RaiseTrap(decision.cause);
+      return false;
+    }
+  }
+  if (!CheckBounds(sdw, tpr_.wordno)) {
+    return false;
+  }
+  AbsAddr addr = 0;
+  if (!ResolveOrFault(sdw, tpr_.segno, tpr_.wordno, &addr)) {
+    return false;
+  }
+  ++counters_.memory_reads;
+  cycles_ += cycle_model_.memory_ref;
+  *out = memory_->Read(addr);
+  return true;
+}
+
+bool Cpu::WriteOperand(Word value) {
+  Sdw sdw;
+  if (!FetchSdw(tpr_.segno, &sdw)) {
+    return false;
+  }
+  if (checks_enabled_) {
+    ++counters_.checks_write;
+    cycles_ += cycle_model_.access_check;
+    if (const auto decision = CheckWrite(sdw.access, EffectiveRing(tpr_.ring)); !decision.ok()) {
+      RaiseTrap(decision.cause);
+      return false;
+    }
+  }
+  if (!CheckBounds(sdw, tpr_.wordno)) {
+    return false;
+  }
+  AbsAddr addr = 0;
+  if (!ResolveOrFault(sdw, tpr_.segno, tpr_.wordno, &addr)) {
+    return false;
+  }
+  ++counters_.memory_writes;
+  cycles_ += cycle_model_.memory_ref;
+  memory_->Write(addr, value);
+  return true;
+}
+
+// Figure 7: transfer instructions other than CALL and RETURN. The advance
+// check catches the violation "while it is still possible to identify the
+// instruction which made the illegal transfer"; a raised effective ring is
+// rejected because these transfers cannot change the ring of execution.
+void Cpu::ExecuteTransfer() {
+  Sdw sdw;
+  if (!FetchSdw(tpr_.segno, &sdw)) {
+    return;
+  }
+  if (checks_enabled_) {
+    ++counters_.checks_transfer;
+    cycles_ += cycle_model_.access_check;
+    const Ring effective = mode_ == ProtectionMode::kRingHardware ? tpr_.ring : regs_.ipr.ring;
+    if (const auto decision = CheckTransfer(sdw.access, EffectiveRing(regs_.ipr.ring),
+                                            EffectiveRing(effective));
+        !decision.ok()) {
+      RaiseTrap(decision.cause);
+      return;
+    }
+  }
+  if (!CheckBounds(sdw, tpr_.wordno)) {
+    return;
+  }
+  regs_.ipr.segno = tpr_.segno;
+  regs_.ipr.wordno = tpr_.wordno;
+}
+
+// Figure 8: the CALL instruction.
+void Cpu::ExecuteCall() {
+  if (mode_ == ProtectionMode::kFlags645) {
+    // The 645-style base has no call hardware; rings are crossed by MME
+    // traps handled in software (src/b645).
+    RaiseTrap(TrapCause::kIllegalOpcode);
+    return;
+  }
+  Sdw sdw;
+  if (!FetchSdw(tpr_.segno, &sdw)) {
+    return;
+  }
+  ++counters_.checks_call;
+  cycles_ += cycle_model_.access_check;
+
+  const Ring old_ring = regs_.ipr.ring;
+  const bool same_segment = tpr_.segno == state_at_fetch_.ipr.segno;
+
+  TransferOutcome outcome = TransferOutcome::Enter(old_ring, false);
+  if (checks_enabled_) {
+    outcome = ResolveCall(sdw.access, old_ring, tpr_.ring, tpr_.wordno, same_segment);
+    if (!outcome.ok()) {
+      RaiseTrap(outcome.cause);
+      return;
+    }
+  }
+  if (!CheckBounds(sdw, tpr_.wordno)) {
+    return;
+  }
+
+  const Ring new_ring = outcome.new_ring;
+  if (outcome.ring_changed) {
+    ++counters_.calls_downward;
+  } else {
+    ++counters_.calls_same_ring;
+  }
+
+  // Stack rule (Figure 8 footnote): same-ring calls keep the current stack
+  // segment (from the stack pointer register); ring-changing calls use the
+  // standard stack segment DBR.stack_base + new ring.
+  const uint64_t stack_segno = SelectStackSegment(
+      outcome.ring_changed, regs_.pr[kPrStack].segno, regs_.dbr.stack_base, new_ring);
+  regs_.pr[kPrStackBase] =
+      PointerRegister{new_ring, static_cast<Segno>(stack_segno), 0};
+
+  // Return pointer (see DESIGN.md): the old ring/segno/wordno+1. Its ring
+  // field is >= the new ring, preserving the PR-ring invariant.
+  regs_.pr[kPrReturn] = PointerRegister{old_ring, state_at_fetch_.ipr.segno,
+                                        state_at_fetch_.ipr.wordno + 1};
+
+  if (outcome.ring_changed && trace_ != nullptr) {
+    trace_->Record(TraceEvent{EventKind::kRingSwitch, cycles_, old_ring,
+                              SegAddr{tpr_.segno, tpr_.wordno}, TrapCause::kNone, new_ring, {}});
+  }
+
+  regs_.ipr = Ipr{new_ring, tpr_.segno, tpr_.wordno};
+}
+
+// Figure 9: the RETURN instruction. "The ring to which the return is made
+// is specified by the effective ring portion of the effective address....
+// In the case that the return is upward, the ring number fields in all
+// pointer registers are replaced with the larger of their current values
+// and the new ring of execution."
+void Cpu::ExecuteReturn() {
+  if (mode_ == ProtectionMode::kFlags645) {
+    RaiseTrap(TrapCause::kIllegalOpcode);
+    return;
+  }
+  Sdw sdw;
+  if (!FetchSdw(tpr_.segno, &sdw)) {
+    return;
+  }
+  ++counters_.checks_return;
+  cycles_ += cycle_model_.access_check;
+
+  const Ring old_ring = regs_.ipr.ring;
+  TransferOutcome outcome = TransferOutcome::Enter(old_ring, false);
+  if (checks_enabled_) {
+    outcome = ResolveReturn(sdw.access, old_ring, tpr_.ring);
+    if (!outcome.ok()) {
+      RaiseTrap(outcome.cause);
+      return;
+    }
+  }
+  if (!CheckBounds(sdw, tpr_.wordno)) {
+    return;
+  }
+
+  const Ring new_ring = outcome.new_ring;
+  if (new_ring > old_ring) {
+    ++counters_.returns_upward;
+    for (PointerRegister& pr : regs_.pr) {
+      pr.ring = MaxRing(pr.ring, new_ring);
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEvent{EventKind::kRingSwitch, cycles_, old_ring,
+                                SegAddr{tpr_.segno, tpr_.wordno}, TrapCause::kNone, new_ring, {}});
+    }
+  } else {
+    ++counters_.returns_same_ring;
+  }
+
+  regs_.ipr = Ipr{new_ring, tpr_.segno, tpr_.wordno};
+}
+
+void Cpu::Execute(const Instruction& ins) {
+  const auto signed_a = [this]() { return static_cast<int64_t>(regs_.a); };
+  Word value = 0;
+  switch (ins.opcode) {
+    case Opcode::kNop:
+      break;
+
+    case Opcode::kLda:
+      if (ReadOperand(&value)) {
+        regs_.a = value;
+      }
+      break;
+    case Opcode::kLdq:
+      if (ReadOperand(&value)) {
+        regs_.q = value;
+      }
+      break;
+    case Opcode::kLdx:
+      if (ReadOperand(&value)) {
+        regs_.x[ins.reg] = static_cast<uint32_t>(value) & kIndexMask;
+      }
+      break;
+
+    case Opcode::kSta:
+      WriteOperand(regs_.a);
+      break;
+    case Opcode::kStq:
+      WriteOperand(regs_.q);
+      break;
+    case Opcode::kStx:
+      WriteOperand(regs_.x[ins.reg]);
+      break;
+    case Opcode::kStz:
+      WriteOperand(0);
+      break;
+
+    case Opcode::kLdai:
+      regs_.a = static_cast<Word>(static_cast<int64_t>(ins.offset));
+      break;
+    case Opcode::kLdqi:
+      regs_.q = static_cast<Word>(static_cast<int64_t>(ins.offset));
+      break;
+    case Opcode::kLdxi:
+      regs_.x[ins.reg] = static_cast<uint32_t>(ins.offset) & kIndexMask;
+      break;
+    case Opcode::kAdai:
+      regs_.a += static_cast<Word>(static_cast<int64_t>(ins.offset));
+      break;
+
+    case Opcode::kAda:
+      if (ReadOperand(&value)) {
+        regs_.a += value;
+      }
+      break;
+    case Opcode::kSba:
+      if (ReadOperand(&value)) {
+        regs_.a -= value;
+      }
+      break;
+    case Opcode::kMpy:
+      if (ReadOperand(&value)) {
+        regs_.a *= value;
+      }
+      break;
+    case Opcode::kAna:
+      if (ReadOperand(&value)) {
+        regs_.a &= value;
+      }
+      break;
+    case Opcode::kOra:
+      if (ReadOperand(&value)) {
+        regs_.a |= value;
+      }
+      break;
+    case Opcode::kEra:
+      if (ReadOperand(&value)) {
+        regs_.a ^= value;
+      }
+      break;
+
+    case Opcode::kAls:
+      regs_.a = ins.offset >= 64 ? 0 : regs_.a << (ins.offset & 63);
+      break;
+    case Opcode::kArs:
+      regs_.a = ins.offset >= 64 ? 0 : regs_.a >> (ins.offset & 63);
+      break;
+    case Opcode::kNega:
+      regs_.a = ~regs_.a + 1;
+      break;
+    case Opcode::kXaq:
+      std::swap(regs_.a, regs_.q);
+      break;
+
+    case Opcode::kAos:
+      if (ReadOperand(&value)) {
+        WriteOperand(value + 1);
+      }
+      break;
+
+    case Opcode::kEpp:
+      // EAP-type (Figure 7): "instructions which load the RING, SEGNO and
+      // WORDNO fields of PRn with the corresponding fields of TPR. The
+      // operand is not referenced, so no access validation is required."
+      regs_.pr[ins.reg] = PointerRegister{tpr_.ring, tpr_.segno, tpr_.wordno};
+      break;
+
+    case Opcode::kSpp: {
+      // Store PRn as an indirect word. The stored RING field is the PR's
+      // ring, so an argument address saved to memory keeps its validation
+      // level ("If PR1 is then stored as an indirect word, this effective
+      // ring is put into the RING field of the indirect word").
+      const PointerRegister& pr = regs_.pr[ins.reg];
+      WriteOperand(EncodeIndirectWord(IndirectWord{pr.ring, false, pr.segno, pr.wordno}));
+      break;
+    }
+
+    case Opcode::kTra:
+      ExecuteTransfer();
+      break;
+    case Opcode::kTze:
+      if (regs_.a == 0) {
+        ExecuteTransfer();
+      }
+      break;
+    case Opcode::kTnz:
+      if (regs_.a != 0) {
+        ExecuteTransfer();
+      }
+      break;
+    case Opcode::kTmi:
+      if (signed_a() < 0) {
+        ExecuteTransfer();
+      }
+      break;
+    case Opcode::kTpl:
+      if (signed_a() >= 0) {
+        ExecuteTransfer();
+      }
+      break;
+
+    case Opcode::kCall:
+      ExecuteCall();
+      break;
+    case Opcode::kRet:
+      ExecuteReturn();
+      break;
+
+    case Opcode::kMme:
+      RaiseServiceTrap(TrapCause::kMasterModeEntry, ins.offset);
+      break;
+    case Opcode::kSvc:
+      RaiseServiceTrap(TrapCause::kSupervisorService, ins.offset);
+      break;
+
+    case Opcode::kLdbr: {
+      // Privileged: load the DBR from the operand pair (base word and
+      // bound/stack word) and flush the descriptor cache.
+      Word w0 = 0;
+      Word w1 = 0;
+      if (!ReadOperand(&w0)) {
+        break;
+      }
+      ++tpr_.wordno;
+      if (!ReadOperand(&w1)) {
+        break;
+      }
+      DbrValue dbr;
+      dbr.base = ExtractBits(w0, 0, 40);
+      dbr.bound = static_cast<Segno>(ExtractBits(w1, 0, kSegnoBits));
+      dbr.stack_base = static_cast<Segno>(ExtractBits(w1, kSegnoBits, kSegnoBits));
+      SetDbr(dbr);
+      break;
+    }
+
+    case Opcode::kRett:
+      // Guest-code RETT is not used in this reproduction (trap handling is
+      // dispatched to the C++ supervisor, which resumes via Cpu::Rett);
+      // executing it in guest ring-0 code is an error.
+      RaiseTrap(TrapCause::kIllegalOpcode);
+      break;
+
+    case Opcode::kSio:
+      if (ReadOperand(&value)) {
+        if (sio_handler_) {
+          sio_handler_(ins.reg, value);
+        }
+      }
+      break;
+
+    case Opcode::kHlt:
+      RaiseServiceTrap(TrapCause::kHalt, 0);
+      break;
+
+    case Opcode::kNumOpcodes:
+      RaiseTrap(TrapCause::kIllegalOpcode);
+      break;
+  }
+}
+
+}  // namespace rings

@@ -1,0 +1,203 @@
+// The simulated processor. Implements the instruction cycle of the
+// paper's Figures 4-9: instruction fetch with execute-bracket validation,
+// effective-address formation with ring maximization over pointer
+// registers and indirect words, operand access validation, the advance
+// check for transfers, and the CALL/RETURN instructions that change the
+// ring of execution without supervisor intervention.
+#ifndef SRC_CPU_CPU_H_
+#define SRC_CPU_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/core/access.h"
+#include "src/core/transfer.h"
+#include "src/cpu/registers.h"
+#include "src/cpu/sdw_cache.h"
+#include "src/cpu/trap.h"
+#include "src/isa/indirect_word.h"
+#include "src/isa/instruction.h"
+#include "src/mem/descriptor_segment.h"
+#include "src/mem/physical_memory.h"
+#include "src/trace/counters.h"
+#include "src/trace/cycle_model.h"
+#include "src/trace/event_trace.h"
+
+namespace rings {
+
+// Which access-control hardware the processor is equipped with.
+//   kRingHardware: the paper's design — ring fields in SDWs, PRs and
+//     indirect words, effective-ring validation, CALL/RETURN crossing.
+//   kFlags645:     the Honeywell-645-style base used as the software-rings
+//     baseline — SDWs carry only R/W/E flags (ring fields ignored), there
+//     are no CALL/RETURN instructions, and rings must be built in software
+//     with one descriptor segment per ring and trap-based crossings
+//     (src/b645).
+enum class ProtectionMode {
+  kRingHardware,
+  kFlags645,
+};
+
+inline constexpr unsigned kMaxIndirectionDepth = 64;
+
+class Cpu {
+ public:
+  explicit Cpu(PhysicalMemory* memory, CycleModel cycle_model = CycleModel::Default());
+
+  RegisterFile& regs() { return regs_; }
+  const RegisterFile& regs() const { return regs_; }
+  // The TPR after the most recent effective-address calculation (internal
+  // register, exposed for tests and the supervisor's trap emulation).
+  const Tpr& tpr() const { return tpr_; }
+
+  ProtectionMode mode() const { return mode_; }
+  void set_mode(ProtectionMode mode) { mode_ = mode; }
+
+  // When false, all Figure 4-9 validations are skipped (used by the
+  // overhead-claim benchmark to measure what the checks cost).
+  bool checks_enabled() const { return checks_enabled_; }
+  void set_checks_enabled(bool enabled) { checks_enabled_ = enabled; }
+
+  SdwCache& sdw_cache() { return sdw_cache_; }
+
+  // Executes one instruction. No-op while a trap is pending. Returns true
+  // if an instruction was retired, false if the processor is frozen on a
+  // trap.
+  bool Step();
+
+  bool trap_pending() const { return trap_pending_; }
+  const TrapState& trap_state() const { return trap_state_; }
+
+  // Supervisor interface ------------------------------------------------
+
+  // Acknowledges the pending trap without resuming (the machine is about
+  // to dispatch it). The state stays available for Rett.
+  TrapState TakeTrap();
+
+  // The RETT operation: restores processor state (possibly edited by the
+  // supervisor) and resumes. Charges the RETT cycle cost and flushes the
+  // descriptor cache if the DBR changed.
+  void Rett(const RegisterFile& state);
+
+  // Loads a new DBR (process switch) and flushes the descriptor cache.
+  void SetDbr(const DbrValue& dbr);
+
+  // Must be called whenever supervisor code edits an SDW that this
+  // processor may have cached.
+  void InvalidateSdw(Segno segno) { sdw_cache_.Invalidate(segno); }
+  void FlushSdwCache() { sdw_cache_.Flush(); }
+
+  // Injects an asynchronous trap (timer runout, I/O completion) that will
+  // be taken before the next instruction. The saved state resumes exactly
+  // where execution stopped.
+  void InjectTrap(TrapCause cause, int64_t code = 0);
+
+  // Scheduling quantum: when enabled, decremented once per instruction;
+  // reaching zero raises kTimerRunout.
+  void SetTimer(int64_t instructions) {
+    timer_ = instructions;
+    timer_enabled_ = instructions > 0;
+  }
+  int64_t timer() const { return timer_; }
+
+  // Privileged SIO instructions are routed here (device = reg field,
+  // operand = the IOCB word read from memory).
+  void set_sio_handler(std::function<void(uint8_t, Word)> handler) {
+    sio_handler_ = std::move(handler);
+  }
+
+  // Accounting -----------------------------------------------------------
+
+  uint64_t cycles() const { return cycles_; }
+  void ChargeCycles(uint64_t cycles) { cycles_ += cycles; }
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  const CycleModel& cycle_model() const { return cycle_model_; }
+
+  void set_trace(EventTrace* trace) { trace_ = trace; }
+
+  // Descriptor-segment access for the supervisor (bypasses the cache).
+  std::optional<Sdw> ReadSdw(Segno segno) const;
+
+  // Virtual-memory helpers used by the supervisor's C++ services when it
+  // references guest memory on behalf of a process; validation is applied
+  // with the supplied effective ring so supervisor services can "assume
+  // the access capabilities of a higher numbered ring" exactly as the
+  // hardware would. Returns the trap cause on denial without freezing the
+  // processor.
+  TrapCause SupervisorRead(Segno segno, Wordno wordno, Ring effective_ring, Word* out);
+  TrapCause SupervisorWrite(Segno segno, Wordno wordno, Ring effective_ring, Word value);
+  // Unvalidated (ring-0) variants: the supervisor touching its own or any
+  // segment's words through the current virtual memory.
+  TrapCause SupervisorReadRaw(Segno segno, Wordno wordno, Word* out);
+  TrapCause SupervisorWriteRaw(Segno segno, Wordno wordno, Word value);
+
+ private:
+  // --- instruction-cycle phases (see cpu.cc for figure mapping) ---
+  bool FetchInstruction(Instruction* ins);
+  bool FormEffectiveAddress(const Instruction& ins);
+  void Execute(const Instruction& ins);
+
+  // SDW fetch with descriptor cache and missing-segment trap.
+  bool FetchSdw(Segno segno, Sdw* out);
+  // Bounds check against an SDW; raises kBoundsViolation.
+  bool CheckBounds(const Sdw& sdw, Wordno wordno);
+
+  // Final address resolution, including the page-table walk for paged
+  // segments. Returns kNone or kMissingPage; does not raise a trap (some
+  // callers report instead). Charges the PTW fetch.
+  TrapCause ResolveAddress(const Sdw& sdw, Segno segno, Wordno wordno, AbsAddr* out);
+  // Trap-raising wrapper used on the instruction-cycle paths.
+  bool ResolveOrFault(const Sdw& sdw, Segno segno, Wordno wordno, AbsAddr* out);
+
+  // Operand access paths (Figure 6).
+  bool ReadOperand(Word* out);
+  bool WriteOperand(Word value);
+
+  // CALL / RETURN (Figures 8 and 9).
+  void ExecuteCall();
+  void ExecuteReturn();
+  // Transfer instructions other than CALL/RETURN (Figure 7).
+  void ExecuteTransfer();
+
+  // Raises a trap with the state captured at instruction fetch (the
+  // disrupted instruction can be resumed).
+  void RaiseTrap(TrapCause cause, int64_t code = 0);
+  // Raises a service trap whose saved IPR addresses the next instruction.
+  void RaiseServiceTrap(TrapCause cause, int64_t code);
+
+  // The effective validation ring under the current protection mode: ring
+  // hardware validates against the given ring; the 645 base has no ring
+  // fields, so everything validates as ring 0 (flags only).
+  Ring EffectiveRing(Ring ring) const {
+    return mode_ == ProtectionMode::kRingHardware ? ring : 0;
+  }
+
+  PhysicalMemory* memory_;
+  CycleModel cycle_model_;
+  ProtectionMode mode_ = ProtectionMode::kRingHardware;
+  bool checks_enabled_ = true;
+
+  RegisterFile regs_;
+  Tpr tpr_{};
+  Instruction current_ins_{};
+  RegisterFile state_at_fetch_{};
+
+  bool trap_pending_ = false;
+  TrapState trap_state_{};
+  SegAddr pending_fault_addr_{};
+
+  bool timer_enabled_ = false;
+  int64_t timer_ = 0;
+
+  SdwCache sdw_cache_;
+  uint64_t cycles_ = 0;
+  Counters counters_;
+  EventTrace* trace_ = nullptr;
+  std::function<void(uint8_t, Word)> sio_handler_;
+};
+
+}  // namespace rings
+
+#endif  // SRC_CPU_CPU_H_

@@ -1,0 +1,21 @@
+#include "src/cpu/registers.h"
+
+#include "src/base/strings.h"
+
+namespace rings {
+
+std::string PointerRegister::ToString() const {
+  return StrFormat("%u|%u|%u", ring, segno, wordno);
+}
+
+std::string RegisterFile::ToString() const {
+  std::string out = StrFormat("ipr=%s a=%llu q=%llu", ipr.ToString().c_str(),
+                              static_cast<unsigned long long>(a),
+                              static_cast<unsigned long long>(q));
+  for (unsigned i = 0; i < kNumPointerRegisters; ++i) {
+    out += StrFormat(" pr%u=%s", i, pr[i].ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace rings

@@ -1,0 +1,65 @@
+// Processor registers (Figure 3): the instruction pointer register (IPR)
+// carrying the current ring of execution, the program-accessible pointer
+// registers PR0..PR7 each carrying a ring number, index registers, the
+// accumulator pair, the descriptor base register, and the internal
+// temporary pointer register (TPR) used to form the effective address of
+// every reference.
+#ifndef SRC_CPU_REGISTERS_H_
+#define SRC_CPU_REGISTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/core/ring.h"
+#include "src/mem/descriptor_segment.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+inline constexpr unsigned kNumPointerRegisters = 8;
+inline constexpr unsigned kNumIndexRegisters = 8;
+
+// Software conventions for pointer-register roles. PR0 is loaded by the
+// CALL instruction with the new stack base ("CALL generates in PR0 a
+// pointer to word 0 of the stack segment for the new ring of execution");
+// PR7 is loaded by CALL with the return point (see DESIGN.md — an
+// extension consistent with the paper's PR-ring security argument). PR1 is
+// the argument pointer "PRa" of the Call and Return Revisited section and
+// PR6 the stack pointer, both by software convention.
+inline constexpr uint8_t kPrStackBase = 0;  // "sb"
+inline constexpr uint8_t kPrArgs = 1;       // "ap" / the paper's PRa
+inline constexpr uint8_t kPrStack = 6;      // "sp"
+inline constexpr uint8_t kPrReturn = 7;     // "rp"
+
+struct PointerRegister {
+  Ring ring = 0;
+  Segno segno = 0;
+  Wordno wordno = 0;
+
+  bool operator==(const PointerRegister&) const = default;
+  std::string ToString() const;
+};
+
+// The IPR has the same shape as a pointer register: ring of execution plus
+// the two-part address of the next instruction.
+using Ipr = PointerRegister;
+// The TPR is internal and not program accessible; its ring field is the
+// effective (validation) ring of the current operand reference.
+using Tpr = PointerRegister;
+
+struct RegisterFile {
+  Word a = 0;
+  Word q = 0;
+  std::array<uint32_t, kNumIndexRegisters> x{};  // 18-bit index registers
+  std::array<PointerRegister, kNumPointerRegisters> pr{};
+  Ipr ipr{};
+  DbrValue dbr{};
+
+  bool operator==(const RegisterFile&) const = default;
+  std::string ToString() const;
+};
+
+}  // namespace rings
+
+#endif  // SRC_CPU_REGISTERS_H_

@@ -1,0 +1,39 @@
+#include "src/cpu/sdw_cache.h"
+
+namespace rings {
+
+std::optional<Sdw> SdwCache::Lookup(Segno segno) const {
+  if (!enabled_) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const Entry& e = entries_[segno % kEntries];
+  if (e.valid && e.segno == segno) {
+    ++hits_;
+    return e.sdw;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void SdwCache::Insert(Segno segno, const Sdw& sdw) {
+  if (!enabled_) {
+    return;
+  }
+  entries_[segno % kEntries] = Entry{true, segno, sdw};
+}
+
+void SdwCache::Invalidate(Segno segno) {
+  Entry& e = entries_[segno % kEntries];
+  if (e.valid && e.segno == segno) {
+    e.valid = false;
+  }
+}
+
+void SdwCache::Flush() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace rings

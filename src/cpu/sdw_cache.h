@@ -1,0 +1,51 @@
+// A small direct-mapped descriptor cache. The 645-era hardware kept
+// recently used SDWs in fast associative registers so that address
+// translation did not walk the descriptor segment on every reference; the
+// cycle model charges a descriptor fetch only on a miss. The cache must be
+// flushed whenever the DBR changes or the supervisor edits an SDW.
+#ifndef SRC_CPU_SDW_CACHE_H_
+#define SRC_CPU_SDW_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/mem/sdw.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+class SdwCache {
+ public:
+  static constexpr size_t kEntries = 16;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    Flush();
+  }
+
+  std::optional<Sdw> Lookup(Segno segno) const;
+  void Insert(Segno segno, const Sdw& sdw);
+  void Invalidate(Segno segno);
+  void Flush();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    Segno segno = 0;
+    Sdw sdw;
+  };
+
+  bool enabled_ = true;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+  std::array<Entry, kEntries> entries_{};
+};
+
+}  // namespace rings
+
+#endif  // SRC_CPU_SDW_CACHE_H_

@@ -1,0 +1,45 @@
+// Trap state. "When the processor detects such a condition, it changes the
+// ring of execution to zero and transfers control to a fixed location in
+// the supervisor. A special instruction allows the state of the processor
+// at the time of the trap to be restored later if appropriate, resuming
+// the disrupted instruction."
+//
+// In this reproduction the supervisor bodies are C++ (see DESIGN.md), so a
+// trap freezes the simulated processor with the saved state below; the
+// machine dispatches it to the supervisor, which may edit the state and
+// resume via Cpu::Rett.
+#ifndef SRC_CPU_TRAP_H_
+#define SRC_CPU_TRAP_H_
+
+#include <cstdint>
+
+#include "src/core/trap_cause.h"
+#include "src/cpu/registers.h"
+#include "src/isa/instruction.h"
+
+namespace rings {
+
+struct TrapState {
+  TrapCause cause = TrapCause::kNone;
+  // Processor state to restore on RETT. For access violations and faults
+  // the IPR addresses the disrupted instruction (so it can be resumed);
+  // for service traps (MME/SVC/HLT) the IPR addresses the next
+  // instruction.
+  RegisterFile regs;
+  // The effective address being formed when the trap occurred (TPR),
+  // including the effective ring — the supervisor's upward-call emulation
+  // reads the call target from here.
+  Tpr tpr;
+  // The instruction that trapped (undefined for asynchronous causes).
+  Instruction instruction;
+  // Service code: the offset field of MME / SVC, the device number for I/O
+  // completion.
+  int64_t code = 0;
+  // For memory faults (missing page): the two-part address that faulted,
+  // so the supervisor can repair and resume the disrupted instruction.
+  SegAddr fault_addr{};
+};
+
+}  // namespace rings
+
+#endif  // SRC_CPU_TRAP_H_

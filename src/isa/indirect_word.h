@@ -1,0 +1,45 @@
+// Indirect words (the IND of Figure 3). "Indirect words contain the same
+// information as PR's, and may also indicate further indirection with an
+// indirect flag." The ring number in an indirect word forces validation of
+// the eventual operand reference relative to a higher numbered ring — this
+// is half of the automatic argument-validation mechanism.
+//
+// Word layout (64 bits):
+//   bits 62..60  RING
+//   bit  59      I (further indirection)
+//   bit  58      F (fault tag: an unsnapped dynamic link — encountering it
+//                in effective-address formation traps to the supervisor,
+//                which resolves the symbolic reference, overwrites the
+//                word with a snapped pointer, and resumes the disrupted
+//                instruction; see src/sup/supervisor.cc)
+//   bits 47..33  SEGNO  (for a faulted link: the segment owning the word)
+//   bits 17..0   WORDNO (for a faulted link: the link-table index)
+#ifndef SRC_ISA_INDIRECT_WORD_H_
+#define SRC_ISA_INDIRECT_WORD_H_
+
+#include <string>
+
+#include "src/core/ring.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+struct IndirectWord {
+  Ring ring = 0;
+  bool indirect = false;
+  Segno segno = 0;
+  Wordno wordno = 0;
+  // Unsnapped link (kept last so four-field aggregate initialization of
+  // ordinary pointers stays valid).
+  bool fault = false;
+
+  bool operator==(const IndirectWord&) const = default;
+  std::string ToString() const;  // "ring|segno|wordno[,*][,F]"
+};
+
+Word EncodeIndirectWord(const IndirectWord& iw);
+IndirectWord DecodeIndirectWord(Word word);
+
+}  // namespace rings
+
+#endif  // SRC_ISA_INDIRECT_WORD_H_

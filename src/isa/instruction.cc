@@ -1,0 +1,109 @@
+#include "src/isa/instruction.h"
+
+#include "src/base/bitfield.h"
+#include "src/base/strings.h"
+
+namespace rings {
+
+namespace {
+
+constexpr unsigned kOpcodeShift = 56;
+constexpr unsigned kOpcodeWidth = 8;
+constexpr unsigned kIndirectShift = 55;
+constexpr unsigned kPrRelShift = 54;
+constexpr unsigned kPrnumShift = 51;
+constexpr unsigned kRegShift = 48;
+constexpr unsigned kTagShift = 45;
+constexpr unsigned kFieldWidth3 = 3;
+constexpr unsigned kOffsetShift = 0;
+constexpr unsigned kOffsetWidth = 18;
+
+}  // namespace
+
+std::string Instruction::ToString() const {
+  const OpcodeInfo& info = GetOpcodeInfo(opcode);
+  std::string out(info.mnemonic);
+  if (info.uses_reg) {
+    // Render the register operand in assembler syntax: a pointer register
+    // for the EAP-type pair, a bare device number for SIO, an index
+    // register otherwise.
+    if (opcode == Opcode::kEpp || opcode == Opcode::kSpp) {
+      out += StrFormat(" pr%u,", reg);
+    } else if (opcode == Opcode::kSio) {
+      out += StrFormat(" %u,", reg);
+    } else {
+      out += StrFormat(" x%u,", reg);
+    }
+  }
+  if (info.operand != OperandKind::kNone) {
+    if (pr_relative) {
+      out += StrFormat(" pr%u|%d", prnum, offset);
+    } else {
+      out += StrFormat(" %d", offset);
+    }
+    if (tag != 0) {
+      out += StrFormat(",x%u", tag);
+    }
+    if (indirect) {
+      out += ",*";
+    }
+  }
+  return out;
+}
+
+Word EncodeInstruction(const Instruction& ins) {
+  Word w = 0;
+  w = DepositBits(w, kOpcodeShift, kOpcodeWidth, static_cast<uint64_t>(ins.opcode));
+  w = DepositBits(w, kIndirectShift, 1, ins.indirect ? 1 : 0);
+  w = DepositBits(w, kPrRelShift, 1, ins.pr_relative ? 1 : 0);
+  w = DepositBits(w, kPrnumShift, kFieldWidth3, ins.prnum);
+  w = DepositBits(w, kRegShift, kFieldWidth3, ins.reg);
+  w = DepositBits(w, kTagShift, kFieldWidth3, ins.tag);
+  w = DepositBits(w, kOffsetShift, kOffsetWidth, EncodeSigned(ins.offset, kOffsetWidth));
+  return w;
+}
+
+bool DecodeInstruction(Word word, Instruction* ins) {
+  const uint64_t raw_opcode = ExtractBits(word, kOpcodeShift, kOpcodeWidth);
+  if (!IsValidOpcode(raw_opcode)) {
+    return false;
+  }
+  ins->opcode = static_cast<Opcode>(raw_opcode);
+  ins->indirect = ExtractBits(word, kIndirectShift, 1) != 0;
+  ins->pr_relative = ExtractBits(word, kPrRelShift, 1) != 0;
+  ins->prnum = static_cast<uint8_t>(ExtractBits(word, kPrnumShift, kFieldWidth3));
+  ins->reg = static_cast<uint8_t>(ExtractBits(word, kRegShift, kFieldWidth3));
+  ins->tag = static_cast<uint8_t>(ExtractBits(word, kTagShift, kFieldWidth3));
+  ins->offset =
+      static_cast<int32_t>(SignExtend(ExtractBits(word, kOffsetShift, kOffsetWidth), kOffsetWidth));
+  return true;
+}
+
+Instruction MakeIns(Opcode op, int32_t offset) {
+  Instruction ins;
+  ins.opcode = op;
+  ins.offset = offset;
+  return ins;
+}
+
+Instruction MakeInsReg(Opcode op, uint8_t reg, int32_t offset) {
+  Instruction ins = MakeIns(op, offset);
+  ins.reg = reg;
+  return ins;
+}
+
+Instruction MakeInsPr(Opcode op, uint8_t prnum, int32_t offset, bool indirect) {
+  Instruction ins = MakeIns(op, offset);
+  ins.pr_relative = true;
+  ins.prnum = prnum;
+  ins.indirect = indirect;
+  return ins;
+}
+
+Instruction MakeInsPrReg(Opcode op, uint8_t prnum, uint8_t reg, int32_t offset, bool indirect) {
+  Instruction ins = MakeInsPr(op, prnum, offset, indirect);
+  ins.reg = reg;
+  return ins;
+}
+
+}  // namespace rings

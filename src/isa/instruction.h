@@ -1,0 +1,55 @@
+// Instruction word format (the INS of Figure 3). "Machine instructions
+// specify two-part operand addresses by giving an offset (in INST.OFFSET)
+// relative to one of the PR's (specified by INST.PRNUM) or IPR. Indirect
+// addressing may be specified ... by setting the indirect flag (INST.I)."
+//
+// Word layout (64 bits):
+//   bits 63..56  opcode
+//   bit  55      I    (indirect)
+//   bit  54      P    (PR-relative: base is PR[prnum]; otherwise IPR's segment)
+//   bits 53..51  prnum
+//   bits 50..48  reg  (X or PR register named by reg-using opcodes)
+//   bits 47..45  tag  (index register: X[tag] added to offset when tag != 0)
+//   bits 17..0   offset (two's complement)
+#ifndef SRC_ISA_INSTRUCTION_H_
+#define SRC_ISA_INSTRUCTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/opcode.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  bool indirect = false;     // INST.I
+  bool pr_relative = false;  // INST.P (paper: presence of a PRNUM base)
+  uint8_t prnum = 0;         // INST.PRNUM
+  uint8_t reg = 0;           // destination/source register for reg-using ops
+  uint8_t tag = 0;           // index register (0 = no indexing)
+  int32_t offset = 0;        // INST.OFFSET, signed 18-bit
+
+  bool operator==(const Instruction&) const = default;
+  std::string ToString() const;
+};
+
+Word EncodeInstruction(const Instruction& ins);
+
+// Decodes a word. Returns false (leaving *ins unspecified) when the opcode
+// field does not name a valid instruction — the processor raises an
+// illegal-opcode trap in that case.
+bool DecodeInstruction(Word word, Instruction* ins);
+
+// Convenience builders used by tests and by hand-assembled supervisor
+// stubs.
+Instruction MakeIns(Opcode op, int32_t offset = 0);
+Instruction MakeInsReg(Opcode op, uint8_t reg, int32_t offset = 0);
+Instruction MakeInsPr(Opcode op, uint8_t prnum, int32_t offset = 0, bool indirect = false);
+Instruction MakeInsPrReg(Opcode op, uint8_t prnum, uint8_t reg, int32_t offset = 0,
+                         bool indirect = false);
+
+}  // namespace rings
+
+#endif  // SRC_ISA_INSTRUCTION_H_

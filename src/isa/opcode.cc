@@ -1,0 +1,78 @@
+#include "src/isa/opcode.h"
+
+#include <array>
+
+#include "src/base/strings.h"
+#include "src/core/ring.h"
+
+namespace rings {
+
+namespace {
+
+constexpr size_t kCount = static_cast<size_t>(Opcode::kNumOpcodes);
+
+constexpr std::array<OpcodeInfo, kCount> BuildTable() {
+  std::array<OpcodeInfo, kCount> t{};
+  auto set = [&t](Opcode op, std::string_view mnemonic, OperandKind kind, uint8_t max_ring,
+                  bool uses_reg = false) {
+    t[static_cast<size_t>(op)] = OpcodeInfo{mnemonic, kind, max_ring, uses_reg};
+  };
+  set(Opcode::kNop, "nop", OperandKind::kNone, kMaxRing);
+  set(Opcode::kLda, "lda", OperandKind::kRead, kMaxRing);
+  set(Opcode::kLdq, "ldq", OperandKind::kRead, kMaxRing);
+  set(Opcode::kLdx, "ldx", OperandKind::kRead, kMaxRing, true);
+  set(Opcode::kSta, "sta", OperandKind::kWrite, kMaxRing);
+  set(Opcode::kStq, "stq", OperandKind::kWrite, kMaxRing);
+  set(Opcode::kStx, "stx", OperandKind::kWrite, kMaxRing, true);
+  set(Opcode::kStz, "stz", OperandKind::kWrite, kMaxRing);
+  set(Opcode::kLdai, "ldai", OperandKind::kImmediate, kMaxRing);
+  set(Opcode::kLdqi, "ldqi", OperandKind::kImmediate, kMaxRing);
+  set(Opcode::kLdxi, "ldxi", OperandKind::kImmediate, kMaxRing, true);
+  set(Opcode::kAdai, "adai", OperandKind::kImmediate, kMaxRing);
+  set(Opcode::kAda, "ada", OperandKind::kRead, kMaxRing);
+  set(Opcode::kSba, "sba", OperandKind::kRead, kMaxRing);
+  set(Opcode::kMpy, "mpy", OperandKind::kRead, kMaxRing);
+  set(Opcode::kAna, "ana", OperandKind::kRead, kMaxRing);
+  set(Opcode::kOra, "ora", OperandKind::kRead, kMaxRing);
+  set(Opcode::kEra, "era", OperandKind::kRead, kMaxRing);
+  set(Opcode::kAls, "als", OperandKind::kImmediate, kMaxRing);
+  set(Opcode::kArs, "ars", OperandKind::kImmediate, kMaxRing);
+  set(Opcode::kNega, "nega", OperandKind::kNone, kMaxRing);
+  set(Opcode::kXaq, "xaq", OperandKind::kNone, kMaxRing);
+  set(Opcode::kAos, "aos", OperandKind::kReadWrite, kMaxRing);
+  set(Opcode::kEpp, "epp", OperandKind::kEaOnly, kMaxRing, true);
+  set(Opcode::kSpp, "spp", OperandKind::kWrite, kMaxRing, true);
+  set(Opcode::kTra, "tra", OperandKind::kTransfer, kMaxRing);
+  set(Opcode::kTze, "tze", OperandKind::kTransfer, kMaxRing);
+  set(Opcode::kTnz, "tnz", OperandKind::kTransfer, kMaxRing);
+  set(Opcode::kTmi, "tmi", OperandKind::kTransfer, kMaxRing);
+  set(Opcode::kTpl, "tpl", OperandKind::kTransfer, kMaxRing);
+  set(Opcode::kCall, "call", OperandKind::kCall, kMaxRing);
+  set(Opcode::kRet, "ret", OperandKind::kReturn, kMaxRing);
+  set(Opcode::kMme, "mme", OperandKind::kImmediate, kMaxRing);
+  set(Opcode::kSvc, "svc", OperandKind::kImmediate, kSupervisorOuter);
+  set(Opcode::kLdbr, "ldbr", OperandKind::kRead, kSupervisorCore);
+  set(Opcode::kRett, "rett", OperandKind::kNone, kSupervisorCore);
+  set(Opcode::kSio, "sio", OperandKind::kRead, kSupervisorCore, true);
+  set(Opcode::kHlt, "hlt", OperandKind::kNone, kSupervisorCore);
+  return t;
+}
+
+constexpr std::array<OpcodeInfo, kCount> kTable = BuildTable();
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) { return kTable[static_cast<size_t>(op)]; }
+
+std::optional<Opcode> OpcodeFromMnemonic(std::string_view mnemonic) {
+  for (size_t i = 0; i < kCount; ++i) {
+    if (EqualsIgnoreCase(kTable[i].mnemonic, mnemonic)) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsValidOpcode(uint64_t raw) { return raw < kCount; }
+
+}  // namespace rings

@@ -1,0 +1,124 @@
+// The instruction set of the simulated processor. The paper specifies only
+// the access-control-relevant behaviour (EAP-type instructions, transfer
+// instructions, CALL, RETURN, privileged instructions, and the read/write
+// operand classes of Figure 6); the rest is a small Multics-flavoured
+// word-machine ISA sufficient to write the supervisor gates, examples, and
+// benchmark workloads.
+#ifndef SRC_ISA_OPCODE_H_
+#define SRC_ISA_OPCODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rings {
+
+enum class Opcode : uint8_t {
+  kNop = 0,
+
+  // Loads (read their operand; Figure 6 read validation).
+  kLda,   // A <- C(ea)
+  kLdq,   // Q <- C(ea)
+  kLdx,   // X[reg] <- C(ea) (low 18 bits)
+
+  // Stores (write their operand; Figure 6 write validation).
+  kSta,   // C(ea) <- A
+  kStq,   // C(ea) <- Q
+  kStx,   // C(ea) <- X[reg]
+  kStz,   // C(ea) <- 0
+
+  // Immediate forms (no memory operand; the offset field is the literal).
+  kLdai,  // A <- sext(offset)
+  kLdqi,  // Q <- sext(offset)
+  kLdxi,  // X[reg] <- offset
+  kAdai,  // A <- A + sext(offset)
+
+  // Arithmetic / logic on A with a memory operand (read validation).
+  kAda,   // A <- A + C(ea)
+  kSba,   // A <- A - C(ea)
+  kMpy,   // A <- A * C(ea)
+  kAna,   // A <- A & C(ea)
+  kOra,   // A <- A | C(ea)
+  kEra,   // A <- A ^ C(ea)
+
+  // Register-only operations (no memory operand).
+  kAls,   // A <- A << offset (logical)
+  kArs,   // A <- A >> offset (logical)
+  kNega,  // A <- -A
+  kXaq,   // exchange A and Q
+
+  // Read-modify-write (both validations).
+  kAos,   // C(ea) <- C(ea) + 1
+
+  // EAP-type instructions (Figure 7): load a pointer register from the
+  // effective address; "the operand is not referenced, so no access
+  // validation is required. Instructions of this type are important ...
+  // for they are the only way to load PR's."
+  kEpp,   // PR[reg] <- TPR (ring, segno, wordno)
+
+  // Stores a pointer register as an indirect word (write validation; the
+  // ring field written is PR[reg].RING, preserving argument-chain safety).
+  kSpp,   // C(ea) <- indirect-word(PR[reg])
+
+  // Transfer instructions other than CALL/RETURN (Figure 7 advance check;
+  // cannot change the ring of execution).
+  kTra,   // IC <- ea
+  kTze,   // if A == 0
+  kTnz,   // if A != 0
+  kTmi,   // if A < 0
+  kTpl,   // if A >= 0
+
+  // The ring-crossing pair (Figures 8 and 9).
+  kCall,
+  kRet,
+
+  // Explicit trap to the supervisor ("master mode entry"; the 645-style
+  // software-rings baseline performs every ring crossing through this).
+  kMme,
+
+  // Supervisor service dispatch: the bodies of supervisor services are
+  // C++ in this reproduction (see DESIGN.md); gate segments contain real
+  // guest code `SVC n; RET` so the hardware CALL/RETURN path is always
+  // exercised. Executable in rings 0 and 1 only.
+  kSvc,
+
+  // Privileged instructions: "Such instructions are designated as
+  // privileged and will be executed by the processor only in ring 0."
+  kLdbr,  // load descriptor base register from operand pair
+  kRett,  // restore processor state after a trap
+  kSio,   // start an I/O channel operation
+  kHlt,   // stop the processor
+
+  kNumOpcodes,
+};
+
+// How an instruction treats its operand; drives which Figure 4-7 checks
+// the processor applies.
+enum class OperandKind : uint8_t {
+  kNone,       // no effective-address calculation at all
+  kImmediate,  // offset is a literal; no memory reference
+  kRead,       // reads C(ea)            (Figure 6)
+  kWrite,      // writes C(ea)           (Figure 6)
+  kReadWrite,  // reads and writes C(ea) (Figure 6, both checks)
+  kEaOnly,     // EAP-type: ea computed, operand not referenced (Figure 7)
+  kTransfer,   // transfer advance check (Figure 7)
+  kCall,       // Figure 8
+  kReturn,     // Figure 9
+};
+
+// Minimum privilege required: the highest ring allowed to execute the
+// opcode. kMaxRing means unprivileged.
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  OperandKind operand;
+  uint8_t max_ring;        // executing above this ring traps
+  bool uses_reg = false;   // the reg field selects an X or PR register
+};
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op);
+std::optional<Opcode> OpcodeFromMnemonic(std::string_view mnemonic);
+bool IsValidOpcode(uint64_t raw);
+
+}  // namespace rings
+
+#endif  // SRC_ISA_OPCODE_H_

@@ -1,0 +1,545 @@
+#include "src/kasm/assembler.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "src/base/bitfield.h"
+#include "src/base/strings.h"
+#include "src/isa/indirect_word.h"
+#include "src/isa/instruction.h"
+
+namespace rings {
+
+namespace {
+
+constexpr unsigned kOffsetWidth = 18;
+
+struct ParsedLine {
+  int line_no = 0;
+  std::string label;
+  std::string mnemonic;  // directive (with leading '.') or opcode
+  std::string rest;      // raw operand text
+};
+
+struct AsmContext {
+  Program program;
+  AssembledSegment* current = nullptr;
+  std::map<std::string, int64_t> equs;
+  AssembleError error;
+  bool failed = false;
+
+  bool Fail(int line, std::string message) {
+    if (!failed) {
+      failed = true;
+      error = AssembleError{line, std::move(message)};
+    }
+    return false;
+  }
+};
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty() || (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')) {
+    return false;
+  }
+  for (const char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseNumber(std::string_view s, int64_t* out) {
+  s = StripWhitespace(s);
+  if (s.empty()) {
+    return false;
+  }
+  bool negative = false;
+  if (s[0] == '-') {
+    negative = true;
+    s.remove_prefix(1);
+  }
+  if (s.empty()) {
+    return false;
+  }
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  int64_t value = 0;
+  for (const char c : s) {
+    int digit;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = c - '0';
+    } else if (base == 16 && std::isxdigit(static_cast<unsigned char>(c))) {
+      digit = 10 + (std::tolower(static_cast<unsigned char>(c)) - 'a');
+    } else {
+      return false;
+    }
+    value = value * base + digit;
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+// Strips comments, extracts an optional label, and splits mnemonic/rest.
+bool ParseLine(std::string_view raw, int line_no, ParsedLine* out) {
+  const size_t comment = raw.find_first_of(";#");
+  if (comment != std::string_view::npos) {
+    raw = raw.substr(0, comment);
+  }
+  std::string_view text = StripWhitespace(raw);
+  if (text.empty()) {
+    return false;
+  }
+  out->line_no = line_no;
+
+  const size_t colon = text.find(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view label = StripWhitespace(text.substr(0, colon));
+    if (IsIdentifier(label)) {
+      out->label = std::string(label);
+      text = StripWhitespace(text.substr(colon + 1));
+    }
+  }
+  if (text.empty()) {
+    return true;  // label-only line
+  }
+  const size_t space = text.find_first_of(" \t");
+  if (space == std::string_view::npos) {
+    out->mnemonic = ToLower(text);
+  } else {
+    out->mnemonic = ToLower(text.substr(0, space));
+    out->rest = std::string(StripWhitespace(text.substr(space + 1)));
+  }
+  return true;
+}
+
+// Evaluates an expression against the equ table and the symbols of `seg`.
+bool EvalExpr(const AsmContext& ctx, const AssembledSegment* seg, std::string_view expr,
+              int64_t* out) {
+  expr = StripWhitespace(expr);
+  if (expr.empty()) {
+    return false;
+  }
+  if (ParseNumber(expr, out)) {
+    return true;
+  }
+  // name, name+literal, name-literal
+  size_t split = expr.find_first_of("+-", 1);
+  std::string_view name = expr;
+  int64_t addend = 0;
+  if (split != std::string_view::npos) {
+    name = StripWhitespace(expr.substr(0, split));
+    int64_t rhs;
+    if (!ParseNumber(expr.substr(split + 1), &rhs)) {
+      return false;
+    }
+    addend = expr[split] == '+' ? rhs : -rhs;
+  }
+  const std::string key(name);
+  if (const auto it = ctx.equs.find(key); it != ctx.equs.end()) {
+    *out = it->second + addend;
+    return true;
+  }
+  if (seg != nullptr) {
+    if (const auto sym = seg->Symbol(key); sym.has_value()) {
+      *out = static_cast<int64_t>(*sym) + addend;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Parses "xN" / "prN"; returns register number or nullopt.
+std::optional<uint8_t> ParseRegister(std::string_view text, std::string_view prefix) {
+  text = StripWhitespace(text);
+  if (text.size() != prefix.size() + 1 || !EqualsIgnoreCase(text.substr(0, prefix.size()), prefix)) {
+    return std::nullopt;
+  }
+  const char digit = text[prefix.size()];
+  if (digit < '0' || digit > '7') {
+    return std::nullopt;
+  }
+  return static_cast<uint8_t>(digit - '0');
+}
+
+// Splits operand text on commas, respecting no nesting (the language has
+// none), and trims each piece.
+std::vector<std::string> SplitOperands(std::string_view rest) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= rest.size()) {
+    const size_t comma = rest.find(',', start);
+    const std::string_view piece = comma == std::string_view::npos
+                                       ? rest.substr(start)
+                                       : rest.substr(start, comma - start);
+    const std::string_view trimmed = StripWhitespace(piece);
+    if (!trimmed.empty()) {
+      out.emplace_back(trimmed);
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+// Counts the words a line will emit (pass 1).
+bool SizeOfLine(AsmContext& ctx, const ParsedLine& line, uint64_t* words) {
+  *words = 0;
+  if (line.mnemonic.empty()) {
+    return true;
+  }
+  if (line.mnemonic[0] == '.') {
+    if (line.mnemonic == ".segment" || line.mnemonic == ".gates" || line.mnemonic == ".equ" ||
+        line.mnemonic == ".reserve") {
+      return true;
+    }
+    if (line.mnemonic == ".word" || line.mnemonic == ".its" || line.mnemonic == ".link") {
+      *words = 1;
+      return true;
+    }
+    if (line.mnemonic == ".string") {
+      // One word per character of the operand text (leading/trailing
+      // whitespace already stripped by the line parser).
+      *words = line.rest.size();
+      return *words > 0 || ctx.Fail(line.line_no, ".string requires text");
+    }
+    if (line.mnemonic == ".block") {
+      int64_t n;
+      if (!ParseNumber(line.rest, &n) || n < 0) {
+        return ctx.Fail(line.line_no, ".block requires a nonnegative literal count");
+      }
+      *words = static_cast<uint64_t>(n);
+      return true;
+    }
+    return ctx.Fail(line.line_no, "unknown directive: " + line.mnemonic);
+  }
+  if (!OpcodeFromMnemonic(line.mnemonic).has_value()) {
+    return ctx.Fail(line.line_no, "unknown opcode: " + line.mnemonic);
+  }
+  *words = 1;
+  return true;
+}
+
+bool AssembleInstruction(AsmContext& ctx, const ParsedLine& line, Instruction* ins) {
+  const auto opcode = OpcodeFromMnemonic(line.mnemonic);
+  *ins = Instruction{};
+  ins->opcode = *opcode;
+  const OpcodeInfo& info = GetOpcodeInfo(*opcode);
+
+  std::vector<std::string> pieces = SplitOperands(line.rest);
+  size_t next = 0;
+
+  if (info.uses_reg) {
+    if (next >= pieces.size()) {
+      return ctx.Fail(line.line_no, line.mnemonic + " requires a register operand");
+    }
+    const std::string& spec = pieces[next++];
+    std::optional<uint8_t> reg = ParseRegister(spec, "x");
+    if (!reg.has_value()) {
+      reg = ParseRegister(spec, "pr");
+    }
+    if (!reg.has_value()) {
+      int64_t literal;
+      if (ParseNumber(spec, &literal) && literal >= 0 && literal <= 7) {
+        reg = static_cast<uint8_t>(literal);
+      }
+    }
+    if (!reg.has_value()) {
+      return ctx.Fail(line.line_no, "bad register operand: " + spec);
+    }
+    ins->reg = *reg;
+  }
+
+  // Trailing modifier pieces: ",xN" index tag and ",*" indirect.
+  while (!pieces.empty() && pieces.size() > next) {
+    const std::string& last = pieces.back();
+    if (last == "*") {
+      ins->indirect = true;
+      pieces.pop_back();
+      continue;
+    }
+    if (const auto tag = ParseRegister(last, "x"); tag.has_value() && pieces.size() > next + 1) {
+      if (*tag == 0) {
+        return ctx.Fail(line.line_no, "x0 cannot be used as an index tag");
+      }
+      ins->tag = *tag;
+      pieces.pop_back();
+      continue;
+    }
+    break;
+  }
+
+  const bool wants_addr = info.operand != OperandKind::kNone;
+  if (!wants_addr) {
+    if (next < pieces.size()) {
+      return ctx.Fail(line.line_no, line.mnemonic + " takes no address operand");
+    }
+    return true;
+  }
+  if (next >= pieces.size()) {
+    return ctx.Fail(line.line_no, line.mnemonic + " requires an address operand");
+  }
+  std::string addr = pieces[next++];
+  if (next < pieces.size()) {
+    return ctx.Fail(line.line_no, "unexpected operand: " + pieces[next]);
+  }
+
+  // prN|expr ?
+  std::string_view addr_view = addr;
+  const size_t bar = addr_view.find('|');
+  std::string_view expr = addr_view;
+  if (bar != std::string_view::npos) {
+    const auto prnum = ParseRegister(addr_view.substr(0, bar), "pr");
+    if (!prnum.has_value()) {
+      return ctx.Fail(line.line_no, "bad pointer-register base: " + addr);
+    }
+    ins->pr_relative = true;
+    ins->prnum = *prnum;
+    expr = addr_view.substr(bar + 1);
+  }
+
+  int64_t value;
+  if (!EvalExpr(ctx, ctx.current, expr, &value)) {
+    return ctx.Fail(line.line_no, "cannot evaluate expression: " + std::string(expr));
+  }
+  if (!FitsSigned(value, kOffsetWidth)) {
+    return ctx.Fail(line.line_no, StrFormat("offset %lld does not fit in 18 bits",
+                                            static_cast<long long>(value)));
+  }
+  ins->offset = static_cast<int32_t>(value);
+  return true;
+}
+
+bool EmitLine(AsmContext& ctx, const ParsedLine& line) {
+  if (line.mnemonic.empty()) {
+    return true;
+  }
+  AssembledSegment* seg = ctx.current;
+
+  if (line.mnemonic[0] == '.') {
+    if (line.mnemonic == ".segment") {
+      const std::string name(StripWhitespace(line.rest));
+      ctx.current = ctx.program.Find(name);
+      return ctx.current != nullptr ||
+             ctx.Fail(line.line_no, "internal: segment not found in pass 2");
+    }
+    if (line.mnemonic == ".equ") {
+      return true;  // handled in pass 1; legal outside segments
+    }
+    if (seg == nullptr) {
+      return ctx.Fail(line.line_no, "directive outside a .segment");
+    }
+    if (line.mnemonic == ".gates" || line.mnemonic == ".reserve") {
+      return true;  // handled in pass 1
+    }
+    if (line.mnemonic == ".word") {
+      int64_t value;
+      if (!EvalExpr(ctx, seg, line.rest, &value)) {
+        return ctx.Fail(line.line_no, "cannot evaluate expression: " + line.rest);
+      }
+      seg->words.push_back(static_cast<Word>(value));
+      return true;
+    }
+    if (line.mnemonic == ".block") {
+      int64_t n;
+      ParseNumber(line.rest, &n);
+      seg->words.insert(seg->words.end(), static_cast<size_t>(n), 0);
+      return true;
+    }
+    if (line.mnemonic == ".string") {
+      for (const char c : line.rest) {
+        seg->words.push_back(static_cast<Word>(static_cast<unsigned char>(c)));
+      }
+      return true;
+    }
+    if (line.mnemonic == ".its" || line.mnemonic == ".link") {
+      // .its/.link ring, segname, expr [,*]
+      std::vector<std::string> pieces = SplitOperands(line.rest);
+      bool indirect = false;
+      if (!pieces.empty() && pieces.back() == "*") {
+        indirect = true;
+        pieces.pop_back();
+      }
+      if (pieces.size() != 3) {
+        return ctx.Fail(line.line_no, line.mnemonic + " requires: ring, segment, offset [,*]");
+      }
+      int64_t ring;
+      if (!EvalExpr(ctx, seg, pieces[0], &ring) || !IsValidRing(static_cast<unsigned>(ring))) {
+        return ctx.Fail(line.line_no, "bad ring in " + line.mnemonic + ": " + pieces[0]);
+      }
+      ItsPatch patch;
+      patch.wordno = static_cast<Wordno>(seg->words.size());
+      patch.ring = static_cast<Ring>(ring);
+      patch.indirect = indirect;
+      patch.dynamic = line.mnemonic == ".link";
+      patch.target_segment = pieces[1];
+      // The offset expression is resolved by the loader against the target
+      // segment's symbols unless it is a plain number.
+      int64_t literal;
+      if (ParseNumber(pieces[2], &literal)) {
+        patch.target_offset = literal;
+      } else {
+        patch.target_symbol = pieces[2];
+      }
+      seg->patches.push_back(patch);
+      seg->words.push_back(0);  // placeholder until load time
+      return true;
+    }
+    return ctx.Fail(line.line_no, "unknown directive: " + line.mnemonic);
+  }
+
+  if (seg == nullptr) {
+    return ctx.Fail(line.line_no, "instruction outside a .segment");
+  }
+  Instruction ins;
+  if (!AssembleInstruction(ctx, line, &ins)) {
+    return false;
+  }
+  seg->words.push_back(EncodeInstruction(ins));
+  return true;
+}
+
+}  // namespace
+
+std::string AssembleError::ToString() const {
+  return StrFormat("line %d: %s", line, message.c_str());
+}
+
+AssembleResult Assemble(std::string_view source) {
+  AsmContext ctx;
+
+  // Split into lines and parse.
+  std::vector<ParsedLine> lines;
+  int line_no = 0;
+  size_t start = 0;
+  while (start <= source.size()) {
+    const size_t nl = source.find('\n', start);
+    const std::string_view raw = nl == std::string_view::npos ? source.substr(start)
+                                                              : source.substr(start, nl - start);
+    ++line_no;
+    ParsedLine parsed;
+    if (ParseLine(raw, line_no, &parsed)) {
+      lines.push_back(std::move(parsed));
+    }
+    if (nl == std::string_view::npos) {
+      break;
+    }
+    start = nl + 1;
+  }
+
+  // Pass 1: create segments, record symbols and sizes, collect .equ and
+  // .gates and .reserve values.
+  AssembledSegment* seg = nullptr;
+  uint64_t location = 0;
+  for (const ParsedLine& line : lines) {
+    if (line.mnemonic == ".segment") {
+      const std::string name(StripWhitespace(line.rest));
+      if (!IsIdentifier(name)) {
+        ctx.Fail(line.line_no, "bad segment name: " + name);
+        break;
+      }
+      if (ctx.program.Find(name) != nullptr) {
+        ctx.Fail(line.line_no, "duplicate segment: " + name);
+        break;
+      }
+      ctx.program.segments.push_back(AssembledSegment{});
+      seg = &ctx.program.segments.back();
+      seg->name = name;
+      location = 0;
+      continue;
+    }
+    if (!line.label.empty()) {
+      if (seg == nullptr) {
+        ctx.Fail(line.line_no, "label outside a .segment");
+        break;
+      }
+      if (seg->symbols.count(line.label) != 0) {
+        ctx.Fail(line.line_no, "duplicate label: " + line.label);
+        break;
+      }
+      seg->symbols[line.label] = static_cast<Wordno>(location);
+    }
+    if (line.mnemonic.empty()) {
+      continue;
+    }
+    if (line.mnemonic == ".equ") {
+      const std::vector<std::string> pieces = SplitOperands(line.rest);
+      int64_t value;
+      if (pieces.size() != 2 || !IsIdentifier(pieces[0]) ||
+          !EvalExpr(ctx, seg, pieces[1], &value)) {
+        ctx.Fail(line.line_no, ".equ requires: name, literal");
+        break;
+      }
+      ctx.equs[pieces[0]] = value;
+      continue;
+    }
+    if (seg == nullptr) {
+      ctx.Fail(line.line_no, "statement outside a .segment");
+      break;
+    }
+    if (line.mnemonic == ".gates") {
+      int64_t n;
+      if (!ParseNumber(line.rest, &n) || n < 0) {
+        ctx.Fail(line.line_no, ".gates requires a nonnegative literal count");
+        break;
+      }
+      seg->gate_count = static_cast<uint32_t>(n);
+      continue;
+    }
+    if (line.mnemonic == ".reserve") {
+      int64_t n;
+      if (!ParseNumber(line.rest, &n) || n < 0) {
+        ctx.Fail(line.line_no, ".reserve requires a nonnegative literal count");
+        break;
+      }
+      seg->reserve_words += static_cast<uint64_t>(n);
+      continue;
+    }
+    uint64_t words = 0;
+    if (!SizeOfLine(ctx, line, &words)) {
+      break;
+    }
+    location += words;
+    if (location > kMaxSegmentWords) {
+      ctx.Fail(line.line_no, "segment exceeds maximum size");
+      break;
+    }
+  }
+
+  // Pass 2: emit.
+  if (!ctx.failed) {
+    ctx.current = nullptr;
+    for (const ParsedLine& line : lines) {
+      if (!EmitLine(ctx, line)) {
+        break;
+      }
+    }
+  }
+
+  AssembleResult result;
+  result.ok = !ctx.failed;
+  result.error = ctx.error;
+  if (result.ok) {
+    result.program = std::move(ctx.program);
+  }
+  return result;
+}
+
+Program AssembleOrDie(std::string_view source) {
+  AssembleResult result = Assemble(source);
+  if (!result.ok) {
+    std::fprintf(stderr, "assembly failed: %s\n", result.error.ToString().c_str());
+    std::abort();
+  }
+  return std::move(result.program);
+}
+
+}  // namespace rings

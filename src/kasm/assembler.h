@@ -1,0 +1,67 @@
+// A two-pass assembler for the simulated machine's ISA. Used to author
+// supervisor gate stubs, example programs, and benchmark workloads as
+// realistic guest code.
+//
+// Syntax (line oriented; ';' and '#' start comments):
+//
+//   .segment name          begin a new segment
+//   .gates n               declare the first n words to be gate locations
+//   .equ name, expr        define an assembly-time constant
+//   label: ...             define a label at the current location
+//   .word expr             emit a data word
+//   .string text           emit one word per character of `text` (no
+//                          escapes; ';'/'#' end the line as comments)
+//   .block n               emit n zero words
+//   .reserve n             extend the segment by n zero words at load time
+//   .its ring, seg, expr [,*]
+//                          emit an indirect word to `expr` in segment `seg`
+//                          (resolved by the loader), ring field `ring`,
+//                          optional further-indirection flag
+//   .link ring, seg, expr [,*]
+//                          like .its, but emit a fault-tagged word that the
+//                          supervisor snaps on first reference (dynamic
+//                          linking; `seg` may be registered later)
+//
+//   opcode [reg,] addr[,xN][,*]
+//
+//   reg     xN for index-register opcodes (ldx/stx/ldxi), prN for
+//           pointer-register opcodes (epp/spp), a device number for sio
+//   addr    expr            IPR-relative (same segment) or immediate
+//           prN|expr        PR-relative
+//   ,xN     index register modification (N in 1..7)
+//   ,*      indirect
+//
+//   expr    decimal or 0x hex literal, a label, an .equ name, or
+//           name+literal / name-literal
+#ifndef SRC_KASM_ASSEMBLER_H_
+#define SRC_KASM_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/kasm/program.h"
+
+namespace rings {
+
+struct AssembleError {
+  int line = 0;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct AssembleResult {
+  bool ok = false;
+  Program program;
+  AssembleError error;
+};
+
+AssembleResult Assemble(std::string_view source);
+
+// Convenience for tests/examples: asserts success (aborts with the error
+// message on failure) and returns the program.
+Program AssembleOrDie(std::string_view source);
+
+}  // namespace rings
+
+#endif  // SRC_KASM_ASSEMBLER_H_

@@ -1,0 +1,31 @@
+#include "src/kasm/disassembler.h"
+
+#include "src/base/strings.h"
+#include "src/isa/indirect_word.h"
+#include "src/isa/instruction.h"
+
+namespace rings {
+
+std::string DisassembleWord(Word word) {
+  Instruction ins;
+  if (DecodeInstruction(word, &ins)) {
+    return ins.ToString();
+  }
+  // Show both plausible data interpretations.
+  const IndirectWord iw = DecodeIndirectWord(word);
+  if (iw.segno != 0 || iw.ring != 0) {
+    return StrFormat(".word %s  ; its %s", Hex(word).c_str(), iw.ToString().c_str());
+  }
+  return StrFormat(".word %llu", static_cast<unsigned long long>(word));
+}
+
+std::string DisassembleSegment(const std::vector<Word>& words, uint32_t gate_count) {
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    out += StrFormat("%6zu%s  %s\n", i, i < gate_count ? " G" : "  ",
+                     DisassembleWord(words[i]).c_str());
+  }
+  return out;
+}
+
+}  // namespace rings

@@ -1,0 +1,25 @@
+// Disassembler: renders machine words back to assembler-like text, for
+// debugging, the ringsim CLI's listing mode, and round-trip tests.
+#ifndef SRC_KASM_DISASSEMBLER_H_
+#define SRC_KASM_DISASSEMBLER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mem/word.h"
+
+namespace rings {
+
+// One word: the instruction mnemonic line if the word decodes to a valid
+// instruction, otherwise a `.word`/indirect-word rendering. Data words
+// that happen to decode are shown as instructions (the machine has no
+// word tags; this mirrors what the processor itself would do).
+std::string DisassembleWord(Word word);
+
+// A full listing with word numbers; words below `gate_count` are marked
+// as gates.
+std::string DisassembleSegment(const std::vector<Word>& words, uint32_t gate_count = 0);
+
+}  // namespace rings
+
+#endif  // SRC_KASM_DISASSEMBLER_H_

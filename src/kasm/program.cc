@@ -1,0 +1,23 @@
+#include "src/kasm/program.h"
+
+namespace rings {
+
+const AssembledSegment* Program::Find(const std::string& name) const {
+  for (const AssembledSegment& seg : segments) {
+    if (seg.name == name) {
+      return &seg;
+    }
+  }
+  return nullptr;
+}
+
+AssembledSegment* Program::Find(const std::string& name) {
+  for (AssembledSegment& seg : segments) {
+    if (seg.name == name) {
+      return &seg;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rings

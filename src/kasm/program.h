@@ -1,0 +1,65 @@
+// Assembled program representation: a set of named segments with their
+// words, symbols, gate counts, and loader patch records for inter-segment
+// pointer words (.its directives). Segment numbers are not known at
+// assembly time — "segment numbers are not generally known at the time a
+// segment is compiled" — so cross-segment references are resolved by the
+// loader per process.
+#ifndef SRC_KASM_PROGRAM_H_
+#define SRC_KASM_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/ring.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+// A .its patch: the loader must store at `wordno` an indirect word
+// pointing at `target_symbol` (or plain offset) in segment `target_segment`
+// with ring field `ring`. When `dynamic` is set (a .link directive) the
+// loader instead emits a fault-tagged word and records the target in the
+// segment's link table: the reference is resolved ("snapped") by the
+// supervisor on first use — Multics-style dynamic linking, which also
+// allows the target segment to be registered later than the referent.
+struct ItsPatch {
+  Wordno wordno = 0;
+  Ring ring = 0;
+  bool indirect = false;
+  bool dynamic = false;
+  std::string target_segment;
+  std::string target_symbol;  // empty = use target_offset directly
+  int64_t target_offset = 0;  // added to the symbol value (or absolute)
+};
+
+struct AssembledSegment {
+  std::string name;
+  std::vector<Word> words;
+  uint32_t gate_count = 0;
+  std::map<std::string, Wordno> symbols;
+  std::vector<ItsPatch> patches;
+  // Extra zero words appended at load time (from .bss-style `.reserve`).
+  uint64_t reserve_words = 0;
+
+  std::optional<Wordno> Symbol(const std::string& name_in) const {
+    auto it = symbols.find(name_in);
+    if (it == symbols.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+};
+
+struct Program {
+  std::vector<AssembledSegment> segments;
+
+  const AssembledSegment* Find(const std::string& name) const;
+  AssembledSegment* Find(const std::string& name);
+};
+
+}  // namespace rings
+
+#endif  // SRC_KASM_PROGRAM_H_

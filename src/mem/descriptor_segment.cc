@@ -1,0 +1,40 @@
+#include "src/mem/descriptor_segment.h"
+
+namespace rings {
+
+std::optional<Sdw> DescriptorSegment::Fetch(Segno segno) const {
+  if (segno >= dbr_.bound) {
+    return std::nullopt;
+  }
+  const AbsAddr addr = dbr_.base + static_cast<AbsAddr>(segno) * kSdwPairWords;
+  return DecodeSdw(memory_->Read(addr), memory_->Read(addr + 1));
+}
+
+void DescriptorSegment::Store(Segno segno, const Sdw& sdw) {
+  if (segno >= dbr_.bound) {
+    return;
+  }
+  Word w0 = 0;
+  Word w1 = 0;
+  EncodeSdw(sdw, &w0, &w1);
+  const AbsAddr addr = dbr_.base + static_cast<AbsAddr>(segno) * kSdwPairWords;
+  memory_->Write(addr, w0);
+  memory_->Write(addr + 1, w1);
+}
+
+std::optional<DescriptorSegment> DescriptorSegment::Create(PhysicalMemory* memory, Segno bound,
+                                                           Segno stack_base) {
+  const auto base = memory->Allocate(static_cast<size_t>(bound) * kSdwPairWords);
+  if (!base.has_value()) {
+    return std::nullopt;
+  }
+  DbrValue dbr{*base, bound, stack_base};
+  DescriptorSegment ds(memory, dbr);
+  Sdw absent;
+  for (Segno s = 0; s < bound; ++s) {
+    ds.Store(s, absent);
+  }
+  return ds;
+}
+
+}  // namespace rings

@@ -1,0 +1,61 @@
+// A descriptor segment: the array of SDW pairs that defines one virtual
+// memory. "The number of a segment is just the index of the corresponding
+// SDW in the descriptor segment. ... The absolute address of the beginning
+// of the descriptor segment is contained in the descriptor base register
+// (DBR) of a processor."
+//
+// DescriptorSegment is a typed view over words in PhysicalMemory, so
+// swapping the DBR between processes really does change which translation
+// table the simulated processor walks.
+#ifndef SRC_MEM_DESCRIPTOR_SEGMENT_H_
+#define SRC_MEM_DESCRIPTOR_SEGMENT_H_
+
+#include <optional>
+
+#include "src/mem/physical_memory.h"
+#include "src/mem/sdw.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+// The descriptor base register contents: where the descriptor segment
+// lives and how many SDWs it holds. `stack_base` is the additional DBR
+// field from Figure 8's footnote: the first of the eight consecutively
+// numbered segments that are the standard stack segments of the process.
+struct DbrValue {
+  AbsAddr base = 0;
+  Segno bound = 0;  // number of SDW slots
+  Segno stack_base = 0;
+
+  bool operator==(const DbrValue&) const = default;
+};
+
+class DescriptorSegment {
+ public:
+  DescriptorSegment(PhysicalMemory* memory, DbrValue dbr) : memory_(memory), dbr_(dbr) {}
+
+  const DbrValue& dbr() const { return dbr_; }
+  Segno bound() const { return dbr_.bound; }
+
+  // Fetches the SDW for `segno`; nullopt when segno is out of bounds.
+  // (An in-bounds but non-present SDW is returned as-is; the caller
+  // distinguishes the two missing-segment flavors if it cares.)
+  std::optional<Sdw> Fetch(Segno segno) const;
+
+  // Installs an SDW (supervisor-side operation).
+  void Store(Segno segno, const Sdw& sdw);
+
+  // Allocates a fresh descriptor segment of `bound` slots in `memory` and
+  // returns a view with every SDW absent. Returns nullopt when memory is
+  // exhausted.
+  static std::optional<DescriptorSegment> Create(PhysicalMemory* memory, Segno bound,
+                                                 Segno stack_base);
+
+ private:
+  PhysicalMemory* memory_;
+  DbrValue dbr_;
+};
+
+}  // namespace rings
+
+#endif  // SRC_MEM_DESCRIPTOR_SEGMENT_H_

@@ -1,0 +1,52 @@
+#include "src/mem/page_table.h"
+
+#include "src/base/bitfield.h"
+
+namespace rings {
+
+namespace {
+
+constexpr unsigned kPresentShift = 63;
+constexpr unsigned kFrameShift = 0;
+constexpr unsigned kFrameWidth = 40;
+
+}  // namespace
+
+Word EncodePtw(const Ptw& ptw) {
+  Word w = 0;
+  w = DepositBits(w, kPresentShift, 1, ptw.present ? 1 : 0);
+  w = DepositBits(w, kFrameShift, kFrameWidth, ptw.frame);
+  return w;
+}
+
+Ptw DecodePtw(Word word) {
+  Ptw ptw;
+  ptw.present = ExtractBits(word, kPresentShift, 1) != 0;
+  ptw.frame = ExtractBits(word, kFrameShift, kFrameWidth);
+  return ptw;
+}
+
+std::optional<AbsAddr> AllocatePageTable(PhysicalMemory* memory, uint64_t pages) {
+  const auto base = memory->Allocate(pages == 0 ? 1 : pages);
+  if (!base.has_value()) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < pages; ++i) {
+    memory->Write(*base + i, EncodePtw(Ptw{}));
+  }
+  return base;
+}
+
+std::optional<AbsAddr> InstallZeroPage(PhysicalMemory* memory, AbsAddr table_base, uint64_t page) {
+  const auto frame = memory->Allocate(kPageWords);
+  if (!frame.has_value()) {
+    return std::nullopt;
+  }
+  for (uint64_t i = 0; i < kPageWords; ++i) {
+    memory->Write(*frame + i, 0);
+  }
+  memory->Write(table_base + page, EncodePtw(Ptw{true, *frame}));
+  return frame;
+}
+
+}  // namespace rings

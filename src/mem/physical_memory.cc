@@ -1,0 +1,37 @@
+#include "src/mem/physical_memory.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rings {
+
+PhysicalMemory::PhysicalMemory(size_t size_words) : store_(size_words, 0) {}
+
+Word PhysicalMemory::Read(AbsAddr addr) const {
+  if (addr >= store_.size()) {
+    std::fprintf(stderr, "PhysicalMemory::Read out of range: %llu >= %zu\n",
+                 static_cast<unsigned long long>(addr), store_.size());
+    std::abort();
+  }
+  return store_[addr];
+}
+
+void PhysicalMemory::Write(AbsAddr addr, Word value) {
+  if (addr >= store_.size()) {
+    std::fprintf(stderr, "PhysicalMemory::Write out of range: %llu >= %zu\n",
+                 static_cast<unsigned long long>(addr), store_.size());
+    std::abort();
+  }
+  store_[addr] = value;
+}
+
+std::optional<AbsAddr> PhysicalMemory::Allocate(size_t words) {
+  if (next_free_ + words > store_.size()) {
+    return std::nullopt;
+  }
+  const AbsAddr base = next_free_;
+  next_free_ += words;
+  return base;
+}
+
+}  // namespace rings

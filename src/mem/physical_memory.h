@@ -1,0 +1,43 @@
+// The absolute-addressed core store, plus a bump allocator for carving out
+// segment storage. Storage for segments on the real machine was allocated
+// with a paging scheme "in scattered fixed-length blocks"; the paper notes
+// that paging, appropriately implemented, does not affect access control
+// and ignores it, as do we: segments are contiguous in this store.
+#ifndef SRC_MEM_PHYSICAL_MEMORY_H_
+#define SRC_MEM_PHYSICAL_MEMORY_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/mem/word.h"
+
+namespace rings {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(size_t size_words);
+
+  size_t size() const { return store_.size(); }
+
+  // Unchecked-by-trap accessors: out-of-range absolute addresses indicate a
+  // simulator bug (virtual bounds are checked before translation), so they
+  // abort rather than raise a simulated trap.
+  Word Read(AbsAddr addr) const;
+  void Write(AbsAddr addr, Word value);
+
+  // Allocates `words` contiguous words; returns the base absolute address,
+  // or nullopt when the store is exhausted.
+  std::optional<AbsAddr> Allocate(size_t words);
+
+  // Words handed out so far (for diagnostics and memory-usage reports).
+  AbsAddr allocated() const { return next_free_; }
+
+ private:
+  std::vector<Word> store_;
+  AbsAddr next_free_ = 0;
+};
+
+}  // namespace rings
+
+#endif  // SRC_MEM_PHYSICAL_MEMORY_H_

@@ -1,0 +1,93 @@
+#include "src/mem/sdw.h"
+
+#include "src/base/bitfield.h"
+#include "src/base/strings.h"
+
+namespace rings {
+
+namespace {
+
+// Word 0 layout.
+constexpr unsigned kPresentShift = 63;
+constexpr unsigned kPagedShift = 62;
+constexpr unsigned kBoundShift = 40;
+constexpr unsigned kBoundWidth = 19;  // bound can equal 2^18 (full segment)
+constexpr unsigned kBaseShift = 0;
+constexpr unsigned kBaseWidth = 40;
+
+// Word 1 layout.
+constexpr unsigned kReadShift = 63;
+constexpr unsigned kWriteShift = 62;
+constexpr unsigned kExecuteShift = 61;
+constexpr unsigned kR1Shift = 58;
+constexpr unsigned kR2Shift = 55;
+constexpr unsigned kR3Shift = 52;
+constexpr unsigned kGateShift = 0;
+constexpr unsigned kGateWidth = 32;
+
+}  // namespace
+
+std::string Sdw::ToString() const {
+  if (!present) {
+    return "<absent>";
+  }
+  return StrFormat("base=%llu bound=%llu %s", static_cast<unsigned long long>(base),
+                   static_cast<unsigned long long>(bound), access.ToString().c_str());
+}
+
+void EncodeSdw(const Sdw& sdw, Word* word0, Word* word1) {
+  Word w0 = 0;
+  w0 = DepositBits(w0, kPresentShift, 1, sdw.present ? 1 : 0);
+  w0 = DepositBits(w0, kPagedShift, 1, sdw.paged ? 1 : 0);
+  w0 = DepositBits(w0, kBoundShift, kBoundWidth, sdw.bound);
+  w0 = DepositBits(w0, kBaseShift, kBaseWidth, sdw.base);
+
+  Word w1 = 0;
+  w1 = DepositBits(w1, kReadShift, 1, sdw.access.flags.read ? 1 : 0);
+  w1 = DepositBits(w1, kWriteShift, 1, sdw.access.flags.write ? 1 : 0);
+  w1 = DepositBits(w1, kExecuteShift, 1, sdw.access.flags.execute ? 1 : 0);
+  w1 = DepositBits(w1, kR1Shift, kRingBits, sdw.access.brackets.r1);
+  w1 = DepositBits(w1, kR2Shift, kRingBits, sdw.access.brackets.r2);
+  w1 = DepositBits(w1, kR3Shift, kRingBits, sdw.access.brackets.r3);
+  w1 = DepositBits(w1, kGateShift, kGateWidth, sdw.access.gate_count);
+
+  *word0 = w0;
+  *word1 = w1;
+}
+
+Sdw DecodeSdw(Word word0, Word word1) {
+  Sdw sdw;
+  sdw.present = ExtractBits(word0, kPresentShift, 1) != 0;
+  sdw.paged = ExtractBits(word0, kPagedShift, 1) != 0;
+  sdw.bound = ExtractBits(word0, kBoundShift, kBoundWidth);
+  sdw.base = ExtractBits(word0, kBaseShift, kBaseWidth);
+
+  sdw.access.flags.read = ExtractBits(word1, kReadShift, 1) != 0;
+  sdw.access.flags.write = ExtractBits(word1, kWriteShift, 1) != 0;
+  sdw.access.flags.execute = ExtractBits(word1, kExecuteShift, 1) != 0;
+  sdw.access.brackets.r1 = static_cast<Ring>(ExtractBits(word1, kR1Shift, kRingBits));
+  sdw.access.brackets.r2 = static_cast<Ring>(ExtractBits(word1, kR2Shift, kRingBits));
+  sdw.access.brackets.r3 = static_cast<Ring>(ExtractBits(word1, kR3Shift, kRingBits));
+  sdw.access.gate_count = static_cast<uint32_t>(ExtractBits(word1, kGateShift, kGateWidth));
+  return sdw;
+}
+
+std::optional<std::string> ValidateSdw(const Sdw& sdw) {
+  if (!sdw.present) {
+    return std::nullopt;  // absent SDWs carry no meaningful fields
+  }
+  if (!sdw.access.brackets.IsWellFormed()) {
+    return "brackets violate R1 <= R2 <= R3: " + sdw.access.brackets.ToString();
+  }
+  if (sdw.bound > kMaxSegmentWords) {
+    return StrFormat("bound %llu exceeds maximum segment size",
+                     static_cast<unsigned long long>(sdw.bound));
+  }
+  if (sdw.access.gate_count > sdw.bound) {
+    return StrFormat("gate count %u exceeds segment bound %llu", sdw.access.gate_count,
+                     static_cast<unsigned long long>(sdw.bound));
+  }
+  return std::nullopt;
+}
+
+}  // namespace rings

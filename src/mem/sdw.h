@@ -1,0 +1,58 @@
+// Segment descriptor words. Each SDW describes one segment of a virtual
+// memory: where it lives in the core store, how long it is, and the access
+// fields of Figure 3 (R/W/E flags, ring numbers R1/R2/R3, and the GATE
+// count). An SDW is stored in the descriptor segment as a two-word pair so
+// that descriptor segments are themselves ordinary segments in memory.
+#ifndef SRC_MEM_SDW_H_
+#define SRC_MEM_SDW_H_
+
+#include <optional>
+#include <string>
+
+#include "src/core/brackets.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+struct Sdw {
+  // Fault bit: when false, any reference through this SDW raises a
+  // missing-segment trap (the segment is not in this virtual memory, or
+  // the supervisor has revoked it).
+  bool present = false;
+  // When set, `base` addresses a page table rather than the data; address
+  // resolution walks one PTW per reference (see src/mem/page_table.h).
+  // Access control fields are unaffected — paging is transparent to it.
+  bool paged = false;
+  // Absolute address of word 0 of the segment (unpaged) or of the page
+  // table (paged) in the core store.
+  AbsAddr base = 0;
+  // Number of addressable words; references at wordno >= bound trap.
+  uint64_t bound = 0;
+  // Access control fields (flags, brackets, gate count).
+  SegmentAccess access;
+
+  bool operator==(const Sdw&) const = default;
+  std::string ToString() const;
+};
+
+// Number of words an SDW occupies in a descriptor segment.
+inline constexpr unsigned kSdwPairWords = 2;
+
+// Encoding of the SDW pair.
+//
+// Word 0 (addressing):  bit 63 present | bit 62 paged |
+//                       bits 58..40 bound | bits 39..0 base
+// Word 1 (access):      bit 63 R | bit 62 W | bit 61 E |
+//                       bits 60..58 R1 | bits 57..55 R2 | bits 54..52 R3 |
+//                       bits 31..0 GATE
+void EncodeSdw(const Sdw& sdw, Word* word0, Word* word1);
+Sdw DecodeSdw(Word word0, Word word1);
+
+// Validates the invariants supervisor code must guarantee before
+// installing an SDW: well-formed brackets and a gate count within bound.
+// Returns a diagnostic message on failure.
+std::optional<std::string> ValidateSdw(const Sdw& sdw);
+
+}  // namespace rings
+
+#endif  // SRC_MEM_SDW_H_

@@ -1,0 +1,36 @@
+// Fundamental machine types. The simulated machine is word addressed; all
+// words are 64 bits (see DESIGN.md: the Honeywell hardware used 36-bit
+// words; widening to 64 keeps every paper-specified field intact while
+// letting instruction and indirect-word formats fit in one word).
+//
+// A two-part address (s, w) identifies word w of the segment numbered s.
+// Segment numbers are 15 bits and word numbers 18 bits, as in Multics.
+#ifndef SRC_MEM_WORD_H_
+#define SRC_MEM_WORD_H_
+
+#include <cstdint>
+
+namespace rings {
+
+using Word = uint64_t;
+using Segno = uint32_t;    // 15-bit segment number
+using Wordno = uint32_t;   // 18-bit word number within a segment
+using AbsAddr = uint64_t;  // absolute (physical) word address
+
+inline constexpr unsigned kSegnoBits = 15;
+inline constexpr unsigned kWordnoBits = 18;
+inline constexpr Segno kMaxSegno = (Segno{1} << kSegnoBits) - 1;
+inline constexpr Wordno kMaxWordno = (Wordno{1} << kWordnoBits) - 1;
+inline constexpr uint64_t kMaxSegmentWords = uint64_t{1} << kWordnoBits;
+
+// A two-part virtual address.
+struct SegAddr {
+  Segno segno = 0;
+  Wordno wordno = 0;
+
+  bool operator==(const SegAddr&) const = default;
+};
+
+}  // namespace rings
+
+#endif  // SRC_MEM_WORD_H_

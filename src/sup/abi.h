@@ -1,0 +1,66 @@
+// Software conventions (the ABI) between guest code and the supervisor.
+#ifndef SRC_SUP_ABI_H_
+#define SRC_SUP_ABI_H_
+
+#include <cstdint>
+
+#include "src/core/ring.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+// Segment-number map. Segment numbers 0..7 of every process are its eight
+// standard stack segments — the paper's simple selection rule "the segment
+// number of the appropriate stack segment is the same as the new ring
+// number", i.e. DBR.stack_base = 0. Shared (registry) segments are
+// numbered from kFirstSharedSegno upward, identically in every process.
+inline constexpr Segno kStackBaseSegno = 0;
+inline constexpr Segno kFirstSharedSegno = 8;
+inline constexpr Segno kDescriptorSegmentSlots = 512;
+
+// Stack segment layout. Word 0 of each stack segment holds the offset of
+// the next available stack area ("By convention, a fixed word of each
+// stack segment can point to the beginning of the next available stack
+// area"); frames start at kStackFrameStart.
+inline constexpr Wordno kStackNextFreeWord = 0;
+inline constexpr Wordno kStackFrameStart = 16;
+inline constexpr uint64_t kStackSegmentWords = 4096;
+
+// Argument-list format (Call and Return Revisited): the caller builds "an
+// array of indirect words containing the addresses of the various
+// arguments" and loads PR1 (the paper's PRa) with its address.
+//   word 0          argument count k
+//   words 1..k      indirect words addressing the arguments
+//   words k+1..2k   argument lengths in words (used by the supervisor's
+//                   upward-call copy-in/copy-out and by I/O services)
+inline constexpr Wordno kArgListCountWord = 0;
+
+// Supervisor service numbers (the operand of SVC, executed inside gate
+// segments).
+enum SvcNumber : int64_t {
+  kSvcExit = 1,        // terminate the calling process; A = exit code
+  kSvcTtyWrite = 2,    // write argument 0 (buffer) to the typewriter
+  kSvcTtyRead = 3,     // read from the typewriter into argument 0
+  kSvcGetRing = 4,     // A <- ring the gate was called from
+  kSvcSetAcl = 5,      // A = segno, Q = packed access; caller-ring limited
+  kSvcRegisterUser = 6,  // administrative service (restricted gate)
+  kSvcCycleCount = 7,  // A <- low bits of the cycle counter
+  kSvcMakeSegment = 8,  // create + initiate a segment: A = words,
+                        // Q = packed access; A <- segno or -1
+};
+
+// Largest segment a process may request through kSvcMakeSegment.
+inline constexpr uint64_t kMaxUserSegmentWords = 1 << 16;
+
+// Packing for kSvcSetAcl's Q operand: flags and brackets.
+//   bit 8 read | bit 7 write | bit 6 execute | bits 5..4.. : r1 r2 r3 (3
+//   rings x 3 bits = bits 8..0 below flags)
+inline constexpr Word PackAccessSpec(bool read, bool write, bool execute, Ring r1, Ring r2,
+                                     Ring r3) {
+  return (Word{read} << 11) | (Word{write} << 10) | (Word{execute} << 9) | (Word{r1} << 6) |
+         (Word{r2} << 3) | Word{r3};
+}
+
+}  // namespace rings
+
+#endif  // SRC_SUP_ABI_H_

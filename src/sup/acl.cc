@@ -1,0 +1,32 @@
+#include "src/sup/acl.h"
+
+namespace rings {
+
+std::optional<SegmentAccess> AccessControlList::Lookup(const std::string& user) const {
+  for (const AclEntry& entry : entries_) {
+    if (entry.user == user || entry.user == kAclWildcard) {
+      return entry.access;
+    }
+  }
+  return std::nullopt;
+}
+
+bool AccessControlList::Set(const std::string& user, const SegmentAccess& access) {
+  if (!access.brackets.IsWellFormed()) {
+    return false;
+  }
+  for (AclEntry& entry : entries_) {
+    if (entry.user == user) {
+      entry.access = access;
+      return true;
+    }
+  }
+  entries_.insert(entries_.begin(), AclEntry{user, access});
+  return true;
+}
+
+void AccessControlList::Remove(const std::string& user) {
+  std::erase_if(entries_, [&user](const AclEntry& e) { return e.user == user; });
+}
+
+}  // namespace rings

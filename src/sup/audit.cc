@@ -1,0 +1,178 @@
+#include "src/sup/audit.h"
+
+#include <map>
+
+#include "src/base/strings.h"
+#include "src/mem/descriptor_segment.h"
+#include "src/mem/page_table.h"
+
+namespace rings {
+
+namespace {
+
+void Add(std::vector<AuditFinding>* findings, AuditSeverity severity, int pid, Segno segno,
+         std::string message) {
+  findings->push_back(AuditFinding{severity, pid, segno, std::move(message)});
+}
+
+struct Extent {
+  AbsAddr base = 0;
+  uint64_t words = 0;
+
+  bool Overlaps(const Extent& other) const {
+    return base < other.base + other.words && other.base < base + words;
+  }
+};
+
+}  // namespace
+
+std::string AuditFinding::ToString() const {
+  return StrFormat("[%s] pid=%d segno=%u: %s",
+                   severity == AuditSeverity::kError ? "ERROR" : "warn", pid, segno,
+                   message.c_str());
+}
+
+std::vector<AuditFinding> AuditProtectionState(PhysicalMemory* memory,
+                                               const SegmentRegistry& registry,
+                                               const Supervisor& supervisor) {
+  std::vector<AuditFinding> findings;
+
+  // Collect descriptor-segment extents (to detect exposure) and per-
+  // process stack extents (to detect sharing).
+  std::vector<Extent> descriptor_extents;
+  std::map<int, std::vector<Extent>> stack_extents;
+  for (const auto& process : supervisor.processes()) {
+    descriptor_extents.push_back(
+        Extent{process->dbr.base,
+               static_cast<uint64_t>(process->dbr.bound) * kSdwPairWords});
+  }
+
+  for (const auto& process : supervisor.processes()) {
+    const int pid = process->pid;
+    DescriptorSegment dseg(memory, process->dbr);
+    for (Segno s = 0; s < process->dbr.bound; ++s) {
+      const auto sdw_opt = dseg.Fetch(s);
+      if (!sdw_opt.has_value() || !sdw_opt->present) {
+        continue;
+      }
+      const Sdw& sdw = *sdw_opt;
+
+      // Structural validity.
+      if (const auto problem = ValidateSdw(sdw); problem.has_value()) {
+        Add(&findings, AuditSeverity::kError, pid, s, "malformed SDW: " + *problem);
+        continue;
+      }
+
+      // Stack-segment discipline.
+      if (s >= kStackBaseSegno && s < kStackBaseSegno + kRingCount) {
+        const Ring ring = static_cast<Ring>(s - kStackBaseSegno);
+        if (sdw.access.flags.execute) {
+          Add(&findings, AuditSeverity::kError, pid, s, "stack segment is executable");
+        }
+        if (sdw.access.brackets.r1 != ring || sdw.access.brackets.r2 != ring) {
+          Add(&findings, AuditSeverity::kError, pid, s,
+              StrFormat("stack bracket %s does not end at ring %u",
+                        sdw.access.brackets.ToString().c_str(), ring));
+        }
+        if (!sdw.paged) {
+          stack_extents[pid].push_back(Extent{sdw.base, sdw.bound});
+        }
+      }
+
+      // Descriptor-segment exposure: any SDW whose storage overlaps a
+      // descriptor segment hands out the keys to the machine.
+      const Extent extent{sdw.base, sdw.paged ? PageCount(sdw.bound) : sdw.bound};
+      for (const Extent& dext : descriptor_extents) {
+        if (extent.Overlaps(dext)) {
+          Add(&findings, AuditSeverity::kError, pid, s,
+              "SDW exposes descriptor-segment storage");
+          break;
+        }
+      }
+
+      // Gate sanity.
+      const Brackets& b = sdw.access.brackets;
+      if (b.r3 > b.r2 && sdw.access.gate_count == 0) {
+        Add(&findings, AuditSeverity::kWarning, pid, s,
+            "gate extension declared but the segment has no gates");
+      }
+      if (sdw.access.flags.write && sdw.access.flags.execute) {
+        Add(&findings, AuditSeverity::kWarning, pid, s,
+            StrFormat("segment both writable and executable (overlap at ring %u)", b.r1));
+      }
+    }
+  }
+
+  // Sole-occupant property: "although a given ring may simultaneously
+  // protect different subsystems in different processes, each ring of
+  // each process can protect only one subsystem at a time." Two gated
+  // subsystems sharing a user ring of one process can call each other
+  // freely, which usually defeats the point — flag it.
+  for (const auto& process : supervisor.processes()) {
+    DescriptorSegment dseg(memory, process->dbr);
+    std::map<Ring, int> gated_per_ring;
+    for (Segno s = kStackBaseSegno + kRingCount; s < process->dbr.bound; ++s) {
+      const auto sdw = dseg.Fetch(s);
+      if (!sdw.has_value() || !sdw->present || !sdw->access.flags.execute ||
+          sdw->access.gate_count == 0) {
+        continue;
+      }
+      const Brackets& b = sdw->access.brackets;
+      // Only user-ring protected subsystems (the supervisor legitimately
+      // layers rings 0 and 1).
+      if (b.r2 >= 2 && b.r3 > b.r2) {
+        ++gated_per_ring[b.r2];
+      }
+    }
+    for (const auto& [ring, count] : gated_per_ring) {
+      if (count > 1) {
+        Add(&findings, AuditSeverity::kWarning, process->pid, 0,
+            StrFormat("ring %u hosts %d gated subsystems (sole-occupant property violated)",
+                      ring, count));
+      }
+    }
+  }
+
+  // Stack privacy across processes.
+  const auto& processes = supervisor.processes();
+  for (size_t i = 0; i < processes.size(); ++i) {
+    for (size_t j = i + 1; j < processes.size(); ++j) {
+      for (const Extent& a : stack_extents[processes[i]->pid]) {
+        for (const Extent& b : stack_extents[processes[j]->pid]) {
+          if (a.Overlaps(b)) {
+            Add(&findings, AuditSeverity::kError, processes[i]->pid, 0,
+                StrFormat("stack storage shared with pid %d", processes[j]->pid));
+          }
+        }
+      }
+    }
+  }
+
+  // Registry ACL sanity.
+  for (const RegisteredSegment& seg : registry.segments()) {
+    for (const AclEntry& entry : seg.acl.entries()) {
+      if (!entry.access.brackets.IsWellFormed()) {
+        Add(&findings, AuditSeverity::kError, 0, seg.segno,
+            StrFormat("ACL entry for '%s' on %s has malformed brackets", entry.user.c_str(),
+                      seg.name.c_str()));
+      }
+    }
+    if (seg.gate_count > seg.bound) {
+      Add(&findings, AuditSeverity::kError, 0, seg.segno,
+          StrFormat("segment %s declares more gates than words", seg.name.c_str()));
+    }
+  }
+
+  return findings;
+}
+
+bool AuditClean(const std::vector<AuditFinding>& findings) {
+  for (const AuditFinding& f : findings) {
+    if (f.severity == AuditSeverity::kError) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rings

@@ -1,0 +1,5 @@
+#include "src/sup/process.h"
+
+// Process is a plain data aggregate; behaviour lives in the supervisor.
+
+namespace rings {}  // namespace rings

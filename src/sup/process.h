@@ -1,0 +1,92 @@
+// The process model. "A process with a new virtual memory is created for
+// each user when he logs in to the system, and the name of the user is
+// associated with the process. The process is the active agent of the
+// user, and is his only means of referencing and manipulating information
+// stored on-line."
+//
+// Each process owns: a descriptor segment (its virtual memory), eight
+// private stack segments occupying segment numbers 0..7 (ring n stacks at
+// segno n, per the paper's stack selection rule), a saved register file
+// when not running, and the stack of dynamic return gates created by
+// upward calls.
+#ifndef SRC_SUP_PROCESS_H_
+#define SRC_SUP_PROCESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/trap_cause.h"
+#include "src/cpu/registers.h"
+#include "src/mem/descriptor_segment.h"
+#include "src/sup/abi.h"
+
+namespace rings {
+
+enum class ProcessState {
+  kReady,
+  kRunning,
+  kBlocked,  // waiting for I/O completion
+  kExited,   // voluntary exit (kSvcExit)
+  kKilled,   // unhandled access violation
+};
+
+// A dynamic return gate, created by the supervisor when it emulates an
+// upward call and consumed by the subsequent downward return. "The return
+// gate must be created at the time of the upward call and be destroyed
+// when the subsequent return occurs. If recursive calls into a ring are
+// allowed, then this gate must behave as though it were stored in a
+// push-down stack, so that only the gate at the top of the stack can be
+// used."
+struct ReturnGate {
+  SegAddr expected_target{};         // the instruction after the upward CALL
+  Ring caller_ring = 0;              // ring to restore on the downward return
+  Ring callee_ring = 0;              // ring entered by the upward call
+  PointerRegister saved_sp{};        // verified on return (paper requirement)
+  PointerRegister saved_sb{};
+  PointerRegister saved_ap{};        // caller's argument pointer, for copy-back
+  // Argument copy-back records: the transfer-area address and original
+  // destination of each copied argument.
+  struct CopiedArg {
+    SegAddr original{};
+    SegAddr transfer{};
+    uint32_t length = 0;
+    // Effective ring the argument was validated at on the way in; writes
+    // on the way out are validated at the same level.
+    Ring effective_ring = 0;
+  };
+  std::vector<CopiedArg> copied_args;
+  // Total words of the transfer area carved from the callee ring's stack
+  // segment (released on return).
+  uint64_t transfer_words = 0;
+};
+
+struct Process {
+  int pid = 0;
+  std::string user;
+  ProcessState state = ProcessState::kReady;
+
+  DbrValue dbr{};
+  RegisterFile saved_regs{};
+
+  // Outcome bookkeeping.
+  int64_t exit_code = 0;
+  TrapCause kill_cause = TrapCause::kNone;
+  // The address at which the fatal violation occurred (for diagnostics
+  // and tests).
+  SegAddr kill_pc{};
+
+  std::vector<ReturnGate> return_gates;
+
+  // Scheduling statistics.
+  uint64_t instructions_run = 0;
+  uint64_t dispatches = 0;
+
+  bool runnable() const { return state == ProcessState::kReady || state == ProcessState::kRunning; }
+  bool finished() const { return state == ProcessState::kExited || state == ProcessState::kKilled; }
+};
+
+}  // namespace rings
+
+#endif  // SRC_SUP_PROCESS_H_

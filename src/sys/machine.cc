@@ -1,0 +1,129 @@
+#include "src/sys/machine.h"
+
+#include "src/base/strings.h"
+#include "src/mem/page_table.h"
+
+namespace rings {
+
+std::string RunResult::ToString() const {
+  return StrFormat("%s cycles=%llu instructions=%llu", idle ? "idle" : "budget-exhausted",
+                   static_cast<unsigned long long>(cycles),
+                   static_cast<unsigned long long>(instructions));
+}
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      memory_(config.memory_words),
+      cpu_(&memory_, config.cycle_model),
+      registry_(&memory_),
+      supervisor_(&cpu_, &memory_, &registry_,
+                  Supervisor::Options{.quantum = config.quantum, .verbose = false}) {
+  cpu_.set_mode(config.mode);
+  cpu_.set_trace(&trace_);
+  supervisor_.set_start_io([this](uint8_t device, Word detail) { StartIo(device, detail); });
+  ok_ = supervisor_.Initialize();
+}
+
+bool Machine::LoadProgram(const Program& program,
+                          const std::map<std::string, AccessControlList>& acls,
+                          std::string* error) {
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+  return registry_.LoadProgram(program, acls, err);
+}
+
+bool Machine::LoadProgramSource(std::string_view source,
+                                const std::map<std::string, AccessControlList>& acls,
+                                std::string* error) {
+  const Program program = AssembleOrDie(source);
+  return LoadProgram(program, acls, error);
+}
+
+void Machine::StartIo(uint8_t device, Word detail) {
+  (void)detail;
+  ++tty_operations_;
+  pending_io_.push_back(IoEvent{cpu_.cycles() + config_.cycle_model.io_latency, device});
+}
+
+RunResult Machine::Run(uint64_t max_cycles) {
+  RunResult result;
+  const uint64_t start_cycles = cpu_.cycles();
+  const uint64_t start_instructions = cpu_.counters().instructions;
+
+  if (supervisor_.current() == nullptr && !cpu_.trap_pending()) {
+    if (!supervisor_.DispatchNext()) {
+      result.idle = true;
+      return result;
+    }
+  }
+
+  while (cpu_.cycles() - start_cycles < max_cycles) {
+    if (cpu_.trap_pending()) {
+      if (!supervisor_.HandleTrap()) {
+        result.idle = true;
+        break;
+      }
+      continue;
+    }
+    // Deliver any due I/O completion before the next instruction.
+    if (!pending_io_.empty() && pending_io_.front().due_cycle <= cpu_.cycles()) {
+      const IoEvent event = pending_io_.front();
+      pending_io_.pop_front();
+      cpu_.InjectTrap(TrapCause::kIoCompletion, event.device);
+      continue;
+    }
+    cpu_.Step();
+  }
+
+  result.cycles = cpu_.cycles() - start_cycles;
+  result.instructions = cpu_.counters().instructions - start_instructions;
+  if (!result.idle) {
+    result.idle = supervisor_.Idle() && !cpu_.trap_pending();
+  }
+  return result;
+}
+
+namespace {
+
+// Resolves a (possibly paged) registry segment word to an absolute
+// address; nullopt if the page is absent.
+std::optional<AbsAddr> ResolveRegistryWord(const PhysicalMemory& memory,
+                                           const RegisteredSegment& seg, Wordno wordno) {
+  if (!seg.paged) {
+    return seg.base + wordno;
+  }
+  const Ptw ptw = DecodePtw(memory.Read(seg.base + (wordno >> kPageShift)));
+  if (!ptw.present) {
+    return std::nullopt;
+  }
+  return ptw.frame + (wordno & kPageMask);
+}
+
+}  // namespace
+
+std::optional<Word> Machine::PeekSegment(const std::string& name, Wordno wordno) const {
+  const RegisteredSegment* seg = registry_.Find(name);
+  if (seg == nullptr || wordno >= seg->bound) {
+    return std::nullopt;
+  }
+  const auto addr = ResolveRegistryWord(memory_, *seg, wordno);
+  if (!addr.has_value()) {
+    return std::nullopt;
+  }
+  return memory_.Read(*addr);
+}
+
+bool Machine::PokeSegment(const std::string& name, Wordno wordno, Word value) {
+  const RegisteredSegment* seg = registry_.Find(name);
+  if (seg == nullptr || wordno >= seg->bound) {
+    return false;
+  }
+  const auto addr = ResolveRegistryWord(memory_, *seg, wordno);
+  if (!addr.has_value()) {
+    return false;
+  }
+  memory_.Write(*addr, value);
+  return true;
+}
+
+}  // namespace rings

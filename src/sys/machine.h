@@ -1,0 +1,112 @@
+// The complete simulated machine: core store, one processor with the ring
+// hardware, the segment registry, the supervisor, and a typewriter I/O
+// channel. This is the top-level public API most users of the library
+// interact with: assemble a program, load it with access control lists,
+// log users in, start processes, run.
+#ifndef SRC_SYS_MACHINE_H_
+#define SRC_SYS_MACHINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/cpu/cpu.h"
+#include "src/kasm/assembler.h"
+#include "src/mem/physical_memory.h"
+#include "src/sup/segment_registry.h"
+#include "src/sup/supervisor.h"
+#include "src/trace/event_trace.h"
+
+namespace rings {
+
+struct MachineConfig {
+  size_t memory_words = size_t{1} << 22;
+  CycleModel cycle_model{};
+  int64_t quantum = 5000;
+  ProtectionMode mode = ProtectionMode::kRingHardware;
+};
+
+struct RunResult {
+  // True when every process finished (exited or was killed); false when
+  // the cycle budget ran out first.
+  bool idle = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+
+  std::string ToString() const;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = MachineConfig{});
+
+  // False if construction failed (resource exhaustion during supervisor
+  // initialization) — all other calls are invalid then.
+  bool ok() const { return ok_; }
+
+  PhysicalMemory& memory() { return memory_; }
+  Cpu& cpu() { return cpu_; }
+  Supervisor& supervisor() { return supervisor_; }
+  SegmentRegistry& registry() { return registry_; }
+  EventTrace& trace() { return trace_; }
+
+  // Registers an assembled program's segments with the given ACLs (keyed
+  // by segment name).
+  bool LoadProgram(const Program& program, const std::map<std::string, AccessControlList>& acls,
+                   std::string* error = nullptr);
+  // Assembles and loads in one step; aborts with a diagnostic on assembly
+  // errors (programs are compiled into the binary, so a failure is a bug).
+  bool LoadProgramSource(std::string_view source,
+                         const std::map<std::string, AccessControlList>& acls,
+                         std::string* error = nullptr);
+
+  // Login: creates a process for `user`.
+  Process* Login(const std::string& user) { return supervisor_.CreateProcess(user); }
+
+  // Starts `entry` in `segname` in the given ring, making the process
+  // ready to run.
+  bool Start(Process* process, const std::string& segname, const std::string& entry, Ring ring) {
+    return supervisor_.Start(process, segname, entry, ring);
+  }
+
+  // Runs until every process finishes or the cycle budget is exhausted.
+  RunResult Run(uint64_t max_cycles = 100'000'000);
+
+  // Typewriter device access. Feeding input wakes processes blocked in
+  // the tty-read service.
+  const std::string& TtyOutput() const { return supervisor_.tty_output(); }
+  void TtyFeedInput(const std::string& text) {
+    supervisor_.tty_input() += text;
+    supervisor_.NotifyTtyInput();
+  }
+  uint64_t tty_operations() const { return tty_operations_; }
+
+  // Test/debug helpers: direct word access to a registered segment.
+  std::optional<Word> PeekSegment(const std::string& name, Wordno wordno) const;
+  bool PokeSegment(const std::string& name, Wordno wordno, Word value);
+
+ private:
+  struct IoEvent {
+    uint64_t due_cycle = 0;
+    uint8_t device = 0;
+  };
+
+  void StartIo(uint8_t device, Word detail);
+
+  MachineConfig config_;
+  PhysicalMemory memory_;
+  Cpu cpu_;
+  SegmentRegistry registry_;
+  Supervisor supervisor_;
+  EventTrace trace_;
+  std::deque<IoEvent> pending_io_;
+  uint64_t tty_operations_ = 0;
+  bool ok_ = false;
+};
+
+}  // namespace rings
+
+#endif  // SRC_SYS_MACHINE_H_

@@ -1,0 +1,65 @@
+#include "src/trace/counters.h"
+
+#include "src/base/strings.h"
+
+namespace rings {
+
+uint64_t Counters::TotalTraps() const {
+  uint64_t total = 0;
+  for (const uint64_t n : traps) {
+    total += n;
+  }
+  return total;
+}
+
+Counters Counters::Since(const Counters& earlier) const {
+  Counters d;
+  d.instructions = instructions - earlier.instructions;
+  d.memory_reads = memory_reads - earlier.memory_reads;
+  d.memory_writes = memory_writes - earlier.memory_writes;
+  d.sdw_fetches = sdw_fetches - earlier.sdw_fetches;
+  d.sdw_cache_hits = sdw_cache_hits - earlier.sdw_cache_hits;
+  d.indirect_words = indirect_words - earlier.indirect_words;
+  d.page_walks = page_walks - earlier.page_walks;
+  d.pages_supplied = pages_supplied - earlier.pages_supplied;
+  d.links_snapped = links_snapped - earlier.links_snapped;
+  d.checks_fetch = checks_fetch - earlier.checks_fetch;
+  d.checks_read = checks_read - earlier.checks_read;
+  d.checks_write = checks_write - earlier.checks_write;
+  d.checks_indirect = checks_indirect - earlier.checks_indirect;
+  d.checks_transfer = checks_transfer - earlier.checks_transfer;
+  d.checks_call = checks_call - earlier.checks_call;
+  d.checks_return = checks_return - earlier.checks_return;
+  d.calls_same_ring = calls_same_ring - earlier.calls_same_ring;
+  d.calls_downward = calls_downward - earlier.calls_downward;
+  d.returns_same_ring = returns_same_ring - earlier.returns_same_ring;
+  d.returns_upward = returns_upward - earlier.returns_upward;
+  d.supervisor_steps = supervisor_steps - earlier.supervisor_steps;
+  d.upward_calls_emulated = upward_calls_emulated - earlier.upward_calls_emulated;
+  d.downward_returns_emulated = downward_returns_emulated - earlier.downward_returns_emulated;
+  d.argument_words_copied = argument_words_copied - earlier.argument_words_copied;
+  for (size_t i = 0; i < traps.size(); ++i) {
+    d.traps[i] = traps[i] - earlier.traps[i];
+  }
+  return d;
+}
+
+std::string Counters::ToString() const {
+  std::string out = StrFormat(
+      "instructions=%llu reads=%llu writes=%llu sdw_fetches=%llu sdw_hits=%llu checks=%llu "
+      "traps=%llu",
+      static_cast<unsigned long long>(instructions), static_cast<unsigned long long>(memory_reads),
+      static_cast<unsigned long long>(memory_writes),
+      static_cast<unsigned long long>(sdw_fetches),
+      static_cast<unsigned long long>(sdw_cache_hits),
+      static_cast<unsigned long long>(TotalChecks()), static_cast<unsigned long long>(TotalTraps()));
+  for (size_t i = 0; i < traps.size(); ++i) {
+    if (traps[i] != 0) {
+      out += StrFormat(" %s=%llu", std::string(TrapCauseName(static_cast<TrapCause>(i))).c_str(),
+                       static_cast<unsigned long long>(traps[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace rings

@@ -1,0 +1,67 @@
+// Event counters kept by the processor and supervisor. These are the raw
+// series behind every benchmark table in EXPERIMENTS.md: instruction
+// counts, memory references, descriptor fetches, the number of each kind
+// of hardware validation performed, and traps by cause.
+#ifndef SRC_TRACE_COUNTERS_H_
+#define SRC_TRACE_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/core/trap_cause.h"
+
+namespace rings {
+
+struct Counters {
+  uint64_t instructions = 0;
+  uint64_t memory_reads = 0;
+  uint64_t memory_writes = 0;
+  uint64_t sdw_fetches = 0;      // descriptor-segment walks (cache misses)
+  uint64_t sdw_cache_hits = 0;
+  uint64_t indirect_words = 0;   // indirect words processed in EA formation
+  uint64_t page_walks = 0;       // PTW fetches for paged segments
+  uint64_t pages_supplied = 0;   // demand-zero pages installed by the supervisor
+  uint64_t links_snapped = 0;    // dynamic links resolved on first reference
+
+  // Hardware validations performed (Figures 4-8).
+  uint64_t checks_fetch = 0;
+  uint64_t checks_read = 0;
+  uint64_t checks_write = 0;
+  uint64_t checks_indirect = 0;
+  uint64_t checks_transfer = 0;
+  uint64_t checks_call = 0;
+  uint64_t checks_return = 0;
+
+  // CALL/RETURN outcomes.
+  uint64_t calls_same_ring = 0;
+  uint64_t calls_downward = 0;
+  uint64_t returns_same_ring = 0;
+  uint64_t returns_upward = 0;
+
+  // Supervisor-side work.
+  uint64_t supervisor_steps = 0;
+  uint64_t upward_calls_emulated = 0;
+  uint64_t downward_returns_emulated = 0;
+  uint64_t argument_words_copied = 0;
+
+  std::array<uint64_t, static_cast<size_t>(TrapCause::kNumCauses)> traps{};
+
+  uint64_t TotalChecks() const {
+    return checks_fetch + checks_read + checks_write + checks_indirect + checks_transfer +
+           checks_call + checks_return;
+  }
+  uint64_t TotalTraps() const;
+  uint64_t TrapCount(TrapCause cause) const { return traps[static_cast<size_t>(cause)]; }
+  void CountTrap(TrapCause cause) { ++traps[static_cast<size_t>(cause)]; }
+
+  // Per-field difference (this - other); used to attribute costs to a
+  // region of execution.
+  Counters Since(const Counters& earlier) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace rings
+
+#endif  // SRC_TRACE_COUNTERS_H_

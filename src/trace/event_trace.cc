@@ -1,0 +1,83 @@
+#include "src/trace/event_trace.h"
+
+#include "src/base/strings.h"
+
+namespace rings {
+
+namespace {
+
+const char* KindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kInstruction:
+      return "ins";
+    case EventKind::kRingSwitch:
+      return "ring";
+    case EventKind::kTrap:
+      return "trap";
+    case EventKind::kTrapReturn:
+      return "rett";
+    case EventKind::kSupervisor:
+      return "sup";
+    case EventKind::kProcessSwitch:
+      return "proc";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TraceEvent::ToString() const {
+  std::string out = StrFormat("[%8llu] %-4s r%u %u|%u", static_cast<unsigned long long>(cycle),
+                              KindName(kind), ring, pc.segno, pc.wordno);
+  if (kind == EventKind::kTrap) {
+    out += " cause=" + std::string(TrapCauseName(cause));
+  }
+  if (kind == EventKind::kRingSwitch) {
+    out += StrFormat(" -> r%u", new_ring);
+  }
+  if (!note.empty()) {
+    out += " " + note;
+  }
+  return out;
+}
+
+void EventTrace::Record(TraceEvent event) {
+  if (!enabled_) {
+    return;
+  }
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> EventTrace::Filter(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Ring> EventTrace::RingSwitchSequence() const {
+  std::vector<Ring> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == EventKind::kRingSwitch) {
+      out.push_back(e.new_ring);
+    }
+  }
+  return out;
+}
+
+std::string EventTrace::Dump() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rings

@@ -1,0 +1,326 @@
+// The Honeywell-645-style software-rings baseline: per-ring descriptor
+// segments, MME-trap crossings, software gate and argument validation —
+// and its allow/deny equivalence with the ring hardware.
+#include "src/b645/b645_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+std::map<std::string, SegmentAccess> BasicSpecs() {
+  std::map<std::string, SegmentAccess> specs;
+  specs["main"] = MakeProcedureSegment(4, 4);
+  return specs;
+}
+
+TEST(B645, RunsAndExits) {
+  B645Machine machine;
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  ldai 6
+        mpy  seven
+        mme  0
+seven:  .word 7
+)",
+                                        BasicSpecs()));
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_TRUE(machine.exited());
+  EXPECT_EQ(machine.exit_code(), 42);
+}
+
+TEST(B645, PerRingDescriptorSegmentsCompileBrackets) {
+  // A segment writable to ring 2, readable to ring 5: the ring-4 process
+  // can read but not write; after crossing to ring 2 it can write. The
+  // whole bracket behaviour emerges from per-ring descriptor segments
+  // holding only flags.
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["data"] = MakeDataSegment(2, 5);
+  specs["writer"] = MakeProcedureSegment(2, 2, 5, 1);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  lda   dptr,*         ; read OK in ring 4
+        ldq   target
+        mme   1              ; cross-ring call to writer$0
+        lda   dptr,*         ; observe the write back in ring 4
+        mme   0
+dptr:   .its  0, data, 0
+target: .word 0              ; patched below
+
+        .segment writer
+        .gates 1
+entry:  ldai  77
+        sta   wptr,*         ; write OK in ring 2
+        mme   2              ; cross-ring return
+wptr:   .its  0, data, 0
+
+        .segment data
+        .word 5
+)",
+                                        specs));
+  const Segno writer_segno = machine.registry().Find("writer")->segno;
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  ASSERT_TRUE(machine.PokeWordForTest("main", 6, PackB645Target(writer_segno, 0)));
+  machine.Run();
+  EXPECT_TRUE(machine.exited()) << TrapCauseName(machine.kill_cause());
+  EXPECT_EQ(machine.exit_code(), 77);
+  EXPECT_EQ(machine.PeekWordForTest("data", 0), 77u);
+  EXPECT_EQ(machine.crossings(), 1u);
+}
+
+TEST(B645, WriteDeniedOutsideCompiledBracket) {
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["data"] = MakeDataSegment(2, 5);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  ldai 9
+        sta  dptr,*
+        mme  0
+dptr:   .its 0, data, 0
+        .segment data
+        .word 5
+)",
+                                        specs));
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  machine.Run();
+  EXPECT_FALSE(machine.exited());
+  EXPECT_EQ(machine.kill_cause(), TrapCause::kWriteViolation);
+}
+
+TEST(B645, ReadDeniedAboveReadBracket) {
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["main"] = MakeProcedureSegment(6, 6);
+  specs["data"] = MakeDataSegment(2, 5);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  lda  dptr,*
+        mme  0
+dptr:   .its 0, data, 0
+        .segment data
+        .word 5
+)",
+                                        specs));
+  ASSERT_TRUE(machine.Start("main", "start", /*ring=*/6));
+  machine.Run();
+  // In ring 6's descriptor segment the data segment carries no access at
+  // all, so it is simply absent there: the 645 scheme denies with a
+  // missing-segment fault where the ring hardware reports a read
+  // violation — same deny, different cause, as the real systems did.
+  EXPECT_FALSE(machine.exited());
+  EXPECT_EQ(machine.kill_cause(), TrapCause::kMissingSegment);
+}
+
+TEST(B645, CrossRingCallAndReturn) {
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["service"] = MakeProcedureSegment(1, 1, 5, 1);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  ldq   tgt
+        mme   1              ; cross-ring call
+        adai  1
+        mme   0
+tgt:    .word 0              ; patched: packed (service, 0)
+
+        .segment service
+        .gates 1
+entry:  ldai  41
+        mme   2              ; cross-ring return
+)",
+                                        specs));
+  const Segno svc = machine.registry().Find("service")->segno;
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  // Patch the packed target into main$tgt (word 4).
+  ASSERT_TRUE(machine.PokeWordForTest("main", 4, PackB645Target(svc, 0)));
+  machine.Run();
+  EXPECT_TRUE(machine.exited());
+  EXPECT_EQ(machine.exit_code(), 42);
+  EXPECT_EQ(machine.crossings(), 1u);
+  EXPECT_GT(machine.gatekeeper_steps(), 0u);
+}
+
+TEST(B645, GateValidatedInSoftware) {
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["service"] = MakeProcedureSegment(1, 1, 5, 1);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  ldq  tgt
+        mme  1
+        mme  0
+tgt:    .word 0
+
+        .segment service
+        .gates 1
+entry:  nop
+body:   mme  2
+)",
+                                        specs));
+  const Segno svc = machine.registry().Find("service")->segno;
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  // Target word 1 is not a gate.
+  machine.PokeWordForTest("main", 3, PackB645Target(svc, 1));
+  machine.Run();
+  EXPECT_FALSE(machine.exited());
+  EXPECT_EQ(machine.kill_cause(), TrapCause::kGateViolation);
+}
+
+TEST(B645, ReturnWithoutCallRejected) {
+  B645Machine machine;
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  mme  2
+        mme  0
+)",
+                                        BasicSpecs()));
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  machine.Run();
+  EXPECT_FALSE(machine.exited());
+  EXPECT_EQ(machine.kill_cause(), TrapCause::kDownwardReturn);
+}
+
+TEST(B645, GetRingReflectsCrossing) {
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["service"] = MakeProcedureSegment(1, 1, 5, 1);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  ldq  tgt
+        mme  1
+        mme  0               ; exit code = ring seen inside the service
+tgt:    .word 0
+
+        .segment service
+        .gates 1
+entry:  mme  3               ; A <- current ring
+        mme  2
+)",
+                                        specs));
+  const Segno svc = machine.registry().Find("service")->segno;
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  machine.PokeWordForTest("main", 3, PackB645Target(svc, 0));
+  machine.Run();
+  EXPECT_TRUE(machine.exited());
+  EXPECT_EQ(machine.exit_code(), 1);  // the service ring
+}
+
+TEST(B645, UpwardCallThroughGatekeeper) {
+  // On the 645 all crossings are software; the gatekeeper handles the
+  // upward direction the same way (enter the bracket floor), and the
+  // subsequent MME return restores the caller's ring.
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["high"] = MakeProcedureSegment(6, 6, 6, 1);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  ldq  tgt
+        mme  1               ; upward crossing 4 -> 6
+        adai 1
+        mme  0
+tgt:    .word 0
+
+        .segment high
+        .gates 1
+entry:  mme  3               ; A <- current ring (6)
+        mme  2
+)",
+                                        specs));
+  const Segno high = machine.registry().Find("high")->segno;
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  machine.PokeWordForTest("main", 4, PackB645Target(high, 0));
+  machine.Run();
+  EXPECT_TRUE(machine.exited());
+  EXPECT_EQ(machine.exit_code(), 7);  // ring 6 + 1
+  EXPECT_EQ(machine.current_ring(), kUserRing);
+}
+
+TEST(B645, ArgumentValidationRejectsUnreadableArgs) {
+  // The gatekeeper validates the argument list against the CALLER's
+  // capabilities; pointing an argument at a supervisor-only segment kills
+  // the process at crossing time.
+  B645Machine machine;
+  auto specs = BasicSpecs();
+  specs["service"] = MakeProcedureSegment(1, 1, 5, 1);
+  specs["secret"] = MakeDataSegment(1, 1);
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  epp  pr1, args
+        ldq  tgt
+        mme  1
+        mme  0
+args:   .word 1
+        .its 0, secret, 0
+        .word 1
+tgt:    .word 0
+
+        .segment secret
+        .word 99
+
+        .segment service
+        .gates 1
+entry:  mme  2
+)",
+                                        specs));
+  const Segno svc = machine.registry().Find("service")->segno;
+  ASSERT_TRUE(machine.Start("main", "start", kUserRing));
+  const auto tgt = machine.registry().Find("main")->symbols.at("tgt");
+  machine.PokeWordForTest("main", tgt, PackB645Target(svc, 0));
+  machine.Run();
+  EXPECT_FALSE(machine.exited());
+  EXPECT_EQ(machine.kill_cause(), TrapCause::kReadViolation);
+  EXPECT_EQ(machine.crossings(), 1u);  // died inside the gatekeeper
+}
+
+// Differential property: the 645 gatekeeper and the ring hardware agree
+// on which crossings are legal, because both use core ResolveCall.
+TEST(B645Differential, CrossingLegalityMatchesHardware) {
+  for (unsigned r1 : {0u, 1u, 4u}) {
+    for (unsigned r2 : {1u, 4u, 5u}) {
+      for (unsigned r3 : {1u, 5u, 7u}) {
+        if (r1 > r2 || r2 > r3) {
+          continue;
+        }
+        for (Ring caller : {Ring{1}, Ring{4}, Ring{6}}) {
+          const SegmentAccess spec = MakeProcedureSegment(
+              static_cast<Ring>(r1), static_cast<Ring>(r2), static_cast<Ring>(r3), 1);
+          const TransferOutcome hw = ResolveCall(spec, caller, caller, 0, false);
+
+          B645Machine machine;
+          std::map<std::string, SegmentAccess> specs;
+          specs["main"] = MakeProcedureSegment(caller, caller);
+          specs["service"] = spec;
+          ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  ldq  tgt
+        mme  1
+        mme  0
+tgt:    .word 0
+
+        .segment service
+        .gates 1
+entry:  mme  2
+)",
+                                                specs));
+          const Segno svc = machine.registry().Find("service")->segno;
+          ASSERT_TRUE(machine.Start("main", "start", caller));
+          machine.PokeWordForTest("main", 3, PackB645Target(svc, 0));
+          machine.Run();
+
+          const bool hw_allows = hw.ok() || hw.cause == TrapCause::kUpwardCall;
+          EXPECT_EQ(machine.exited(), hw_allows)
+              << "r=(" << r1 << "," << r2 << "," << r3 << ") caller=" << unsigned(caller);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,79 @@
+#include "src/base/bitfield.h"
+
+#include <gtest/gtest.h>
+
+namespace rings {
+namespace {
+
+TEST(BitMask, Widths) {
+  EXPECT_EQ(BitMask(0), 0u);
+  EXPECT_EQ(BitMask(1), 1u);
+  EXPECT_EQ(BitMask(3), 7u);
+  EXPECT_EQ(BitMask(18), 0x3FFFFu);
+  EXPECT_EQ(BitMask(63), 0x7FFFFFFFFFFFFFFFu);
+  EXPECT_EQ(BitMask(64), ~uint64_t{0});
+}
+
+TEST(ExtractDeposit, RoundTrip) {
+  uint64_t w = 0;
+  w = DepositBits(w, 10, 5, 0b10110);
+  EXPECT_EQ(ExtractBits(w, 10, 5), 0b10110u);
+  // Neighboring bits untouched.
+  EXPECT_EQ(ExtractBits(w, 0, 10), 0u);
+  EXPECT_EQ(ExtractBits(w, 15, 10), 0u);
+}
+
+TEST(ExtractDeposit, OverwritesField) {
+  uint64_t w = ~uint64_t{0};
+  w = DepositBits(w, 4, 4, 0);
+  EXPECT_EQ(ExtractBits(w, 4, 4), 0u);
+  EXPECT_EQ(ExtractBits(w, 0, 4), 0xFu);
+  EXPECT_EQ(ExtractBits(w, 8, 4), 0xFu);
+}
+
+TEST(ExtractDeposit, ValueTruncatedToWidth) {
+  uint64_t w = DepositBits(0, 0, 3, 0xFF);
+  EXPECT_EQ(w, 7u);
+}
+
+TEST(SignExtend, Positive) {
+  EXPECT_EQ(SignExtend(5, 18), 5);
+  EXPECT_EQ(SignExtend(0x1FFFF, 18), 0x1FFFF);  // max positive 18-bit
+}
+
+TEST(SignExtend, Negative) {
+  EXPECT_EQ(SignExtend(0x3FFFF, 18), -1);
+  EXPECT_EQ(SignExtend(0x20000, 18), -131072);
+}
+
+TEST(EncodeSigned, RoundTripAllBoundary18Bit) {
+  for (const int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{131071}, int64_t{-131072}}) {
+    EXPECT_EQ(SignExtend(EncodeSigned(v, 18), 18), v) << v;
+  }
+}
+
+TEST(Fits, Signed) {
+  EXPECT_TRUE(FitsSigned(131071, 18));
+  EXPECT_FALSE(FitsSigned(131072, 18));
+  EXPECT_TRUE(FitsSigned(-131072, 18));
+  EXPECT_FALSE(FitsSigned(-131073, 18));
+}
+
+TEST(Fits, Unsigned) {
+  EXPECT_TRUE(FitsUnsigned(7, 3));
+  EXPECT_FALSE(FitsUnsigned(8, 3));
+}
+
+// Property sweep: every (shift, width) deposit/extract round-trips.
+TEST(ExtractDeposit, PropertySweep) {
+  for (unsigned shift = 0; shift < 60; shift += 7) {
+    for (unsigned width = 1; width <= 64 - shift && width <= 20; ++width) {
+      const uint64_t value = 0xA5A5A5A5A5A5A5A5u & BitMask(width);
+      const uint64_t w = DepositBits(0x123456789ABCDEFu, shift, width, value);
+      EXPECT_EQ(ExtractBits(w, shift, width), value) << shift << "," << width;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,50 @@
+#include "src/base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rings {
+namespace {
+
+TEST(StrFormat, Basic) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(Hex, Formatting) {
+  EXPECT_EQ(Hex(0x2A), "0x2a");
+  EXPECT_EQ(Hex(0x2A, 4), "0x002a");
+}
+
+TEST(SplitAny, DropsEmptyPieces) {
+  const auto pieces = SplitAny("a,,b, c", ", ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(SplitAny, NoDelimiters) {
+  const auto pieces = SplitAny("alone", ",");
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "alone");
+}
+
+TEST(StripWhitespace, Variants) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("\ta b\n"), "a b");
+}
+
+TEST(EqualsIgnoreCase, Variants) {
+  EXPECT_TRUE(EqualsIgnoreCase("CALL", "call"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("call", "cal"));
+  EXPECT_FALSE(EqualsIgnoreCase("call", "calk"));
+}
+
+TEST(ToLower, Basic) { EXPECT_EQ(ToLower("LdA"), "lda"); }
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,72 @@
+#include "src/base/xorshift.h"
+
+#include <gtest/gtest.h>
+
+namespace rings {
+namespace {
+
+TEST(Xorshift, DeterministicForSameSeed) {
+  Xorshift a(42);
+  Xorshift b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xorshift, DifferentSeedsDiffer) {
+  Xorshift a(1);
+  Xorshift b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 45);
+}
+
+TEST(Xorshift, BelowStaysInRange) {
+  Xorshift rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(13), 13u);
+  }
+}
+
+TEST(Xorshift, BetweenInclusive) {
+  Xorshift rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.Between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xorshift, ChanceExtremes) {
+  Xorshift rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0, 10));
+    EXPECT_TRUE(rng.Chance(10, 10));
+  }
+}
+
+TEST(Xorshift, RoughUniformity) {
+  Xorshift rng(123);
+  int buckets[8] = {};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++buckets[rng.Below(8)];
+  }
+  for (const int b : buckets) {
+    EXPECT_GT(b, n / 8 - n / 40);
+    EXPECT_LT(b, n / 8 + n / 40);
+  }
+}
+
+}  // namespace
+}  // namespace rings

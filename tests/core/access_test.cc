@@ -1,0 +1,167 @@
+// The pure validation predicates of Figures 4, 5 (indirect read), 6, and
+// 7 — exercised exhaustively over all bracket/ring combinations with
+// parameterized sweeps.
+#include "src/core/access.h"
+
+#include <gtest/gtest.h>
+
+namespace rings {
+namespace {
+
+TEST(CheckRead, RequiresFlagAndBracket) {
+  const SegmentAccess access = MakeDataSegment(2, 5);
+  EXPECT_TRUE(CheckRead(access, 0).ok());
+  EXPECT_TRUE(CheckRead(access, 5).ok());
+  EXPECT_EQ(CheckRead(access, 6).cause, TrapCause::kReadViolation);
+
+  SegmentAccess no_read = access;
+  no_read.flags.read = false;
+  EXPECT_EQ(CheckRead(no_read, 0).cause, TrapCause::kReadViolation);
+}
+
+TEST(CheckWrite, RequiresFlagAndBracket) {
+  const SegmentAccess access = MakeDataSegment(2, 5);
+  EXPECT_TRUE(CheckWrite(access, 0).ok());
+  EXPECT_TRUE(CheckWrite(access, 2).ok());
+  EXPECT_EQ(CheckWrite(access, 3).cause, TrapCause::kWriteViolation);
+
+  SegmentAccess no_write = access;
+  no_write.flags.write = false;
+  EXPECT_EQ(CheckWrite(no_write, 0).cause, TrapCause::kWriteViolation);
+}
+
+TEST(CheckExecute, RequiresFlagAndBracketBothEnds) {
+  const SegmentAccess access = MakeProcedureSegment(2, 4);
+  EXPECT_EQ(CheckExecute(access, 1).cause, TrapCause::kExecuteViolation);  // below floor
+  EXPECT_TRUE(CheckExecute(access, 2).ok());
+  EXPECT_TRUE(CheckExecute(access, 4).ok());
+  EXPECT_EQ(CheckExecute(access, 5).cause, TrapCause::kExecuteViolation);  // above top
+
+  SegmentAccess no_exec = access;
+  no_exec.flags.execute = false;
+  EXPECT_EQ(CheckExecute(no_exec, 3).cause, TrapCause::kExecuteViolation);
+}
+
+TEST(CheckIndirectRead, MatchesRead) {
+  const SegmentAccess access = MakeDataSegment(1, 3);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(CheckIndirectRead(access, r).ok(), CheckRead(access, r).ok()) << unsigned(r);
+  }
+}
+
+TEST(CheckTransfer, RejectsRaisedEffectiveRing) {
+  const SegmentAccess access = MakeProcedureSegment(0, 7);
+  // Effective ring above the ring of execution: a plain transfer cannot
+  // act on a pointer influenced by a higher ring (Figure 7).
+  EXPECT_EQ(CheckTransfer(access, 4, 5).cause, TrapCause::kTransferRingViolation);
+  // Equal rings pass through to the execute check.
+  EXPECT_TRUE(CheckTransfer(access, 4, 4).ok());
+}
+
+TEST(CheckTransfer, AppliesExecuteBracket) {
+  const SegmentAccess access = MakeProcedureSegment(2, 4);
+  EXPECT_EQ(CheckTransfer(access, 1, 1).cause, TrapCause::kExecuteViolation);
+  EXPECT_TRUE(CheckTransfer(access, 3, 3).ok());
+  EXPECT_EQ(CheckTransfer(access, 5, 5).cause, TrapCause::kExecuteViolation);
+}
+
+TEST(AnyAccess, CoversGateExtension) {
+  // A gated supervisor entry segment: no read/write/execute for ring 4,
+  // but callable through its gates.
+  const SegmentAccess access = MakeProcedureSegment(0, 0, 5, /*gate_count=*/3);
+  SegmentAccess unreadable = access;
+  unreadable.flags.read = false;
+  EXPECT_FALSE(CheckRead(unreadable, 4).ok());
+  EXPECT_FALSE(CheckExecute(unreadable, 4).ok());
+  EXPECT_TRUE(AnyAccess(unreadable, 4));   // gate extension
+  EXPECT_FALSE(AnyAccess(unreadable, 6));  // beyond R3
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized exhaustive sweeps over every (r1, r2, r3, ring).
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  unsigned r1, r2, r3;
+};
+
+class BracketSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(BracketSweep, ReadWriteMonotoneDownward) {
+  const auto [r1, r2, r3] = GetParam();
+  SegmentAccess access;
+  access.flags = {.read = true, .write = true, .execute = true};
+  access.brackets = *Brackets::Make(r1, r2, r3);
+  for (Ring ring = 1; ring < kRingCount; ++ring) {
+    // Monotonicity: permission at ring implies permission at ring-1.
+    if (CheckRead(access, ring).ok()) {
+      EXPECT_TRUE(CheckRead(access, ring - 1).ok());
+    }
+    if (CheckWrite(access, ring).ok()) {
+      EXPECT_TRUE(CheckWrite(access, ring - 1).ok());
+    }
+  }
+}
+
+TEST_P(BracketSweep, DecisionsMatchBracketDefinition) {
+  const auto [r1, r2, r3] = GetParam();
+  SegmentAccess access;
+  access.flags = {.read = true, .write = true, .execute = true};
+  access.brackets = *Brackets::Make(r1, r2, r3);
+  for (Ring ring = 0; ring < kRingCount; ++ring) {
+    EXPECT_EQ(CheckRead(access, ring).ok(), ring <= r2);
+    EXPECT_EQ(CheckWrite(access, ring).ok(), ring <= r1);
+    EXPECT_EQ(CheckExecute(access, ring).ok(), ring >= r1 && ring <= r2);
+  }
+}
+
+TEST_P(BracketSweep, WriteImpliesReadWhenBothFlagsOn) {
+  // Because R1 <= R2, anything writable is also readable (with both flags
+  // on): writable-but-unreadable segments cannot be expressed.
+  const auto [r1, r2, r3] = GetParam();
+  SegmentAccess access;
+  access.flags = {.read = true, .write = true, .execute = false};
+  access.brackets = *Brackets::Make(r1, r2, r3);
+  for (Ring ring = 0; ring < kRingCount; ++ring) {
+    if (CheckWrite(access, ring).ok()) {
+      EXPECT_TRUE(CheckRead(access, ring).ok());
+    }
+  }
+}
+
+std::vector<SweepCase> AllBrackets() {
+  std::vector<SweepCase> cases;
+  for (unsigned r1 = 0; r1 < kRingCount; ++r1) {
+    for (unsigned r2 = r1; r2 < kRingCount; ++r2) {
+      for (unsigned r3 = r2; r3 < kRingCount; ++r3) {
+        cases.push_back({r1, r2, r3});
+      }
+    }
+  }
+  return cases;  // C(8+2,3) = 120 well-formed bracket triples
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWellFormedBrackets, BracketSweep, ::testing::ValuesIn(AllBrackets()),
+                         [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+                           return "r" + std::to_string(param_info.param.r1) + "_" +
+                                  std::to_string(param_info.param.r2) + "_" +
+                                  std::to_string(param_info.param.r3);
+                         });
+
+// Flags-off sweep: with a flag off the capability exists in no ring,
+// regardless of brackets.
+TEST(FlagsOff, DenyEverywhere) {
+  for (const auto& c : AllBrackets()) {
+    SegmentAccess access;
+    access.flags = {.read = false, .write = false, .execute = false};
+    access.brackets = *Brackets::Make(c.r1, c.r2, c.r3);
+    for (Ring ring = 0; ring < kRingCount; ++ring) {
+      EXPECT_FALSE(CheckRead(access, ring).ok());
+      EXPECT_FALSE(CheckWrite(access, ring).ok());
+      EXPECT_FALSE(CheckExecute(access, ring).ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rings

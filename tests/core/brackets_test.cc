@@ -1,0 +1,152 @@
+// Bracket semantics (Figure 3) and the example access indicators of
+// Figures 1 and 2.
+#include "src/core/brackets.h"
+
+#include <gtest/gtest.h>
+
+namespace rings {
+namespace {
+
+TEST(Brackets, MakeValidatesOrdering) {
+  EXPECT_TRUE(Brackets::Make(1, 4, 6).has_value());
+  EXPECT_TRUE(Brackets::Make(0, 0, 0).has_value());
+  EXPECT_TRUE(Brackets::Make(7, 7, 7).has_value());
+  EXPECT_FALSE(Brackets::Make(4, 1, 6).has_value());  // r1 > r2
+  EXPECT_FALSE(Brackets::Make(1, 6, 4).has_value());  // r2 > r3
+  EXPECT_FALSE(Brackets::Make(1, 4, 8).has_value());  // out of range
+  EXPECT_FALSE(Brackets::Make(9, 9, 9).has_value());
+}
+
+TEST(Brackets, WriteBracketIsZeroToR1) {
+  const Brackets b = *Brackets::Make(3, 5, 6);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(b.InWriteBracket(r), r <= 3) << unsigned(r);
+  }
+}
+
+TEST(Brackets, ReadBracketIsZeroToR2) {
+  const Brackets b = *Brackets::Make(3, 5, 6);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(b.InReadBracket(r), r <= 5) << unsigned(r);
+  }
+}
+
+TEST(Brackets, ExecuteBracketIsR1ToR2) {
+  const Brackets b = *Brackets::Make(3, 5, 6);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(b.InExecuteBracket(r), r >= 3 && r <= 5) << unsigned(r);
+  }
+}
+
+TEST(Brackets, GateExtensionIsAboveR2UpToR3) {
+  const Brackets b = *Brackets::Make(3, 5, 6);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(b.InGateExtension(r), r == 6) << unsigned(r);
+  }
+}
+
+TEST(Brackets, DegenerateSingleRing) {
+  const Brackets b = *Brackets::Make(4, 4, 4);
+  EXPECT_TRUE(b.InExecuteBracket(4));
+  EXPECT_FALSE(b.InExecuteBracket(3));
+  EXPECT_FALSE(b.InExecuteBracket(5));
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_FALSE(b.InGateExtension(r));
+  }
+}
+
+// Figure 1: "Example access indicators for a writable data segment" — a
+// data segment writable in rings 0..4 and readable in rings 0..5.
+TEST(Figure1, WritableDataSegment) {
+  const SegmentAccess access = MakeDataSegment(/*write_top=*/4, /*read_top=*/5);
+  EXPECT_TRUE(access.flags.read);
+  EXPECT_TRUE(access.flags.write);
+  EXPECT_FALSE(access.flags.execute);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(access.brackets.InWriteBracket(r), r <= 4);
+    EXPECT_EQ(access.brackets.InReadBracket(r), r <= 5);
+  }
+  EXPECT_TRUE(access.brackets.IsWellFormed());
+}
+
+// Figure 2: "Example access indicators for a pure procedure segment which
+// contains gates" — executable in rings 2..4, callable through gates from
+// rings 5..6, two gate words.
+TEST(Figure2, GatedPureProcedure) {
+  const SegmentAccess access = MakeProcedureSegment(2, 4, 6, /*gate_count=*/2);
+  EXPECT_TRUE(access.flags.read);
+  EXPECT_FALSE(access.flags.write);  // pure procedure
+  EXPECT_TRUE(access.flags.execute);
+  EXPECT_EQ(access.gate_count, 2u);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(access.brackets.InExecuteBracket(r), r >= 2 && r <= 4) << unsigned(r);
+    EXPECT_EQ(access.brackets.InGateExtension(r), r == 5 || r == 6) << unsigned(r);
+  }
+  // "The double use of this field ... eliminates an unwanted degree of
+  // freedom": the write bracket top and execute bracket bottom coincide,
+  // so a segment can never be both writable and executable in more than
+  // one ring.
+  EXPECT_EQ(access.brackets.r1, 2);
+}
+
+TEST(Factories, StackSegmentBracketsEndAtRing) {
+  for (Ring n = 0; n < kRingCount; ++n) {
+    const SegmentAccess access = MakeStackSegment(n);
+    for (Ring m = 0; m < kRingCount; ++m) {
+      // "Stack areas for these procedures are not accessible to procedures
+      // executing in any ring m > n."
+      EXPECT_EQ(access.brackets.InReadBracket(m), m <= n);
+      EXPECT_EQ(access.brackets.InWriteBracket(m), m <= n);
+    }
+    EXPECT_FALSE(access.flags.execute);
+  }
+}
+
+TEST(Factories, ReadOnlySegmentNotWritableAnywhere) {
+  const SegmentAccess access = MakeReadOnlyDataSegment(6);
+  EXPECT_FALSE(access.flags.write);
+  EXPECT_TRUE(access.brackets.InReadBracket(6));
+  EXPECT_FALSE(access.brackets.InReadBracket(7));
+}
+
+TEST(Factories, LibraryProcedureWideExecuteBracket) {
+  // "Procedure segments with wider execute brackets normally will contain
+  // commonly used library subroutines."
+  const SegmentAccess lib = MakeProcedureSegment(1, 5);
+  for (Ring r = 0; r < kRingCount; ++r) {
+    EXPECT_EQ(lib.brackets.InExecuteBracket(r), r >= 1 && r <= 5);
+  }
+  EXPECT_EQ(lib.gate_count, 0u);
+}
+
+TEST(ToString, Formats) {
+  const SegmentAccess access = MakeProcedureSegment(2, 4, 6, 2);
+  EXPECT_EQ(access.brackets.ToString(), "(2,4,6)");
+  EXPECT_EQ(access.flags.ToString(), "r-e");
+  EXPECT_EQ(MakeDataSegment(1, 2).flags.ToString(), "rw-");
+}
+
+// The nested-subset property: for any well-formed brackets, the set of
+// access capabilities available at ring m is a subset of those at ring n
+// whenever m > n (for read and write; execute deliberately excepted by the
+// bracket floor).
+TEST(Property, NestedSubsetForReadWrite) {
+  for (unsigned r1 = 0; r1 < kRingCount; ++r1) {
+    for (unsigned r2 = r1; r2 < kRingCount; ++r2) {
+      const Brackets b = *Brackets::Make(r1, r2, r2);
+      for (Ring hi = 1; hi < kRingCount; ++hi) {
+        const Ring lo = hi - 1;
+        // Anything permitted at the higher ring is permitted at the lower.
+        if (b.InReadBracket(hi)) {
+          EXPECT_TRUE(b.InReadBracket(lo));
+        }
+        if (b.InWriteBracket(hi)) {
+          EXPECT_TRUE(b.InWriteBracket(lo));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rings

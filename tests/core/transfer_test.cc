@@ -1,0 +1,210 @@
+// Exhaustive tests of the CALL (Figure 8) and RETURN (Figure 9) ring
+// resolution rules.
+#include "src/core/transfer.h"
+
+#include <gtest/gtest.h>
+
+namespace rings {
+namespace {
+
+SegmentAccess Gated(unsigned r1, unsigned r2, unsigned r3, uint32_t gates) {
+  return MakeProcedureSegment(static_cast<Ring>(r1), static_cast<Ring>(r2),
+                              static_cast<Ring>(r3), gates);
+}
+
+// --- CALL -----------------------------------------------------------------
+
+TEST(ResolveCall, RaisedEffectiveRingIsViolation) {
+  // "What would appear to be a call within the same ring ... can in fact
+  // be an upward call with respect to IPR.RING ... generate an access
+  // violation when it occurs, even if the current ring of execution is
+  // within the execute bracket."
+  const SegmentAccess target = Gated(0, 7, 7, 4);
+  const auto outcome = ResolveCall(target, /*ring=*/3, /*effective=*/5, 0, false);
+  EXPECT_EQ(outcome.cause, TrapCause::kCallRingViolation);
+}
+
+TEST(ResolveCall, ExecuteFlagOff) {
+  SegmentAccess target = Gated(0, 4, 5, 4);
+  target.flags.execute = false;
+  EXPECT_EQ(ResolveCall(target, 4, 4, 0, false).cause, TrapCause::kExecuteViolation);
+}
+
+TEST(ResolveCall, GateCheckAppliesEvenSameRing) {
+  // "A CALL must be directed at a gate location even when the called
+  // procedure will execute in the same ring as the calling procedure."
+  const SegmentAccess target = Gated(4, 4, 4, /*gates=*/2);
+  EXPECT_TRUE(ResolveCall(target, 4, 4, 0, false).ok());
+  EXPECT_TRUE(ResolveCall(target, 4, 4, 1, false).ok());
+  EXPECT_EQ(ResolveCall(target, 4, 4, 2, false).cause, TrapCause::kGateViolation);
+  EXPECT_EQ(ResolveCall(target, 4, 4, 100, false).cause, TrapCause::kGateViolation);
+}
+
+TEST(ResolveCall, SameSegmentBypassesGateList) {
+  // "The only exception ... occurs if the operand is in the same segment
+  // as the instruction" — internal procedure calls.
+  const SegmentAccess target = Gated(4, 4, 4, /*gates=*/1);
+  EXPECT_TRUE(ResolveCall(target, 4, 4, 500, /*same_segment=*/true).ok());
+}
+
+TEST(ResolveCall, DownwardThroughGateExtensionEntersR2) {
+  // Ring 4 caller, target executes in rings [0,1], gate extension to 5.
+  const SegmentAccess target = Gated(0, 1, 5, 4);
+  const auto outcome = ResolveCall(target, 4, 4, 2, false);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.new_ring, 1);  // top of the execute bracket
+  EXPECT_TRUE(outcome.ring_changed);
+}
+
+TEST(ResolveCall, WithinExecuteBracketKeepsRing) {
+  const SegmentAccess target = Gated(2, 5, 6, 4);
+  for (Ring ring = 2; ring <= 5; ++ring) {
+    const auto outcome = ResolveCall(target, ring, ring, 0, false);
+    ASSERT_TRUE(outcome.ok()) << unsigned(ring);
+    EXPECT_EQ(outcome.new_ring, ring);
+    EXPECT_FALSE(outcome.ring_changed);
+  }
+}
+
+TEST(ResolveCall, AboveGateExtensionIsViolation) {
+  // "Procedures executing in rings 6 and 7 are not given access to
+  // supervisor gates" — modelled by R3 = 5.
+  const SegmentAccess target = Gated(0, 1, 5, 4);
+  EXPECT_EQ(ResolveCall(target, 6, 6, 0, false).cause, TrapCause::kExecuteViolation);
+  EXPECT_EQ(ResolveCall(target, 7, 7, 0, false).cause, TrapCause::kExecuteViolation);
+}
+
+TEST(ResolveCall, UpwardCallTrapsForSoftware) {
+  const SegmentAccess target = Gated(5, 6, 7, 4);
+  EXPECT_EQ(ResolveCall(target, 4, 4, 0, false).cause, TrapCause::kUpwardCall);
+  EXPECT_EQ(ResolveCall(target, 0, 0, 0, false).cause, TrapCause::kUpwardCall);
+}
+
+TEST(ResolveCall, GateCheckPrecedesRingResolution) {
+  // A non-gate target in the gate extension is a gate violation, not a
+  // ring change.
+  const SegmentAccess target = Gated(0, 1, 5, /*gates=*/1);
+  EXPECT_EQ(ResolveCall(target, 4, 4, 3, false).cause, TrapCause::kGateViolation);
+}
+
+// Exhaustive CALL sweep: for every bracket triple and every caller ring,
+// the outcome matches the four-case rule of Figure 8.
+TEST(ResolveCall, ExhaustiveRingResolution) {
+  for (unsigned r1 = 0; r1 < kRingCount; ++r1) {
+    for (unsigned r2 = r1; r2 < kRingCount; ++r2) {
+      for (unsigned r3 = r2; r3 < kRingCount; ++r3) {
+        const SegmentAccess target = Gated(r1, r2, r3, /*gates=*/8);
+        for (Ring ring = 0; ring < kRingCount; ++ring) {
+          const auto outcome = ResolveCall(target, ring, ring, 0, false);
+          if (ring < r1) {
+            EXPECT_EQ(outcome.cause, TrapCause::kUpwardCall);
+          } else if (ring <= r2) {
+            ASSERT_TRUE(outcome.ok());
+            EXPECT_EQ(outcome.new_ring, ring);
+            EXPECT_FALSE(outcome.ring_changed);
+          } else if (ring <= r3) {
+            ASSERT_TRUE(outcome.ok());
+            EXPECT_EQ(outcome.new_ring, r2);
+            EXPECT_TRUE(outcome.ring_changed);
+          } else {
+            EXPECT_EQ(outcome.cause, TrapCause::kExecuteViolation);
+          }
+        }
+      }
+    }
+  }
+}
+
+// A successful CALL can never *raise* the ring of execution: privilege is
+// only gained, never lost, through CALL.
+TEST(ResolveCall, NeverEntersHigherRing) {
+  for (unsigned r1 = 0; r1 < kRingCount; ++r1) {
+    for (unsigned r2 = r1; r2 < kRingCount; ++r2) {
+      for (unsigned r3 = r2; r3 < kRingCount; ++r3) {
+        const SegmentAccess target = Gated(r1, r2, r3, 8);
+        for (Ring ring = 0; ring < kRingCount; ++ring) {
+          const auto outcome = ResolveCall(target, ring, ring, 0, false);
+          if (outcome.ok()) {
+            EXPECT_LE(outcome.new_ring, ring);
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- RETURN ---------------------------------------------------------------
+
+TEST(ResolveReturn, SameRingReturn) {
+  const SegmentAccess target = Gated(4, 4, 4, 0);
+  const auto outcome = ResolveReturn(target, 4, 4);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.new_ring, 4);
+  EXPECT_FALSE(outcome.ring_changed);
+}
+
+TEST(ResolveReturn, UpwardReturnEntersEffectiveRing) {
+  // Ring-1 callee returning to its ring-4 caller: the effective ring (from
+  // the caller-provided pointer) is 4 and the target executes in ring 4.
+  const SegmentAccess target = Gated(4, 4, 4, 0);
+  const auto outcome = ResolveReturn(target, 1, 4);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.new_ring, 4);
+  EXPECT_TRUE(outcome.ring_changed);
+}
+
+TEST(ResolveReturn, ExecuteFlagOff) {
+  SegmentAccess target = Gated(4, 4, 4, 0);
+  target.flags.execute = false;
+  EXPECT_EQ(ResolveReturn(target, 4, 4).cause, TrapCause::kExecuteViolation);
+}
+
+TEST(ResolveReturn, DownwardReturnTrapsForSoftware) {
+  // A ring-5 callee (after an upward call) returning to its ring-4
+  // caller: the effective ring is 5 but the target only executes in
+  // ring 4 — the hardware traps and software consults the return-gate
+  // stack.
+  const SegmentAccess target = Gated(4, 4, 4, 0);
+  EXPECT_EQ(ResolveReturn(target, 5, 5).cause, TrapCause::kDownwardReturn);
+}
+
+TEST(ResolveReturn, EffectiveRingBelowBracketFloor) {
+  const SegmentAccess target = Gated(4, 5, 5, 0);
+  EXPECT_EQ(ResolveReturn(target, 2, 2).cause, TrapCause::kExecuteViolation);
+}
+
+TEST(ResolveReturn, ExhaustiveAgainstExecuteBracket) {
+  for (unsigned r1 = 0; r1 < kRingCount; ++r1) {
+    for (unsigned r2 = r1; r2 < kRingCount; ++r2) {
+      const SegmentAccess target = Gated(r1, r2, r2, 0);
+      for (Ring exec_ring = 0; exec_ring < kRingCount; ++exec_ring) {
+        // The effective ring can never lie below the ring of execution.
+        for (Ring eff = exec_ring; eff < kRingCount; ++eff) {
+          const auto outcome = ResolveReturn(target, exec_ring, eff);
+          if (eff > r2) {
+            EXPECT_EQ(outcome.cause, TrapCause::kDownwardReturn);
+          } else if (eff < r1) {
+            EXPECT_EQ(outcome.cause, TrapCause::kExecuteViolation);
+          } else {
+            ASSERT_TRUE(outcome.ok());
+            EXPECT_EQ(outcome.new_ring, eff);
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- stack selection rule (Figure 8 footnote) ------------------------------
+
+TEST(SelectStackSegment, SameRingKeepsCurrentStack) {
+  EXPECT_EQ(SelectStackSegment(/*ring_changed=*/false, /*current=*/42, /*base=*/0, 3), 42u);
+}
+
+TEST(SelectStackSegment, RingChangeUsesDbrBasePlusRing) {
+  EXPECT_EQ(SelectStackSegment(true, 42, 0, 3), 3u);
+  EXPECT_EQ(SelectStackSegment(true, 42, 100, 3), 103u);
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,231 @@
+// Figure 8: the CALL instruction — gate checks, ring switching, stack
+// base generation, return-pointer generation, and the trap cases.
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+// A rig with per-ring stack segments at segnos 0..7 (matching the
+// DBR.stack_base = 0 convention), user code in ring 4, and a gated target.
+struct CallRig {
+  BareMachine m{64, /*stack_base... (dbr stack base set below)*/ 0};
+  Segno target = 0;
+  Segno code = 0;
+
+  explicit CallRig(const SegmentAccess& target_access, Ring caller_ring = 4) {
+    // Stacks occupy segnos 0..7.
+    for (Ring r = 0; r < kRingCount; ++r) {
+      m.AddSegment({}, MakeStackSegment(r), /*extra=*/64);
+    }
+    // Target: a gate word then a body.
+    target = m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)}, target_access);
+    code = m.AddCode({MakeInsPr(Opcode::kCall, 2, 0), MakeIns(Opcode::kNop)},
+                     MakeProcedureSegment(caller_ring, caller_ring));
+    m.SetIpr(caller_ring, code, 0);
+    m.SetPr(2, caller_ring, target, 0);
+    // Give the caller a plausible stack pointer in its own ring's stack.
+    m.SetPr(kPrStack, caller_ring, caller_ring, 16);
+  }
+};
+
+TEST(Call, DownwardThroughGateSwitchesRing) {
+  // Ring 4 calls a gate of a ring-1 subsystem (execute [1,1], gates to 5).
+  CallRig rig(MakeProcedureSegment(1, 1, 5, /*gate_count=*/1));
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.ring, 1);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.segno, rig.target);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.wordno, 0u);
+  EXPECT_EQ(rig.m.cpu().counters().calls_downward, 1u);
+}
+
+TEST(Call, DownwardGeneratesStackBaseInPr0) {
+  // "CALL generates in PR0 a pointer to word 0 of the stack segment for
+  // the new ring of execution" — with the ring-change rule, segno =
+  // DBR.stack_base + new ring = 1.
+  CallRig rig(MakeProcedureSegment(1, 1, 5, 1));
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().pr[kPrStackBase], (PointerRegister{1, 1, 0}));
+}
+
+TEST(Call, SameRingKeepsCurrentStackSegment) {
+  // Footnote rule: "If the CALL instruction does not change the ring of
+  // execution, then the segment number for the stack base pointer is
+  // taken directly from the stack pointer register."
+  CallRig rig(MakeProcedureSegment(4, 4, 4, 1));
+  // Put the caller's stack somewhere nonstandard.
+  rig.m.SetPr(kPrStack, 4, /*segno=*/4, /*wordno=*/32);
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.ring, 4);
+  EXPECT_EQ(rig.m.cpu().regs().pr[kPrStackBase], (PointerRegister{4, 4, 0}));
+  EXPECT_EQ(rig.m.cpu().counters().calls_same_ring, 1u);
+}
+
+TEST(Call, ReturnPointerCarriesCallerRing) {
+  // "The processor leave[s] in a program accessible register the number of
+  // the ring in which execution was occurring before the downward call."
+  CallRig rig(MakeProcedureSegment(1, 1, 5, 1));
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  const PointerRegister& rp = rig.m.cpu().regs().pr[kPrReturn];
+  EXPECT_EQ(rp.ring, 4);
+  EXPECT_EQ(rp.segno, rig.code);
+  EXPECT_EQ(rp.wordno, 1u);  // the instruction after the CALL
+}
+
+TEST(Call, GateViolationAtNonGateWord) {
+  CallRig rig(MakeProcedureSegment(1, 1, 5, /*gate_count=*/1));
+  rig.m.SetPr(2, 4, rig.target, 1);  // word 1 is not a gate
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kGateViolation);
+}
+
+TEST(Call, GateCheckAppliesToSameRingCalls) {
+  CallRig rig(MakeProcedureSegment(4, 4, 4, /*gate_count=*/1));
+  rig.m.SetPr(2, 4, rig.target, 1);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kGateViolation);
+}
+
+TEST(Call, SameSegmentCallIgnoresGateList) {
+  // An internal procedure call: CALL within the segment containing the
+  // instruction bypasses the gate list.
+  BareMachine m;
+  for (Ring r = 0; r < kRingCount; ++r) {
+    m.AddSegment({}, MakeStackSegment(r), 64);
+  }
+  const Segno code = m.AddCode(
+      {
+          MakeIns(Opcode::kCall, 2),  // word 0: call word 2 (not a gate)
+          MakeIns(Opcode::kNop),
+          MakeIns(Opcode::kLdai, 3),  // word 2: internal procedure
+      },
+      MakeProcedureSegment(4, 4, 4, /*gate_count=*/1));
+  m.SetIpr(4, code, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().ipr.wordno, 2u);
+}
+
+TEST(Call, EffectiveRingAboveExecutionRingRejected) {
+  // A CALL via a pointer whose ring is above the ring of execution traps,
+  // even though the target would accept the current ring.
+  CallRig rig(MakeProcedureSegment(1, 1, 5, 1));
+  rig.m.SetPr(2, /*ring=*/6, rig.target, 0);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kCallRingViolation);
+}
+
+TEST(Call, UpwardCallTrapsToSoftware) {
+  CallRig rig(MakeProcedureSegment(6, 6, 6, 1));
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kUpwardCall);
+  // The trap state exposes the intended target for the supervisor's
+  // emulation.
+  EXPECT_EQ(rig.m.cpu().trap_state().tpr.segno, rig.target);
+  EXPECT_EQ(rig.m.cpu().trap_state().tpr.wordno, 0u);
+}
+
+TEST(Call, BeyondGateExtensionDenied) {
+  // Ring 6 calling a gate whose extension stops at 5.
+  CallRig rig(MakeProcedureSegment(1, 1, 5, 1), /*caller_ring=*/6);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kExecuteViolation);
+}
+
+TEST(Call, ExecuteFlagOffDenied) {
+  SegmentAccess access = MakeProcedureSegment(1, 1, 5, 1);
+  access.flags.execute = false;
+  CallRig rig(access);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kExecuteViolation);
+}
+
+TEST(Call, PrRingInvariantHoldsAfterDownwardCall) {
+  // After a downward call, every PR ring is still >= the (new, lower)
+  // ring of execution; PRs other than PR0/PR7 keep the caller's ring.
+  CallRig rig(MakeProcedureSegment(0, 0, 7, 1));
+  rig.m.SetPr(3, 5, 9, 9);
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  const RegisterFile& regs = rig.m.cpu().regs();
+  EXPECT_EQ(regs.ipr.ring, 0);
+  for (unsigned i = 0; i < kNumPointerRegisters; ++i) {
+    EXPECT_GE(regs.pr[i].ring, regs.ipr.ring) << i;
+  }
+  EXPECT_EQ(regs.pr[3].ring, 5);  // untouched
+}
+
+TEST(Call, DownwardCallAndUpwardReturnRoundTrip) {
+  // The full paper scenario: ring-4 code calls a ring-1 gate; the callee
+  // returns via the return pointer; execution resumes in ring 4 after the
+  // CALL.
+  BareMachine m;
+  for (Ring r = 0; r < kRingCount; ++r) {
+    m.AddSegment({}, MakeStackSegment(r), 64);
+  }
+  const Segno callee = m.AddCode(
+      {
+          MakeIns(Opcode::kLdai, 42),       // gate word 0
+          MakeInsPr(Opcode::kRet, 7, 0),    // return via PR7
+      },
+      MakeProcedureSegment(1, 1, 5, /*gate_count=*/1));
+  const Segno caller = m.AddCode(
+      {
+          MakeInsPr(Opcode::kCall, 2, 0),
+          MakeIns(Opcode::kAdai, 1),
+      },
+      MakeProcedureSegment(4, 4));
+  m.SetIpr(4, caller, 0);
+  m.SetPr(2, 4, callee, 0);
+  m.SetPr(kPrStack, 4, 4, 16);
+
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);  // CALL (ring 4 -> 1)
+  EXPECT_EQ(m.cpu().regs().ipr.ring, 1);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);  // LDAI in ring 1
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);  // RET (ring 1 -> 4)
+  EXPECT_EQ(m.cpu().regs().ipr.ring, 4);
+  EXPECT_EQ(m.cpu().regs().ipr.segno, caller);
+  EXPECT_EQ(m.cpu().regs().ipr.wordno, 1u);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);  // ADAI back in the caller
+  EXPECT_EQ(m.cpu().regs().a, 43u);
+  // No supervisor intervention anywhere in this sequence.
+  EXPECT_EQ(m.cpu().counters().TotalTraps(), 0u);
+}
+
+TEST(Call, BoundsViolationOnTargetWord) {
+  CallRig rig(MakeProcedureSegment(1, 1, 5, /*gate_count=*/100));
+  rig.m.SetPr(2, 4, rig.target, 50);  // gate-count allows, bound (2) does not
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kBoundsViolation);
+}
+
+// Exhaustive Figure 8 ring sweep on the real CPU: caller ring x bracket
+// configuration, checking entered ring or trap kind against the paper's
+// rule.
+class CallSweep : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(CallSweep, OutcomeMatchesFigure8) {
+  const Ring caller = static_cast<Ring>(std::get<0>(GetParam()));
+  const unsigned r1 = std::get<1>(GetParam());
+  const unsigned r2 = std::get<2>(GetParam());
+  const unsigned r3 = std::get<3>(GetParam());
+  if (r1 > r2 || r2 > r3) {
+    GTEST_SKIP();
+  }
+  CallRig rig(MakeProcedureSegment(static_cast<Ring>(r1), static_cast<Ring>(r2),
+                                   static_cast<Ring>(r3), 1),
+              caller);
+  const TrapCause cause = rig.m.StepTrap();
+  if (caller < r1) {
+    EXPECT_EQ(cause, TrapCause::kUpwardCall);
+  } else if (caller <= r2) {
+    EXPECT_EQ(cause, TrapCause::kNone);
+    EXPECT_EQ(rig.m.cpu().regs().ipr.ring, caller);
+  } else if (caller <= r3) {
+    EXPECT_EQ(cause, TrapCause::kNone);
+    EXPECT_EQ(rig.m.cpu().regs().ipr.ring, r2);
+  } else {
+    EXPECT_EQ(cause, TrapCause::kExecuteViolation);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingByBrackets, CallSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 3, 4, 6, 7),
+                                            ::testing::Values(0, 1, 4),
+                                            ::testing::Values(1, 4, 5),
+                                            ::testing::Values(1, 5, 7)));
+
+}  // namespace
+}  // namespace rings

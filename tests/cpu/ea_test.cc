@@ -1,0 +1,208 @@
+// Figure 5: formation of the effective address in TPR — PR-relative ring
+// maximization, indirect-word chains, the SDW.R1 write-bracket component,
+// indexing, and the read validation of indirect words.
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+TEST(EffectiveAddress, IprRelativeKeepsCurrentRing) {
+  BareMachine m;
+  const Segno code = m.AddSegment(
+      {EncodeInstruction(MakeIns(Opcode::kLda, 1)), 42}, MakeProcedureSegment(4, 4));
+  m.SetIpr(4, code, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 42u);
+  EXPECT_EQ(m.cpu().tpr().ring, 4);
+  EXPECT_EQ(m.cpu().tpr().segno, code);
+  EXPECT_EQ(m.cpu().tpr().wordno, 1u);
+}
+
+TEST(EffectiveAddress, PrRelativeMaximizesRing) {
+  // "If PRn.RING contains a value that is greater than the current ring of
+  // execution, validation of the operand reference will be as though
+  // execution were occurring in this higher numbered ring."
+  BareMachine m;
+  const Segno data = m.AddSegment({11, 22}, MakeDataSegment(5, 5));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 2, 1)}, MakeProcedureSegment(2, 2));
+  m.SetIpr(2, code, 0);
+  m.SetPr(2, /*ring=*/5, data, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 22u);
+  EXPECT_EQ(m.cpu().tpr().ring, 5);  // max(2, 5)
+}
+
+TEST(EffectiveAddress, PrRelativeLowerRingDoesNotLower) {
+  BareMachine m;
+  const Segno data = m.AddSegment({7}, MakeDataSegment(5, 5));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 1, 0)}, MakeProcedureSegment(4, 4));
+  m.SetIpr(4, code, 0);
+  // Force a PR ring below the ring of execution (hardware never creates
+  // this state; the EA rule must still take the max).
+  m.cpu().regs().pr[1] = PointerRegister{2, data, 0};
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().tpr().ring, 4);  // max(4, 2) = 4
+}
+
+TEST(EffectiveAddress, RaisedRingDeniesOperand) {
+  // The raised effective ring actually denies access: data readable only
+  // up to ring 4, addressed through a ring-6 pointer.
+  BareMachine m;
+  const Segno data = m.AddSegment({1}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 2, 0)}, MakeProcedureSegment(2, 2));
+  m.SetIpr(2, code, 0);
+  m.SetPr(2, /*ring=*/6, data, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kReadViolation);
+}
+
+TEST(EffectiveAddress, IndirectWordFollowed) {
+  BareMachine m;
+  const Segno data = m.AddSegment({0, 0, 99}, MakeDataSegment(4, 4));
+  const Segno ptrs = m.AddSegment({EncodeIndirectWord(IndirectWord{4, false, data, 2})},
+                                  MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, /*indirect=*/true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 99u);
+  EXPECT_EQ(m.cpu().counters().indirect_words, 1u);
+}
+
+TEST(EffectiveAddress, IndirectRingFieldRaisesEffectiveRing) {
+  // "The ring number in the indirect word has the same purpose as the ring
+  // number in a pointer register."
+  BareMachine m;
+  const Segno data = m.AddSegment({5}, MakeDataSegment(4, 4));
+  const Segno ptrs = m.AddSegment({EncodeIndirectWord(IndirectWord{6, false, data, 0})},
+                                  MakeDataSegment(4, 7));  // readable at 4; written only <=4
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs, 0);
+  // Effective ring = max(4, IND.RING=6, ptrs.R1=4) = 6 > data read top 4.
+  EXPECT_EQ(m.StepTrap(), TrapCause::kReadViolation);
+  EXPECT_EQ(m.cpu().tpr().ring, 6);
+}
+
+TEST(EffectiveAddress, WriteBracketTopOfIndirectSegmentCounts) {
+  // "Taking into account SDW.R1 when updating TPR.RING guarantees that the
+  // operand reference will be validated with respect to the highest
+  // numbered ring which could have influenced the effective address."
+  BareMachine m;
+  const Segno data = m.AddSegment({5}, MakeDataSegment(4, 4));
+  // The indirect word lives in a segment writable up to ring 6: any ring-6
+  // procedure could have forged it.
+  const Segno ptrs = m.AddSegment({EncodeIndirectWord(IndirectWord{0, false, data, 0})},
+                                  MakeDataSegment(6, 6));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kReadViolation);
+  EXPECT_EQ(m.cpu().tpr().ring, 6);  // max(4, 0, R1=6)
+}
+
+TEST(EffectiveAddress, IndirectWordItselfMustBeReadable) {
+  // "The capability to read an indirect word during effective address
+  // formation must be validated before the indirect word is retrieved."
+  BareMachine m;
+  const Segno data = m.AddSegment({5}, MakeDataSegment(7, 7));
+  const Segno ptrs = m.AddSegment({EncodeIndirectWord(IndirectWord{0, false, data, 0})},
+                                  MakeDataSegment(2, 2));  // unreadable from ring 4
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kReadViolation);
+  EXPECT_EQ(m.cpu().counters().checks_indirect, 1u);
+}
+
+TEST(EffectiveAddress, ChainOfIndirectWordsAccumulatesMaxRing) {
+  BareMachine m;
+  const Segno data = m.AddSegment({123}, MakeDataSegment(5, 5));
+  // chain: ptrs1 -> ptrs2 -> data; ptrs2 carries ring 5.
+  const Segno ptrs2 = m.AddSegment({EncodeIndirectWord(IndirectWord{5, false, data, 0})},
+                                   MakeDataSegment(4, 4));
+  const Segno ptrs1 = m.AddSegment({EncodeIndirectWord(IndirectWord{4, true, ptrs2, 0})},
+                                   MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs1, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 123u);
+  EXPECT_EQ(m.cpu().tpr().ring, 5);
+  EXPECT_EQ(m.cpu().counters().indirect_words, 2u);
+}
+
+TEST(EffectiveAddress, IndirectionLoopTraps) {
+  BareMachine m;
+  // An indirect word pointing at itself with the indirect flag set.
+  const Segno ptrs = m.AddSegment({0}, MakeDataSegment(4, 4));
+  m.Poke(ptrs, 0, EncodeIndirectWord(IndirectWord{4, true, ptrs, 0}));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kIndirectionLimit);
+}
+
+TEST(EffectiveAddress, IndexRegisterModifiesOffset) {
+  BareMachine m;
+  const Segno data = m.AddSegment({10, 20, 30, 40}, MakeDataSegment(4, 4));
+  Instruction ins = MakeInsPr(Opcode::kLda, 2, 1);
+  ins.tag = 3;  // offset += X3
+  const Segno code = m.AddCode({ins}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  m.cpu().regs().x[3] = 2;
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 40u);  // data[1 + 2]
+}
+
+TEST(EffectiveAddress, NegativeOffsetFromPointer) {
+  BareMachine m;
+  const Segno data = m.AddSegment({10, 20, 30}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 2, -1)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 2);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 20u);
+}
+
+TEST(EffectiveAddress, NegativeResolvedWordnoTraps) {
+  BareMachine m;
+  const Segno data = m.AddSegment({10}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 2, -5)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kBoundsViolation);
+}
+
+TEST(EffectiveAddress, IndirectBoundsChecked) {
+  BareMachine m;
+  const Segno ptrs = m.AddSegment({0}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 5, true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kBoundsViolation);
+}
+
+// Exhaustive sweep of the max rule: TPR.RING == max(exec ring, PR ring).
+class EaRingSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EaRingSweep, TprRingIsMax) {
+  const Ring exec_ring = static_cast<Ring>(std::get<0>(GetParam()));
+  const Ring pr_ring = static_cast<Ring>(std::get<1>(GetParam()));
+  BareMachine m;
+  const Segno data = m.AddSegment({1}, MakeDataSegment(7, 7));
+  const Segno code =
+      m.AddCode({MakeInsPr(Opcode::kLda, 2, 0)}, MakeProcedureSegment(exec_ring, exec_ring));
+  m.SetIpr(exec_ring, code, 0);
+  m.cpu().regs().pr[2] = PointerRegister{pr_ring, data, 0};
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().tpr().ring, MaxRing(exec_ring, pr_ring));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRingPairs, EaRingSweep,
+                         ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,150 @@
+// Figure 4: retrieval of the next instruction — execute flag, execute
+// bracket (both ends), bounds, missing segment, illegal opcode.
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+TEST(Fetch, ExecutesWithinBracket) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kLdai, 7)}, MakeProcedureSegment(2, 5));
+  for (Ring ring = 2; ring <= 5; ++ring) {
+    m.SetIpr(ring, code, 0);
+    EXPECT_EQ(m.StepTrap(), TrapCause::kNone) << unsigned(ring);
+    EXPECT_EQ(m.cpu().regs().a, 7u);
+    m.cpu().TakeTrap();  // defensive: clear any pending state
+  }
+}
+
+TEST(Fetch, ExecuteFlagOffTraps) {
+  BareMachine m;
+  SegmentAccess access = MakeProcedureSegment(0, 7);
+  access.flags.execute = false;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop)}, access);
+  m.SetIpr(4, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kExecuteViolation);
+}
+
+TEST(Fetch, BelowExecuteBracketTraps) {
+  // "For each procedure segment ... there is a lowest numbered ring in
+  // which that procedure is intended to execute" — executing below the
+  // bracket floor is refused.
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop)}, MakeProcedureSegment(3, 5));
+  m.SetIpr(2, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kExecuteViolation);
+}
+
+TEST(Fetch, AboveExecuteBracketTraps) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop)}, MakeProcedureSegment(3, 5));
+  m.SetIpr(6, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kExecuteViolation);
+}
+
+TEST(Fetch, BoundsViolation) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop)}, UserCode());
+  m.SetIpr(4, code, 1);  // one past the single instruction
+  EXPECT_EQ(m.StepTrap(), TrapCause::kBoundsViolation);
+}
+
+TEST(Fetch, MissingSegment) {
+  BareMachine m;
+  m.SetIpr(4, 63, 0);  // in descriptor bounds but absent
+  EXPECT_EQ(m.StepTrap(), TrapCause::kMissingSegment);
+}
+
+TEST(Fetch, SegnoBeyondDescriptorBound) {
+  BareMachine m(/*slots=*/8);
+  m.SetIpr(4, 100, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kMissingSegment);
+}
+
+TEST(Fetch, IllegalOpcode) {
+  BareMachine m;
+  const Segno code = m.AddSegment({uint64_t{255} << 56}, UserCode());
+  m.SetIpr(4, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kIllegalOpcode);
+}
+
+TEST(Fetch, TrapSavesDisruptedInstructionAddress) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)},
+                               MakeProcedureSegment(3, 5));
+  m.SetIpr(6, code, 1);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kExecuteViolation);
+  // The saved state addresses the faulting instruction, so it can be
+  // resumed after the supervisor repairs the condition.
+  EXPECT_EQ(m.cpu().trap_state().regs.ipr.segno, code);
+  EXPECT_EQ(m.cpu().trap_state().regs.ipr.wordno, 1u);
+  EXPECT_EQ(m.cpu().trap_state().regs.ipr.ring, 6);
+}
+
+TEST(Fetch, ProcessorFrozenWhileTrapPending) {
+  BareMachine m;
+  m.SetIpr(4, 63, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kMissingSegment);
+  const uint64_t cycles = m.cpu().cycles();
+  EXPECT_FALSE(m.cpu().Step());
+  EXPECT_FALSE(m.cpu().Step());
+  EXPECT_EQ(m.cpu().cycles(), cycles);  // frozen, no progress
+}
+
+TEST(Fetch, RettResumesAndRetries) {
+  BareMachine m;
+  m.SetIpr(4, 63, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kMissingSegment);
+  // "A special instruction allows the state of the processor at the time
+  // of the trap to be restored later ... resuming the disrupted
+  // instruction." Install the segment, then resume the saved state.
+  const TrapState trap = m.cpu().TakeTrap();
+  const Segno code = m.AddCode({MakeIns(Opcode::kLdai, 9)}, UserCode());
+  ASSERT_EQ(code, 0u);  // occupies the first free slot, not 63
+  Sdw sdw = *m.dseg().Fetch(code);
+  m.dseg().Store(63, sdw);
+  m.cpu().InvalidateSdw(63);
+  m.cpu().Rett(trap.regs);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 9u);
+}
+
+TEST(Fetch, ChecksSkippedWhenDisabled) {
+  BareMachine m;
+  SegmentAccess access = MakeProcedureSegment(0, 0);  // ring 4 may not execute
+  const Segno code = m.AddCode({MakeIns(Opcode::kLdai, 1)}, access);
+  m.SetIpr(4, code, 0);
+  m.cpu().set_checks_enabled(false);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 1u);
+}
+
+TEST(Fetch, CountersTrackFetchChecks) {
+  BareMachine m;
+  const Segno code =
+      m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)}, UserCode());
+  m.SetIpr(4, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().counters().checks_fetch, 3u);
+  EXPECT_EQ(m.cpu().counters().instructions, 3u);
+}
+
+TEST(Fetch, SdwCacheHitsAfterFirstFetch) {
+  BareMachine m;
+  const Segno code =
+      m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.StepTrap();
+  const uint64_t misses_after_first = m.cpu().counters().sdw_fetches;
+  m.StepTrap();
+  m.StepTrap();
+  EXPECT_EQ(m.cpu().counters().sdw_fetches, misses_after_first);
+  EXPECT_GE(m.cpu().counters().sdw_cache_hits, 2u);
+}
+
+}  // namespace
+}  // namespace rings

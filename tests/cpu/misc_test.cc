@@ -1,0 +1,264 @@
+// Remaining CPU behaviours: the descriptor cache, cycle accounting, 645
+// mode degradation, immediates, and counters.
+#include <gtest/gtest.h>
+
+#include "src/cpu/sdw_cache.h"
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+TEST(SdwCache, HitAndMiss) {
+  SdwCache cache;
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = 100;
+  EXPECT_EQ(cache.Lookup(5), std::nullopt);
+  cache.Insert(5, sdw);
+  ASSERT_TRUE(cache.Lookup(5).has_value());
+  EXPECT_EQ(cache.Lookup(5)->base, 100u);
+  EXPECT_GE(cache.hits(), 1u);
+  EXPECT_GE(cache.misses(), 1u);
+}
+
+TEST(SdwCache, ConflictEviction) {
+  SdwCache cache;
+  Sdw a;
+  a.present = true;
+  a.base = 1;
+  Sdw b;
+  b.present = true;
+  b.base = 2;
+  cache.Insert(3, a);
+  cache.Insert(3 + SdwCache::kEntries, b);  // same slot
+  EXPECT_EQ(cache.Lookup(3), std::nullopt);
+  ASSERT_TRUE(cache.Lookup(3 + SdwCache::kEntries).has_value());
+}
+
+TEST(SdwCache, InvalidateAndFlush) {
+  SdwCache cache;
+  Sdw sdw;
+  sdw.present = true;
+  cache.Insert(1, sdw);
+  cache.Insert(2, sdw);
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.Lookup(1), std::nullopt);
+  EXPECT_TRUE(cache.Lookup(2).has_value());
+  cache.Flush();
+  EXPECT_EQ(cache.Lookup(2), std::nullopt);
+}
+
+TEST(SdwCache, DisabledAlwaysMisses) {
+  SdwCache cache;
+  cache.set_enabled(false);
+  Sdw sdw;
+  sdw.present = true;
+  cache.Insert(1, sdw);
+  EXPECT_EQ(cache.Lookup(1), std::nullopt);
+}
+
+TEST(SdwCacheIntegration, SupervisorSdwEditInvalidates) {
+  BareMachine m;
+  const Segno data = m.AddSegment({5}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 2, 0), MakeInsPr(Opcode::kLda, 2, 0)},
+                               UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  // Revoke read by rewriting the SDW; the cached copy must not be used.
+  Sdw sdw = *m.dseg().Fetch(data);
+  sdw.access.flags.read = false;
+  m.dseg().Store(data, sdw);
+  m.cpu().InvalidateSdw(data);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kReadViolation);
+}
+
+TEST(CycleAccounting, InstructionAndMemoryCosts) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)}, UserCode());
+  m.SetIpr(4, code, 0);
+  const CycleModel& model = m.cpu().cycle_model();
+  const uint64_t before = m.cpu().cycles();
+  m.StepTrap();
+  const uint64_t first = m.cpu().cycles() - before;
+  // First instruction: base + SDW fetch (miss) + instruction read.
+  EXPECT_EQ(first, model.instruction_base + model.sdw_fetch + model.memory_ref);
+  const uint64_t mid = m.cpu().cycles();
+  m.StepTrap();
+  // Second: descriptor cache hit, so no sdw_fetch cost.
+  EXPECT_EQ(m.cpu().cycles() - mid, model.instruction_base + model.memory_ref);
+}
+
+TEST(CycleAccounting, TrapAndRettCosts) {
+  BareMachine m;
+  m.SetIpr(4, 63, 0);
+  const CycleModel& model = m.cpu().cycle_model();
+  const uint64_t before = m.cpu().cycles();
+  m.StepTrap();
+  EXPECT_GE(m.cpu().cycles() - before, model.trap);
+  const TrapState trap = m.cpu().TakeTrap();
+  const uint64_t mid = m.cpu().cycles();
+  m.cpu().Rett(trap.regs);
+  EXPECT_EQ(m.cpu().cycles() - mid, model.rett);
+}
+
+TEST(Immediates, LoadForms) {
+  BareMachine m;
+  const Segno code = m.AddCode(
+      {
+          MakeIns(Opcode::kLdai, -7),
+          MakeIns(Opcode::kLdqi, 9),
+          MakeInsReg(Opcode::kLdxi, 2, 1000),
+          MakeIns(Opcode::kAdai, 3),
+      },
+      UserCode());
+  m.SetIpr(4, code, 0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  }
+  EXPECT_EQ(static_cast<int64_t>(m.cpu().regs().a), -4);
+  EXPECT_EQ(m.cpu().regs().q, 9u);
+  EXPECT_EQ(m.cpu().regs().x[2], 1000u);
+}
+
+TEST(RegisterOps, ShiftsNegateExchange) {
+  BareMachine m;
+  const Segno code = m.AddCode(
+      {
+          MakeIns(Opcode::kLdai, 5),
+          MakeIns(Opcode::kAls, 3),   // 40
+          MakeIns(Opcode::kArs, 2),   // 10
+          MakeIns(Opcode::kLdqi, 7),
+          MakeIns(Opcode::kXaq),      // A=7 Q=10
+          MakeIns(Opcode::kNega),     // A=-7
+      },
+      UserCode());
+  m.SetIpr(4, code, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 40u);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 10u);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 7u);
+  EXPECT_EQ(m.cpu().regs().q, 10u);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(static_cast<int64_t>(m.cpu().regs().a), -7);
+}
+
+TEST(RegisterOps, ShiftBoundaries) {
+  BareMachine m;
+  const Segno code = m.AddCode(
+      {
+          MakeIns(Opcode::kLdai, 1),
+          MakeIns(Opcode::kAls, 63),
+          MakeIns(Opcode::kArs, 63),
+          MakeIns(Opcode::kAls, 64),  // shifts everything out
+      },
+      UserCode());
+  m.SetIpr(4, code, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, uint64_t{1} << 63);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 1u);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 0u);
+}
+
+TEST(ImmediatesDoNotTouchMemory, NoChecksCounted) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kLdai, 5)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.StepTrap();
+  EXPECT_EQ(m.cpu().counters().checks_read, 0u);
+  EXPECT_EQ(m.cpu().counters().checks_write, 0u);
+  // One memory read: the instruction fetch itself.
+  EXPECT_EQ(m.cpu().counters().memory_reads, 1u);
+}
+
+TEST(Mode645, RingBracketsIgnoredFlagsEnforced) {
+  BareMachine m;
+  m.cpu().set_mode(ProtectionMode::kFlags645);
+  // Brackets would deny ring 4, but 645 SDWs have no ring fields: only
+  // flags matter.
+  const Segno data = m.AddSegment({5}, MakeDataSegment(0, 0));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 2, 0), MakeInsPr(Opcode::kSta, 2, 0)},
+                               MakeProcedureSegment(0, 0));
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);  // read passes on flags
+  EXPECT_EQ(m.cpu().regs().a, 5u);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);  // write passes on flags
+}
+
+TEST(Mode645, FlagsStillDeny) {
+  BareMachine m;
+  m.cpu().set_mode(ProtectionMode::kFlags645);
+  const Segno data = m.AddSegment({5}, MakeReadOnlyDataSegment(0));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kSta, 2, 0)}, MakeProcedureSegment(0, 0));
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kWriteViolation);
+}
+
+TEST(Mode645, CallAndReturnDoNotExist) {
+  BareMachine m;
+  m.cpu().set_mode(ProtectionMode::kFlags645);
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kCall, 2, 0), MakeInsPr(Opcode::kRet, 7, 0)},
+                               MakeProcedureSegment(0, 0));
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kIllegalOpcode);
+  m.cpu().TakeTrap();
+  m.SetIpr(4, code, 1);
+  m.cpu().Rett(m.cpu().regs());
+  EXPECT_EQ(m.StepTrap(), TrapCause::kIllegalOpcode);
+}
+
+TEST(Mode645, PrivilegedStillRestrictedToMasterMode) {
+  BareMachine m;
+  m.cpu().set_mode(ProtectionMode::kFlags645);
+  const Segno code = m.AddCode({MakeIns(Opcode::kHlt)}, MakeProcedureSegment(0, 0));
+  m.SetIpr(4, code, 0);  // slave mode (nonzero ring)
+  EXPECT_EQ(m.StepTrap(), TrapCause::kPrivilegedViolation);
+}
+
+TEST(Counters, SinceComputesDeltas) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.StepTrap();
+  const Counters snapshot = m.cpu().counters();
+  m.StepTrap();
+  const Counters delta = m.cpu().counters().Since(snapshot);
+  EXPECT_EQ(delta.instructions, 1u);
+  EXPECT_EQ(delta.checks_fetch, 1u);
+}
+
+TEST(EventTrace, RecordsRingSwitches) {
+  BareMachine m;
+  for (Ring r = 0; r < kRingCount; ++r) {
+    m.AddSegment({}, MakeStackSegment(r), 16);
+  }
+  EventTrace trace;
+  trace.set_enabled(true);
+  m.cpu().set_trace(&trace);
+  const Segno callee = m.AddCode({MakeInsPr(Opcode::kRet, 7, 0)},
+                                 MakeProcedureSegment(1, 1, 5, 1));
+  const Segno caller =
+      m.AddCode({MakeInsPr(Opcode::kCall, 2, 0), MakeIns(Opcode::kNop)}, UserCode());
+  m.SetIpr(4, caller, 0);
+  m.SetPr(2, 4, callee, 0);
+  m.SetPr(kPrStack, 4, 4, 16);
+  m.StepTrap();  // CALL 4 -> 1
+  m.StepTrap();  // RET 1 -> 4
+  const auto rings = trace.RingSwitchSequence();
+  ASSERT_EQ(rings.size(), 2u);
+  EXPECT_EQ(rings[0], 1);
+  EXPECT_EQ(rings[1], 4);
+}
+
+}  // namespace
+}  // namespace rings

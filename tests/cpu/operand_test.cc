@@ -1,0 +1,194 @@
+// Figure 6: validation for instructions that read or write their operands,
+// across the full ring sweep, plus the arithmetic/logic behaviours.
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+// A harness where ring-4 code addresses a data segment with configurable
+// brackets through PR2.
+struct OperandRig {
+  BareMachine m;
+  Segno data = 0;
+  Segno code = 0;
+
+  explicit OperandRig(const SegmentAccess& data_access, Opcode op, Ring exec_ring = 4) {
+    data = m.AddSegment({100, 200}, data_access);
+    code = m.AddCode({MakeInsPr(op, 2, 0)}, MakeProcedureSegment(exec_ring, exec_ring));
+    m.SetIpr(exec_ring, code, 0);
+    m.SetPr(2, exec_ring, data, 0);
+  }
+};
+
+TEST(OperandRead, AllowedWithinReadBracket) {
+  OperandRig rig(MakeDataSegment(2, 4), Opcode::kLda);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().a, 100u);
+  EXPECT_EQ(rig.m.cpu().counters().checks_read, 1u);
+}
+
+TEST(OperandRead, DeniedAboveReadBracket) {
+  OperandRig rig(MakeDataSegment(2, 3), Opcode::kLda);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kReadViolation);
+}
+
+TEST(OperandRead, DeniedWithFlagOff) {
+  SegmentAccess access = MakeDataSegment(4, 4);
+  access.flags.read = false;
+  OperandRig rig(access, Opcode::kLda);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kReadViolation);
+}
+
+TEST(OperandWrite, AllowedWithinWriteBracket) {
+  OperandRig rig(MakeDataSegment(4, 5), Opcode::kSta);
+  rig.m.cpu().regs().a = 77;
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.Peek(rig.data, 0), 77u);
+  EXPECT_EQ(rig.m.cpu().counters().checks_write, 1u);
+}
+
+TEST(OperandWrite, DeniedAboveWriteBracket) {
+  OperandRig rig(MakeDataSegment(3, 5), Opcode::kSta);
+  rig.m.cpu().regs().a = 77;
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kWriteViolation);
+  EXPECT_EQ(rig.m.Peek(rig.data, 0), 100u);  // unchanged
+}
+
+TEST(OperandWrite, DeniedWithFlagOff) {
+  // A pure procedure segment: write flag off — writes denied even in
+  // ring 0.
+  BareMachine m;
+  const Segno data = m.AddSegment({1}, MakeProcedureSegment(0, 7));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kSta, 2, 0)}, MakeProcedureSegment(0, 0));
+  m.SetIpr(0, code, 0);
+  m.SetPr(2, 0, data, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kWriteViolation);
+}
+
+TEST(OperandReadWrite, AosChecksBoth) {
+  OperandRig rig(MakeDataSegment(4, 4), Opcode::kAos);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.Peek(rig.data, 0), 101u);
+  EXPECT_EQ(rig.m.cpu().counters().checks_read, 1u);
+  EXPECT_EQ(rig.m.cpu().counters().checks_write, 1u);
+}
+
+TEST(OperandReadWrite, AosDeniedByWriteBracket) {
+  // Readable at ring 4 but writable only to ring 3: the increment's write
+  // half fails and memory is unchanged.
+  OperandRig rig(MakeDataSegment(3, 4), Opcode::kAos);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kWriteViolation);
+  EXPECT_EQ(rig.m.Peek(rig.data, 0), 100u);
+}
+
+TEST(OperandArithmetic, AddSubtractMultiply) {
+  BareMachine m;
+  const Segno data = m.AddSegment({10}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode(
+      {
+          MakeIns(Opcode::kLdai, 5),
+          MakeInsPr(Opcode::kAda, 2, 0),  // 15
+          MakeInsPr(Opcode::kMpy, 2, 0),  // 150
+          MakeInsPr(Opcode::kSba, 2, 0),  // 140
+      },
+      UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(m.StepTrap(), TrapCause::kNone) << i;
+  }
+  EXPECT_EQ(m.cpu().regs().a, 140u);
+}
+
+TEST(OperandLogic, AndOrXor) {
+  BareMachine m;
+  const Segno data = m.AddSegment({0b1100}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode(
+      {
+          MakeIns(Opcode::kLdai, 0b1010),
+          MakeInsPr(Opcode::kAna, 2, 0),  // 0b1000
+          MakeInsPr(Opcode::kOra, 2, 0),  // 0b1100
+          MakeInsPr(Opcode::kEra, 2, 0),  // 0b0000
+      },
+      UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  }
+  EXPECT_EQ(m.cpu().regs().a, 0u);
+}
+
+TEST(OperandStores, QAndXAndZero) {
+  BareMachine m;
+  const Segno data = m.AddSegment({0, 0, 0, 9}, MakeDataSegment(4, 4));
+  std::vector<Instruction> code = {
+      MakeIns(Opcode::kLdqi, 5),
+      MakeInsPr(Opcode::kStq, 2, 0),
+      MakeInsReg(Opcode::kLdxi, 3, 17),
+      MakeInsPrReg(Opcode::kStx, 2, 3, 1),
+      MakeInsPr(Opcode::kStz, 2, 3),
+  };
+  const Segno seg = m.AddCode(code, UserCode());
+  m.SetIpr(4, seg, 0);
+  m.SetPr(2, 4, data, 0);
+  for (size_t i = 0; i < code.size(); ++i) {
+    ASSERT_EQ(m.StepTrap(), TrapCause::kNone) << i;
+  }
+  EXPECT_EQ(m.Peek(data, 0), 5u);
+  EXPECT_EQ(m.Peek(data, 1), 17u);
+  EXPECT_EQ(m.Peek(data, 3), 0u);
+}
+
+TEST(OperandLoads, LdxMasksTo18Bits) {
+  BareMachine m;
+  const Segno data = m.AddSegment({0xFFFFFFFFF}, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPrReg(Opcode::kLdx, 2, 1, 0)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().x[1], 0x3FFFFu);
+}
+
+TEST(OperandBounds, ReadPastBound) {
+  OperandRig rig(MakeDataSegment(4, 4), Opcode::kLda);
+  rig.m.SetPr(2, 4, rig.data, 2);  // bound is 2, wordno 2 out of range
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kBoundsViolation);
+}
+
+// Exhaustive Figure 6 sweep: read and write decisions for every
+// (write_top, read_top, ring).
+class Fig6Sweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Fig6Sweep, ReadAndWriteDecisions) {
+  const unsigned write_top = std::get<0>(GetParam());
+  const unsigned read_top = std::get<1>(GetParam());
+  if (write_top > read_top) {
+    GTEST_SKIP() << "ill-formed bracket combination";
+  }
+  for (Ring ring = 0; ring < kRingCount; ++ring) {
+    BareMachine m;
+    const Segno data = m.AddSegment(
+        {1, 2}, MakeDataSegment(static_cast<Ring>(write_top), static_cast<Ring>(read_top)));
+    const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 2, 0), MakeInsPr(Opcode::kSta, 2, 1)},
+                                 MakeProcedureSegment(ring, ring));
+    m.SetIpr(ring, code, 0);
+    m.SetPr(2, ring, data, 0);
+    const TrapCause read_result = m.StepTrap();
+    EXPECT_EQ(read_result == TrapCause::kNone, ring <= read_top)
+        << "read ring=" << unsigned(ring);
+    if (read_result == TrapCause::kNone) {
+      const TrapCause write_result = m.StepTrap();
+      EXPECT_EQ(write_result == TrapCause::kNone, ring <= write_top)
+          << "write ring=" << unsigned(ring);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBracketTops, Fig6Sweep,
+                         ::testing::Combine(::testing::Range(0, 8), ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,163 @@
+// Privileged instructions: "Such instructions are designated as privileged
+// and will be executed by the processor only in ring 0." SVC extends to
+// ring 1 (the second supervisor layer).
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+TEST(Privileged, HltOutsideRing0Traps) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kHlt)}, MakeProcedureSegment(0, 7));
+  for (Ring ring = 1; ring < kRingCount; ++ring) {
+    m.SetIpr(ring, code, 0);
+    EXPECT_EQ(m.StepTrap(), TrapCause::kPrivilegedViolation) << unsigned(ring);
+    m.cpu().TakeTrap();
+  }
+}
+
+TEST(Privileged, HltInRing0RaisesHaltTrap) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kHlt)}, MakeProcedureSegment(0, 0));
+  m.SetIpr(0, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kHalt);
+}
+
+TEST(Privileged, SvcAllowedInRings0And1Only) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kSvc, 3)}, MakeProcedureSegment(0, 7));
+  for (Ring ring = 0; ring < kRingCount; ++ring) {
+    m.SetIpr(ring, code, 0);
+    const TrapCause cause = m.StepTrap();
+    if (ring <= 1) {
+      EXPECT_EQ(cause, TrapCause::kSupervisorService) << unsigned(ring);
+      EXPECT_EQ(m.cpu().trap_state().code, 3);
+    } else {
+      EXPECT_EQ(cause, TrapCause::kPrivilegedViolation) << unsigned(ring);
+    }
+    m.cpu().TakeTrap();
+  }
+}
+
+TEST(Privileged, SioOutsideRing0Traps) {
+  BareMachine m;
+  const Segno iocb = m.AddSegment({42}, MakeDataSegment(0, 7));
+  const Segno code = m.AddCode({MakeInsPrReg(Opcode::kSio, 2, 0, 0)},
+                               MakeProcedureSegment(0, 7));
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, iocb, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kPrivilegedViolation);
+}
+
+TEST(Privileged, SioInRing0InvokesHandler) {
+  BareMachine m;
+  const Segno iocb = m.AddSegment({42}, MakeDataSegment(0, 7));
+  const Segno code = m.AddCode({MakeInsPrReg(Opcode::kSio, 2, /*device=*/3, 0)},
+                               MakeProcedureSegment(0, 0));
+  m.SetIpr(0, code, 0);
+  m.SetPr(2, 0, iocb, 0);
+  uint8_t seen_device = 255;
+  Word seen_word = 0;
+  m.cpu().set_sio_handler([&](uint8_t device, Word word) {
+    seen_device = device;
+    seen_word = word;
+  });
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(seen_device, 3);
+  EXPECT_EQ(seen_word, 42u);
+}
+
+TEST(Privileged, LdbrOutsideRing0Traps) {
+  BareMachine m;
+  const Segno data = m.AddSegment({0, 0}, MakeDataSegment(0, 7));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLdbr, 2, 0)}, MakeProcedureSegment(0, 7));
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, data, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kPrivilegedViolation);
+}
+
+TEST(Privileged, LdbrLoadsDescriptorBaseAndFlushesCache) {
+  BareMachine m;
+  // Build a second descriptor segment whose segment 0 is a data segment
+  // holding 123.
+  auto ds2 = DescriptorSegment::Create(&m.memory(), 8, /*stack_base=*/2);
+  const AbsAddr data_base = *m.memory().Allocate(4);
+  m.memory().Write(data_base, 123);
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = data_base;
+  sdw.bound = 4;
+  sdw.access = MakeDataSegment(0, 7);
+  ds2->Store(0, sdw);
+
+  // DBR operand pair: word0 = base, word1 = bound | (stack_base << 15).
+  const Word w0 = ds2->dbr().base;
+  const Word w1 = ds2->dbr().bound | (Word{ds2->dbr().stack_base} << 15);
+  const Segno dbr_data = m.AddSegment({w0, w1}, MakeDataSegment(0, 0));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLdbr, 2, 0)}, MakeProcedureSegment(0, 0));
+  m.SetIpr(0, code, 0);
+  m.SetPr(2, 0, dbr_data, 0);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().dbr.base, ds2->dbr().base);
+  EXPECT_EQ(m.cpu().regs().dbr.bound, 8u);
+  EXPECT_EQ(m.cpu().regs().dbr.stack_base, 2u);
+  // The new virtual memory is in effect: segment 0 is now the data
+  // segment under ds2.
+  Word value = 0;
+  EXPECT_EQ(m.cpu().SupervisorReadRaw(0, 0, &value), TrapCause::kNone);
+  EXPECT_EQ(value, 123u);
+}
+
+TEST(Privileged, RettFromGuestCodeIsIllegal) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kRett)}, MakeProcedureSegment(0, 0));
+  m.SetIpr(0, code, 0);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kIllegalOpcode);
+}
+
+TEST(Privileged, MmeAllowedFromAnyRing) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kMme, 7)}, MakeProcedureSegment(0, 7));
+  for (Ring ring = 0; ring < kRingCount; ++ring) {
+    m.SetIpr(ring, code, 0);
+    EXPECT_EQ(m.StepTrap(), TrapCause::kMasterModeEntry) << unsigned(ring);
+    EXPECT_EQ(m.cpu().trap_state().code, 7);
+    // Service traps save the advanced IPR so RETT resumes after the MME.
+    EXPECT_EQ(m.cpu().trap_state().regs.ipr.wordno, 1u);
+    m.cpu().TakeTrap();
+  }
+}
+
+TEST(Privileged, TimerRunoutTrapsBetweenInstructions) {
+  BareMachine m;
+  const Segno code = m.AddCode(
+      {MakeIns(Opcode::kNop), MakeIns(Opcode::kNop), MakeIns(Opcode::kNop),
+       MakeIns(Opcode::kNop)},
+      UserCode());
+  m.SetIpr(4, code, 0);
+  m.cpu().SetTimer(2);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kTimerRunout);
+  // The saved state resumes exactly where execution stopped.
+  EXPECT_EQ(m.cpu().trap_state().regs.ipr.wordno, 2u);
+}
+
+TEST(Privileged, InjectedIoCompletion) {
+  BareMachine m;
+  const Segno code = m.AddCode({MakeIns(Opcode::kNop)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.cpu().InjectTrap(TrapCause::kIoCompletion, /*code=*/5);
+  EXPECT_TRUE(m.cpu().trap_pending());
+  EXPECT_EQ(m.cpu().trap_state().cause, TrapCause::kIoCompletion);
+  EXPECT_EQ(m.cpu().trap_state().code, 5);
+  // Resume and execute normally.
+  const TrapState trap = m.cpu().TakeTrap();
+  m.cpu().Rett(trap.regs);
+  EXPECT_EQ(m.StepTrap(), TrapCause::kNone);
+}
+
+}  // namespace
+}  // namespace rings

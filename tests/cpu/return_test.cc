@@ -1,0 +1,156 @@
+// Figure 9: the RETURN instruction — upward returns raise all PR rings,
+// the return ring comes from the effective ring, downward returns trap,
+// and the return-to-proper-ring security argument holds.
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+struct RetRig {
+  BareMachine m;
+  Segno caller_code = 0;  // executable in ring 4
+  Segno callee_code = 0;  // executable in ring 1, gate ext to 5
+  Segno ret4_code = 0;    // a RET executable in ring 4
+
+  RetRig() {
+    for (Ring r = 0; r < kRingCount; ++r) {
+      m.AddSegment({}, MakeStackSegment(r), 64);
+    }
+    caller_code = m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)},
+                            MakeProcedureSegment(4, 4));
+    callee_code = m.AddCode({MakeInsPr(Opcode::kRet, 7, 0), MakeIns(Opcode::kNop)},
+                            MakeProcedureSegment(1, 1, 5, 1));
+    ret4_code = m.AddCode({MakeInsPr(Opcode::kRet, 7, 0)}, MakeProcedureSegment(4, 4));
+  }
+};
+
+TEST(Return, UpwardReturnEntersRingFromEffectiveRing) {
+  RetRig rig;
+  rig.m.SetIpr(1, rig.callee_code, 0);
+  // The return pointer carries the caller's ring, as CALL left it.
+  rig.m.SetPr(7, 4, rig.caller_code, 1);
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.ring, 4);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.segno, rig.caller_code);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.wordno, 1u);
+  EXPECT_EQ(rig.m.cpu().counters().returns_upward, 1u);
+}
+
+TEST(Return, UpwardReturnRaisesAllPrRings) {
+  // "In the case that the return is upward, the ring number fields in all
+  // pointer registers are replaced with the larger of their current
+  // values and the new ring of execution."
+  RetRig rig;
+  rig.m.SetIpr(1, rig.callee_code, 0);
+  rig.m.SetPr(7, 4, rig.caller_code, 1);
+  rig.m.SetPr(2, 1, 9, 0);  // a callee pointer at ring 1
+  rig.m.SetPr(3, 6, 9, 0);  // already above the new ring
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().pr[2].ring, 4);  // raised
+  EXPECT_EQ(rig.m.cpu().regs().pr[3].ring, 6);  // kept
+  for (const PointerRegister& pr : rig.m.cpu().regs().pr) {
+    EXPECT_GE(pr.ring, 4);
+  }
+}
+
+TEST(Return, SameRingReturnLeavesPrRings) {
+  RetRig rig;
+  rig.m.SetIpr(4, rig.ret4_code, 0);
+  rig.m.SetPr(7, 4, rig.caller_code, 1);
+  rig.m.SetPr(3, 6, 9, 0);
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.ring, 4);
+  EXPECT_EQ(rig.m.cpu().regs().pr[3].ring, 6);
+  EXPECT_EQ(rig.m.cpu().counters().returns_same_ring, 1u);
+}
+
+TEST(Return, CannotReturnBelowCallerRing) {
+  // The security argument: PR rings can never drop below the ring of
+  // execution, so a malicious caller cannot make the callee return into a
+  // lower ring than the caller's own. Here a ring-4 "caller pointer"
+  // claims ring 2 — but hardware-maintained pointers cannot hold 2 while
+  // executing in ring 4; if the callee nevertheless fabricates the return
+  // through its own low-ring pointer, the return targets caller code that
+  // executes in ring 4 only, and the bracket floor check refuses ring 2.
+  RetRig rig;
+  rig.m.SetIpr(1, rig.callee_code, 0);
+  rig.m.cpu().regs().pr[7] = PointerRegister{2, rig.caller_code, 1};
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kExecuteViolation);
+}
+
+TEST(Return, DownwardReturnTrapsForSoftware) {
+  // A ring-5 procedure (entered by an upward call) returning to ring-4
+  // code: effective ring 5 exceeds the target's execute top 4.
+  RetRig rig;
+  const Segno high_code =
+      rig.m.AddCode({MakeInsPr(Opcode::kRet, 7, 0)}, MakeProcedureSegment(5, 5));
+  rig.m.SetIpr(5, high_code, 0);
+  rig.m.SetPr(7, 5, rig.caller_code, 1);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kDownwardReturn);
+  // The target is exposed for the supervisor's gate-stack validation.
+  EXPECT_EQ(rig.m.cpu().trap_state().tpr.segno, rig.caller_code);
+  EXPECT_EQ(rig.m.cpu().trap_state().tpr.wordno, 1u);
+}
+
+TEST(Return, ExecuteFlagOffDenied) {
+  RetRig rig;
+  SegmentAccess access = MakeProcedureSegment(4, 4);
+  access.flags.execute = false;
+  const Segno dead = rig.m.AddCode({MakeIns(Opcode::kNop)}, access);
+  rig.m.SetIpr(4, rig.ret4_code, 0);
+  rig.m.SetPr(7, 4, dead, 0);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kExecuteViolation);
+}
+
+TEST(Return, ViaStackSavedIndirectWord) {
+  // The paper's stack convention: the caller saves the return point in its
+  // stack frame; the callee returns through that indirect word. The ring
+  // field of the saved word keeps the caller's ring, so validation is
+  // automatic.
+  RetRig rig;
+  // Caller (ring 4) saves a return pointer into its ring-4 stack (segno 4)
+  // at word 20, then "calls" — we start directly in the callee with sp
+  // pointing at the frame.
+  const Word saved = EncodeIndirectWord(IndirectWord{4, false, rig.caller_code, 1});
+  rig.m.Poke(4, 20, saved);
+  rig.m.SetIpr(1, rig.callee_code, 1);
+  // Callee returns via `ret pr6|4,*`-style addressing: here PR6 points at
+  // the frame and word 4 holds the saved return pointer.
+  const Segno ret_code = rig.m.AddCode({MakeInsPr(Opcode::kRet, 6, 4, /*indirect=*/true)},
+                                       MakeProcedureSegment(1, 1, 5, 1));
+  rig.m.SetIpr(1, ret_code, 0);
+  rig.m.SetPr(6, 4, /*segno=*/4, /*wordno=*/16);
+  ASSERT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.ring, 4);
+  EXPECT_EQ(rig.m.cpu().regs().ipr.segno, rig.caller_code);
+}
+
+TEST(Return, EffectiveRingSweepMatchesFigure9) {
+  // For every execute-bracket top and effective ring: enter, or trap the
+  // way Figure 9 specifies.
+  for (unsigned top = 0; top < kRingCount; ++top) {
+    for (Ring eff = 0; eff < kRingCount; ++eff) {
+      BareMachine m;
+      const Segno target =
+          m.AddCode({MakeIns(Opcode::kNop), MakeIns(Opcode::kNop)},
+                    MakeProcedureSegment(0, static_cast<Ring>(top)));
+      const Segno code = m.AddCode({MakeInsPr(Opcode::kRet, 7, 0)}, MakeProcedureSegment(0, 7));
+      // Execute in ring 0 so any effective ring >= execution ring is
+      // expressible through the pointer.
+      m.SetIpr(0, code, 0);
+      m.cpu().regs().pr[7] = PointerRegister{eff, target, 1};
+      const TrapCause cause = m.StepTrap();
+      if (eff <= top) {
+        EXPECT_EQ(cause, TrapCause::kNone) << "top=" << top << " eff=" << unsigned(eff);
+        EXPECT_EQ(m.cpu().regs().ipr.ring, eff);
+      } else {
+        EXPECT_EQ(cause, TrapCause::kDownwardReturn) << "top=" << top << " eff=" << unsigned(eff);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,182 @@
+// The paper's software conventions exercised end to end: the per-ring
+// stack discipline (word 0 of each stack segment points at the next
+// available area; CALL hands the callee PR0 = the stack base), the
+// caller-saves-return-point convention, and gate-extension boundary
+// cases.
+#include <gtest/gtest.h>
+
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+TEST(StackConvention, CalleeAllocatesFrameViaWordZero) {
+  // A ring-1 service builds a frame in its ring's stack segment using the
+  // word-0 next-free protocol the processor's CALL makes possible: "the
+  // stack segment number alone can provide the called procedure with
+  // enough information from which to construct its own stack pointer."
+  constexpr char kSource[] = R"(
+        .segment svc
+        .gates 1
+gate:   tra   body
+body:   ldx   x1, pr0|0      ; X1 = next free offset (from stack word 0)
+        epp   pr6, pr0|0,x1  ; SP = frame base in the ring-1 stack
+        ldai  111
+        sta   pr6|0          ; use the frame
+        ldai  222
+        sta   pr6|1
+        lda   pr0|0          ; bump the next-free pointer by the frame size
+        adai  8
+        sta   pr0|0
+        lda   pr6|0
+        ada   pr6|1          ; A = 333, computed in the frame
+        ; pop the frame
+        lda   pr0|0
+        adai  -8
+        sta   pr0|0
+        lda   pr6|0
+        ada   pr6|1
+        ret   pr7|0
+
+        .segment main
+start:  epp   pr2, gptr,*
+        call  pr2|0
+        mme   0
+gptr:   .its  4, svc, 0
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["svc"] = AccessControlList::Public(MakeProcedureSegment(1, 1, 5, 1));
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 333);
+  // The ring-4 caller cannot inspect the ring-1 stack afterwards: its
+  // frame is protected by the stack bracket rule.
+}
+
+TEST(StackConvention, CallerCannotReadCalleeStack) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  lda   pr3|0          ; PR3 planted at the ring-1 stack below
+        mme   0
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  p->saved_regs.pr[3] = PointerRegister{4, kStackBaseSegno + 1, kStackFrameStart};
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kReadViolation);
+}
+
+TEST(GateExtension, EmptyExtensionMeansNoOutsideCallers) {
+  // R3 == R2: the segment has gates (for accidental-entry protection
+  // within its own ring) but no ring above the bracket may call in.
+  constexpr char kSource[] = R"(
+        .segment inner
+        .gates 1
+gate:   ret   pr7|0
+        .segment main
+start:  epp   pr2, gptr,*
+        call  pr2|0
+        mme   0
+gptr:   .its  4, inner, 0
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["inner"] = AccessControlList::Public(MakeProcedureSegment(2, 3, 3, 1));  // R3 == R2
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kExecuteViolation);
+}
+
+TEST(GateExtension, CallerExactlyAtR3Admitted) {
+  constexpr char kSource[] = R"(
+        .segment inner
+        .gates 1
+gate:   ldai  9
+        ret   pr7|0
+        .segment main
+start:  epp   pr2, gptr,*
+        call  pr2|0
+        mme   0
+gptr:   .its  5, inner, 0
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["inner"] = AccessControlList::Public(MakeProcedureSegment(2, 2, 5, 1));
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(5, 5));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", /*ring=*/5));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 9);
+}
+
+TEST(LibrarySubroutine, WideExecuteBracketRunsInCallersRing) {
+  // "Procedure segments with wider execute brackets normally will contain
+  // commonly used library subroutines certified as acceptable for
+  // execution in any of several rings." A library with bracket [1,5] is
+  // CALLed from rings 2 and 5; it executes in the caller's ring each time
+  // (no switch), and its data references are validated at that ring.
+  constexpr char kSource[] = R"(
+        .segment lib
+        .gates 1
+entry:  lda   dp,*           ; validated at the *caller's* ring
+        adai  1
+        ret   pr7|0
+dp:     .its  1, privdata, 0
+
+        .segment privdata    ; readable only to ring 3
+        .word 41
+
+        .segment prog
+start:  epp   pr2, lp,*
+        call  pr2|0
+        mme   0
+lp:     .its  1, lib, 0
+)";
+  const auto run_in = [&](Ring ring) {
+    Machine machine;
+    std::map<std::string, AccessControlList> acls;
+    acls["lib"] = AccessControlList::Public(MakeProcedureSegment(1, 5, 5, 1));
+    acls["privdata"] = AccessControlList::Public(MakeReadOnlyDataSegment(3));
+    acls["prog"] = AccessControlList::Public(MakeProcedureSegment(1, 5, 5, 0));
+    EXPECT_TRUE(machine.LoadProgramSource(kSource, acls));
+    Process* p = machine.Login("alice");
+    machine.supervisor().InitiateAll(p);
+    EXPECT_TRUE(machine.Start(p, "prog", "start", ring));
+    machine.Run();
+    return p;
+  };
+
+  // From ring 2: within privdata's read bracket — works.
+  Process* low = run_in(2);
+  EXPECT_EQ(low->state, ProcessState::kExited);
+  EXPECT_EQ(low->exit_code, 42);
+
+  // From ring 5: the same library code is denied the read, because it
+  // executes in ring 5 — certification travels with the caller's ring.
+  Process* high = run_in(5);
+  EXPECT_EQ(high->state, ProcessState::kKilled);
+  EXPECT_EQ(high->kill_cause, TrapCause::kReadViolation);
+}
+
+}  // namespace
+}  // namespace rings

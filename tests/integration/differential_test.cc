@@ -1,0 +1,126 @@
+// Differential fuzzing: random straight-line data-access programs run on
+// BOTH machines — the ring-hardware Machine and the 645-style software-
+// rings B645Machine — configured with identical segment ring specs. The
+// two implementations must agree on whether the program completes and,
+// when it does, on its result. (Deny causes may differ in flavor: the
+// 645's per-ring descriptor segments report inaccessible segments as
+// missing rather than as read/write violations.)
+#include <gtest/gtest.h>
+
+#include "src/b645/b645_machine.h"
+#include "src/base/strings.h"
+#include "src/base/xorshift.h"
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+struct GeneratedProgram {
+  std::string source;
+  std::map<std::string, SegmentAccess> specs;
+};
+
+// Builds a random program over three data segments with random brackets:
+// a sequence of loads, stores, adds through fixed .its pointers, ending
+// with `mme 0` (exit with A).
+GeneratedProgram Generate(uint64_t seed) {
+  Xorshift rng(seed);
+  GeneratedProgram out;
+  out.specs["main"] = MakeProcedureSegment(4, 4);
+
+  // Data segments d0..d2 with random bracket tops.
+  std::string data_segments;
+  for (int i = 0; i < 3; ++i) {
+    const Ring w = static_cast<Ring>(rng.Below(kRingCount));
+    const Ring r = static_cast<Ring>(rng.Between(w, kMaxRing));
+    SegmentAccess access = MakeDataSegment(w, r);
+    access.flags.write = rng.Chance(4, 5);
+    access.flags.read = rng.Chance(9, 10);
+    out.specs[StrFormat("d%d", i)] = access;
+    data_segments += StrFormat("\n        .segment d%d\n", i);
+    for (int w2 = 0; w2 < 4; ++w2) {
+      data_segments += StrFormat("        .word %llu\n",
+                                 static_cast<unsigned long long>(rng.Below(1000)));
+    }
+  }
+
+  // Pointer words in main (ring field = caller ring on both systems; the
+  // 645 ignores it).
+  std::string pointers;
+  for (int i = 0; i < 3; ++i) {
+    pointers += StrFormat("p%d:     .its  4, d%d, %llu\n", i, i,
+                          static_cast<unsigned long long>(rng.Below(4)));
+  }
+
+  // Random instruction sequence.
+  std::string body = "start:  ldai  1\n";
+  const int steps = 4 + static_cast<int>(rng.Below(8));
+  for (int s = 0; s < steps; ++s) {
+    const int p = static_cast<int>(rng.Below(3));
+    switch (rng.Below(4)) {
+      case 0:
+        body += StrFormat("        lda   p%d,*\n", p);
+        break;
+      case 1:
+        body += StrFormat("        sta   p%d,*\n", p);
+        break;
+      case 2:
+        body += StrFormat("        ada   p%d,*\n", p);
+        break;
+      default:
+        body += StrFormat("        aos   p%d,*\n", p);
+        break;
+    }
+  }
+  body += "        mme   0\n";
+
+  out.source = "        .segment main\n" + body + pointers + data_segments;
+  return out;
+}
+
+struct Outcome {
+  bool exited = false;
+  int64_t code = 0;
+};
+
+Outcome RunOnHardware(const GeneratedProgram& prog) {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  for (const auto& [name, spec] : prog.specs) {
+    acls[name] = AccessControlList::Public(spec);
+  }
+  EXPECT_TRUE(machine.LoadProgramSource(prog.source, acls));
+  Process* p = machine.Login("fuzz");
+  machine.supervisor().InitiateAll(p);
+  EXPECT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run(1'000'000);
+  return Outcome{p->state == ProcessState::kExited, p->exit_code};
+}
+
+Outcome RunOn645(const GeneratedProgram& prog) {
+  B645Machine machine;
+  std::string error;
+  EXPECT_TRUE(machine.LoadProgramSource(prog.source, prog.specs, &error)) << error;
+  EXPECT_TRUE(machine.Start("main", "start", kUserRing));
+  machine.Run(1'000'000);
+  return Outcome{machine.exited(), machine.exit_code()};
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialFuzz, HardwareAnd645Agree) {
+  for (uint64_t i = 0; i < 20; ++i) {
+    const GeneratedProgram prog = Generate(GetParam() * 1000 + i);
+    const Outcome hw = RunOnHardware(prog);
+    const Outcome sw = RunOn645(prog);
+    EXPECT_EQ(hw.exited, sw.exited) << "seed " << GetParam() * 1000 + i << "\n" << prog.source;
+    if (hw.exited && sw.exited) {
+      EXPECT_EQ(hw.code, sw.code) << "seed " << GetParam() * 1000 + i << "\n" << prog.source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rings

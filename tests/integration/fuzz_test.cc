@@ -1,0 +1,203 @@
+// Property fuzzing on the bare machine: random instruction streams over
+// randomly configured segments, checking the hardware invariants the
+// paper's security arguments rest on after every instruction:
+//
+//   1. PRn.RING >= IPR.RING for all n ("the hardware guarantees that the
+//      RING fields in all PR'S always contain values greater than or
+//      equal to the current ring of execution").
+//   2. The ring of execution never drops except through a CALL that
+//      entered via a gate (tracked via counters).
+//   3. The TPR ring never lies below the ring of execution at the time of
+//      the reference.
+//   4. A frozen (trapped) processor makes no further progress.
+#include <gtest/gtest.h>
+
+#include "src/base/xorshift.h"
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+// Builds a random machine: a few data/pointer/procedure segments with
+// random brackets, stacks at 0..7, and a code segment of random
+// instructions executable everywhere.
+class FuzzRig {
+ public:
+  explicit FuzzRig(uint64_t seed) : rng_(seed) {
+    for (Ring r = 0; r < kRingCount; ++r) {
+      machine_.AddSegment({}, MakeStackSegment(r), 32);
+    }
+    // Data segments with random brackets; contents are random words that
+    // sometimes look like indirect words.
+    for (int i = 0; i < 6; ++i) {
+      const Ring r1 = static_cast<Ring>(rng_.Below(kRingCount));
+      const Ring r2 = static_cast<Ring>(rng_.Between(r1, kMaxRing));
+      std::vector<Word> words;
+      for (int w = 0; w < 16; ++w) {
+        if (rng_.Chance(1, 3)) {
+          words.push_back(EncodeIndirectWord(
+              IndirectWord{static_cast<Ring>(rng_.Below(kRingCount)), rng_.Chance(1, 8),
+                           static_cast<Segno>(rng_.Below(20)),
+                           static_cast<Wordno>(rng_.Below(16))}));
+        } else {
+          words.push_back(rng_.Next());
+        }
+      }
+      SegmentAccess access = MakeDataSegment(r1, r2);
+      access.flags.read = rng_.Chance(9, 10);
+      access.flags.write = rng_.Chance(3, 4);
+      data_segnos_.push_back(machine_.AddSegment(words, access));
+    }
+    // Procedure segments with random brackets and gates, filled with
+    // random (valid) instructions.
+    for (int i = 0; i < 3; ++i) {
+      const Ring r1 = static_cast<Ring>(rng_.Below(kRingCount));
+      const Ring r2 = static_cast<Ring>(rng_.Between(r1, kMaxRing));
+      const Ring r3 = static_cast<Ring>(rng_.Between(r2, kMaxRing));
+      std::vector<Instruction> code;
+      for (int w = 0; w < 16; ++w) {
+        code.push_back(RandomInstruction());
+      }
+      proc_segnos_.push_back(
+          machine_.AddCode(code, MakeProcedureSegment(r1, r2, r3, rng_.Below(4))));
+    }
+    // The main code segment: executable in every ring so random rings can
+    // run it.
+    std::vector<Instruction> code;
+    for (int w = 0; w < 64; ++w) {
+      code.push_back(RandomInstruction());
+    }
+    main_segno_ = machine_.AddCode(code, MakeProcedureSegment(0, 7, 7, 4));
+
+    const Ring start_ring = static_cast<Ring>(rng_.Below(kRingCount));
+    machine_.SetIpr(start_ring, main_segno_, static_cast<Wordno>(rng_.Below(64)));
+    for (unsigned n = 0; n < kNumPointerRegisters; ++n) {
+      machine_.SetPr(static_cast<uint8_t>(n),
+                     static_cast<Ring>(rng_.Between(start_ring, kMaxRing)), RandomSegno(),
+                     static_cast<Wordno>(rng_.Below(16)));
+    }
+  }
+
+  BareMachine& machine() { return machine_; }
+
+  Segno RandomSegno() {
+    const uint64_t pick = rng_.Below(4);
+    if (pick == 0) {
+      return static_cast<Segno>(rng_.Below(kRingCount));  // a stack
+    }
+    if (pick == 1 && !proc_segnos_.empty()) {
+      return proc_segnos_[rng_.Below(proc_segnos_.size())];
+    }
+    return data_segnos_[rng_.Below(data_segnos_.size())];
+  }
+
+  Instruction RandomInstruction() {
+    static constexpr Opcode kOps[] = {
+        Opcode::kNop, Opcode::kLda,  Opcode::kSta, Opcode::kLdq, Opcode::kStq, Opcode::kLdx,
+        Opcode::kStx, Opcode::kLdai, Opcode::kAda, Opcode::kSba, Opcode::kAna, Opcode::kOra,
+        Opcode::kEra, Opcode::kAos,  Opcode::kEpp, Opcode::kSpp, Opcode::kTra, Opcode::kTze,
+        Opcode::kTnz, Opcode::kCall, Opcode::kRet, Opcode::kStz, Opcode::kMpy, Opcode::kLdxi,
+    };
+    Instruction ins;
+    ins.opcode = kOps[rng_.Below(std::size(kOps))];
+    ins.pr_relative = rng_.Chance(2, 3);
+    ins.prnum = static_cast<uint8_t>(rng_.Below(8));
+    ins.reg = static_cast<uint8_t>(rng_.Below(8));
+    ins.tag = rng_.Chance(1, 4) ? static_cast<uint8_t>(rng_.Between(1, 7)) : 0;
+    ins.indirect = rng_.Chance(1, 4);
+    ins.offset = static_cast<int32_t>(rng_.Below(16));
+    return ins;
+  }
+
+ private:
+  Xorshift rng_;
+  BareMachine machine_;
+  std::vector<Segno> data_segnos_;
+  std::vector<Segno> proc_segnos_;
+  Segno main_segno_ = 0;
+};
+
+class FuzzInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzInvariants, PrRingInvariantAndRingMonotonicity) {
+  FuzzRig rig(GetParam());
+  Cpu& cpu = rig.machine().cpu();
+
+  Ring prev_ring = cpu.regs().ipr.ring;
+  uint64_t prev_gate_entries = 0;
+  for (int step = 0; step < 2000; ++step) {
+    if (cpu.trap_pending()) {
+      // Resume at a fresh random location (acting as a permissive
+      // supervisor that always restarts the process).
+      TrapState trap = cpu.TakeTrap();
+      trap.regs.ipr.wordno = static_cast<Wordno>(step % 64);
+      cpu.Rett(trap.regs);
+      prev_ring = cpu.regs().ipr.ring;
+      continue;
+    }
+    cpu.Step();
+    const RegisterFile& regs = cpu.regs();
+    if (!cpu.trap_pending()) {
+      // Invariant 1: no PR ring below the ring of execution.
+      for (unsigned n = 0; n < kNumPointerRegisters; ++n) {
+        ASSERT_GE(regs.pr[n].ring, regs.ipr.ring)
+            << "seed=" << GetParam() << " step=" << step << " pr" << n;
+      }
+      // Invariant 2: the ring can only decrease via a downward CALL.
+      const uint64_t gate_entries = cpu.counters().calls_downward;
+      if (regs.ipr.ring < prev_ring) {
+        ASSERT_GT(gate_entries, prev_gate_entries)
+            << "ring dropped without a downward call, seed=" << GetParam();
+      }
+      prev_ring = regs.ipr.ring;
+      prev_gate_entries = gate_entries;
+    }
+  }
+}
+
+TEST_P(FuzzInvariants, TprRingNeverBelowExecutionRing) {
+  FuzzRig rig(GetParam() ^ 0xABCDEF);
+  Cpu& cpu = rig.machine().cpu();
+  for (int step = 0; step < 1000; ++step) {
+    if (cpu.trap_pending()) {
+      TrapState trap = cpu.TakeTrap();
+      trap.regs.ipr.wordno = static_cast<Wordno>(step % 64);
+      cpu.Rett(trap.regs);
+      continue;
+    }
+    const Ring ring_before = cpu.regs().ipr.ring;
+    cpu.Step();
+    // TPR.RING starts from the ring of execution and only maxes upward.
+    // (Instructions without a memory operand leave TPR cleared; skip
+    // those.)
+    const Tpr& tpr = cpu.tpr();
+    if (!(tpr == Tpr{})) {
+      ASSERT_GE(tpr.ring, std::min(ring_before, cpu.regs().ipr.ring))
+          << "seed=" << GetParam() << " step=" << step;
+    }
+  }
+}
+
+TEST_P(FuzzInvariants, CountersNeverRegress) {
+  FuzzRig rig(GetParam() ^ 0x5555);
+  Cpu& cpu = rig.machine().cpu();
+  uint64_t prev_instructions = 0;
+  uint64_t prev_cycles = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (cpu.trap_pending()) {
+      TrapState trap = cpu.TakeTrap();
+      cpu.Rett(trap.regs);
+    }
+    cpu.Step();
+    ASSERT_GE(cpu.counters().instructions, prev_instructions);
+    ASSERT_GE(cpu.cycles(), prev_cycles);
+    prev_instructions = cpu.counters().instructions;
+    prev_cycles = cpu.cycles();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvariants,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+}  // namespace
+}  // namespace rings

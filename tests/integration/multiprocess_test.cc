@@ -1,0 +1,251 @@
+// Processor multiplexing: several processes with separate virtual
+// memories sharing segments and the processor under the round-robin
+// scheduler, plus I/O completion delivery.
+#include <gtest/gtest.h>
+
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+TEST(Multiprocess, RoundRobinInterleavesProcesses) {
+  // Two CPU-bound processes incrementing a shared counter; with a small
+  // quantum both must make progress before either finishes. Each exits
+  // once the counter reaches the limit.
+  constexpr char kSource[] = R"(
+        .segment spin
+start:  ldai  0
+loop:   adai  1
+        sta   slot,*
+        lda   limit
+        sba   slot,*
+        tze   done
+        tmi   done
+        lda   slot,*
+        tra   loop
+done:   lda   slot,*
+        mme   0
+slot:   .its  4, counters, 0
+limit:  .word 300
+
+        .segment counters
+        .block 8
+)";
+  Machine machine(MachineConfig{.quantum = 50});
+  std::map<std::string, AccessControlList> acls;
+  acls["spin"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["counters"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+
+  Process* a = machine.Login("alice");
+  Process* b = machine.Login("bob");
+  machine.supervisor().InitiateAll(a);
+  machine.supervisor().InitiateAll(b);
+  ASSERT_TRUE(machine.Start(a, "spin", "start", kUserRing));
+  ASSERT_TRUE(machine.Start(b, "spin", "start", kUserRing));
+
+  // The code segment (and thus the counter slot) is shared; the stores
+  // interleave but the counter grows monotonically, so both processes
+  // terminate.
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(a->state, ProcessState::kExited);
+  EXPECT_EQ(b->state, ProcessState::kExited);
+  // Both were dispatched more than once: the quantum actually rotated.
+  EXPECT_GT(a->dispatches, 1u);
+  EXPECT_GT(b->dispatches, 1u);
+  EXPECT_GE(machine.cpu().counters().TrapCount(TrapCause::kTimerRunout), 2u);
+}
+
+TEST(Multiprocess, SharedSegmentVisibleToBoth) {
+  // alice writes a value; bob (scheduled after) reads it: one segment in
+  // two virtual memories.
+  constexpr char kSource[] = R"(
+        .segment writer
+wstart: ldai  123
+        sta   wptr,*
+        mme   0
+wptr:   .its  4, shared, 0
+
+        .segment reader
+rstart: lda   rptr,*
+        mme   0
+rptr:   .its  4, shared, 0
+
+        .segment shared
+        .word 0
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["writer"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["reader"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["shared"] = AccessControlList{{"alice", MakeDataSegment(4, 4)},
+                                     {"bob", MakeReadOnlyDataSegment(4)}};
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+
+  Process* alice = machine.Login("alice");
+  Process* bob = machine.Login("bob");
+  machine.supervisor().InitiateAll(alice);
+  machine.supervisor().InitiateAll(bob);
+  ASSERT_TRUE(machine.Start(alice, "writer", "wstart", kUserRing));
+  ASSERT_TRUE(machine.Start(bob, "reader", "rstart", kUserRing));
+  machine.Run();
+  EXPECT_EQ(alice->state, ProcessState::kExited);
+  EXPECT_EQ(bob->state, ProcessState::kExited);
+  EXPECT_EQ(bob->exit_code, 123);
+}
+
+TEST(Multiprocess, OneKilledProcessDoesNotStopOthers) {
+  constexpr char kSource[] = R"(
+        .segment bad
+bstart: sta   bptr,*          ; write violation
+        mme   0
+bptr:   .its  4, ro, 0
+
+        .segment good
+gstart: ldai  7
+        mme   0
+
+        .segment ro
+        .word 1
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["bad"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["good"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["ro"] = AccessControlList::Public(MakeReadOnlyDataSegment(4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* bad = machine.Login("alice");
+  Process* good = machine.Login("bob");
+  machine.supervisor().InitiateAll(bad);
+  machine.supervisor().InitiateAll(good);
+  ASSERT_TRUE(machine.Start(bad, "bad", "bstart", kUserRing));
+  ASSERT_TRUE(machine.Start(good, "good", "gstart", kUserRing));
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(bad->state, ProcessState::kKilled);
+  EXPECT_EQ(good->state, ProcessState::kExited);
+  EXPECT_EQ(good->exit_code, 7);
+}
+
+TEST(Multiprocess, ReturnGateStacksArePerProcess) {
+  // Both processes make upward calls; each one's downward return must
+  // verify against its own gate stack even when interleaved by the
+  // scheduler.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, hiptr,*
+        call  pr2|0
+        epp   pr2, hiptr,*
+        call  pr2|0
+        mme   0
+hiptr:  .its  4, high, 0
+
+        .segment high
+        .gates 1
+entry:  adai  1
+        ldxi  x1, 30          ; burn some quantum inside ring 6
+hloop:  ldx   x2, hc          ; dummy loads
+        adai  0
+        ldxi  x1, 0
+        ret   pr7|0
+hc:     .word 0
+)";
+  Machine machine(MachineConfig{.quantum = 17});
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* a = machine.Login("alice");
+  Process* b = machine.Login("bob");
+  machine.supervisor().InitiateAll(a);
+  machine.supervisor().InitiateAll(b);
+  ASSERT_TRUE(machine.Start(a, "main", "start", kUserRing));
+  ASSERT_TRUE(machine.Start(b, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(a->state, ProcessState::kExited);
+  EXPECT_EQ(b->state, ProcessState::kExited);
+  EXPECT_EQ(a->exit_code, 2);
+  EXPECT_EQ(b->exit_code, 2);
+  EXPECT_EQ(machine.cpu().counters().upward_calls_emulated, 4u);
+  EXPECT_EQ(machine.cpu().counters().downward_returns_emulated, 4u);
+  EXPECT_TRUE(a->return_gates.empty());
+  EXPECT_TRUE(b->return_gates.empty());
+}
+
+TEST(Multiprocess, BlockedTtyReadWakesOnInput) {
+  // One process blocks reading the typewriter; a second keeps computing.
+  // Feeding input wakes the reader, which re-issues the service and
+  // finishes.
+  constexpr char kSource[] = R"(
+        .segment reader
+rstart: epp   pr1, arglist
+        epp   pr2, gateptr,*
+        call  pr2|0           ; tty read: blocks until input arrives
+        lda   bufp,*
+        mme   0               ; exit with the first character read
+arglist: .word 1
+        .its  4, rbuf, 0
+        .word 4
+bufp:   .its  4, rbuf, 0
+gateptr: .its 4, sup_gates, 2
+
+        .segment rbuf
+        .block 4
+
+        .segment worker
+wstart: ldai  5
+        mme   0
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["reader"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["rbuf"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  acls["worker"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* reader = machine.Login("alice");
+  Process* worker = machine.Login("bob");
+  machine.supervisor().InitiateAll(reader);
+  machine.supervisor().InitiateAll(worker);
+  ASSERT_TRUE(machine.Start(reader, "reader", "rstart", kUserRing));
+  ASSERT_TRUE(machine.Start(worker, "worker", "wstart", kUserRing));
+
+  machine.Run();
+  // The worker finished; the reader is parked, not killed.
+  EXPECT_EQ(worker->state, ProcessState::kExited);
+  EXPECT_EQ(reader->state, ProcessState::kBlocked);
+
+  machine.TtyFeedInput("Z");
+  machine.Run();
+  EXPECT_EQ(reader->state, ProcessState::kExited);
+  EXPECT_EQ(reader->exit_code, 'Z');
+}
+
+TEST(Multiprocess, IoCompletionDelivered) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr1, arglist
+        epp   pr2, gateptr,*
+        call  pr2|0
+        mme   0
+arglist: .word 1
+        .its  4, main, buf
+        .word 1
+buf:    .word 88              ; 'X'
+gateptr: .its 4, sup_gates, 1
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  // Run long enough for the channel latency to elapse before the exit.
+  machine.Run();
+  EXPECT_EQ(machine.TtyOutput(), "X");
+  EXPECT_EQ(p->state, ProcessState::kExited);
+}
+
+}  // namespace
+}  // namespace rings

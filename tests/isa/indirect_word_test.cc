@@ -1,0 +1,67 @@
+#include "src/isa/indirect_word.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/xorshift.h"
+
+namespace rings {
+namespace {
+
+TEST(IndirectWordCodec, RoundTrip) {
+  const IndirectWord iw{5, true, 1234, 65535};
+  EXPECT_EQ(DecodeIndirectWord(EncodeIndirectWord(iw)), iw);
+}
+
+TEST(IndirectWordCodec, ZeroWord) {
+  const IndirectWord iw = DecodeIndirectWord(0);
+  EXPECT_EQ(iw.ring, 0);
+  EXPECT_FALSE(iw.indirect);
+  EXPECT_EQ(iw.segno, 0u);
+  EXPECT_EQ(iw.wordno, 0u);
+}
+
+TEST(IndirectWordCodec, MaximumFields) {
+  const IndirectWord iw{kMaxRing, true, kMaxSegno, kMaxWordno};
+  EXPECT_EQ(DecodeIndirectWord(EncodeIndirectWord(iw)), iw);
+}
+
+TEST(IndirectWordCodec, AllRings) {
+  for (Ring r = 0; r < kRingCount; ++r) {
+    const IndirectWord iw{r, false, 42, 7};
+    EXPECT_EQ(DecodeIndirectWord(EncodeIndirectWord(iw)).ring, r);
+  }
+}
+
+TEST(IndirectWordCodec, RandomizedRoundTrip) {
+  Xorshift rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    IndirectWord iw;
+    iw.ring = static_cast<Ring>(rng.Below(kRingCount));
+    iw.indirect = rng.Chance(1, 2);
+    iw.segno = static_cast<Segno>(rng.Below(kMaxSegno + 1));
+    iw.wordno = static_cast<Wordno>(rng.Below(kMaxWordno + 1));
+    EXPECT_EQ(DecodeIndirectWord(EncodeIndirectWord(iw)), iw);
+  }
+}
+
+TEST(IndirectWordCodec, FieldsDoNotOverlap) {
+  // Changing one field leaves the others intact.
+  IndirectWord iw{3, false, 100, 200};
+  Word w = EncodeIndirectWord(iw);
+  const IndirectWord base = DecodeIndirectWord(w);
+  iw.ring = 7;
+  w = EncodeIndirectWord(iw);
+  const IndirectWord changed = DecodeIndirectWord(w);
+  EXPECT_EQ(changed.segno, base.segno);
+  EXPECT_EQ(changed.wordno, base.wordno);
+  EXPECT_EQ(changed.indirect, base.indirect);
+  EXPECT_NE(changed.ring, base.ring);
+}
+
+TEST(IndirectWordToString, Formats) {
+  EXPECT_EQ((IndirectWord{4, false, 10, 20}).ToString(), "4|10|20");
+  EXPECT_EQ((IndirectWord{4, true, 10, 20}).ToString(), "4|10|20,*");
+}
+
+}  // namespace
+}  // namespace rings

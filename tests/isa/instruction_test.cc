@@ -1,0 +1,119 @@
+#include "src/isa/instruction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/xorshift.h"
+#include "src/core/ring.h"
+
+namespace rings {
+namespace {
+
+TEST(InstructionCodec, RoundTripSimple) {
+  const Instruction ins = MakeIns(Opcode::kLda, 42);
+  Instruction decoded;
+  ASSERT_TRUE(DecodeInstruction(EncodeInstruction(ins), &decoded));
+  EXPECT_EQ(decoded, ins);
+}
+
+TEST(InstructionCodec, RoundTripAllFields) {
+  Instruction ins;
+  ins.opcode = Opcode::kEpp;
+  ins.indirect = true;
+  ins.pr_relative = true;
+  ins.prnum = 5;
+  ins.reg = 3;
+  ins.tag = 7;
+  ins.offset = -1234;
+  Instruction decoded;
+  ASSERT_TRUE(DecodeInstruction(EncodeInstruction(ins), &decoded));
+  EXPECT_EQ(decoded, ins);
+}
+
+TEST(InstructionCodec, NegativeOffsetBoundaries) {
+  for (const int32_t offset : {-131072, -1, 0, 1, 131071}) {
+    const Instruction ins = MakeIns(Opcode::kSta, offset);
+    Instruction decoded;
+    ASSERT_TRUE(DecodeInstruction(EncodeInstruction(ins), &decoded));
+    EXPECT_EQ(decoded.offset, offset);
+  }
+}
+
+TEST(InstructionCodec, InvalidOpcodeRejected) {
+  // Deposit an out-of-range opcode in the opcode field (bits 63..56).
+  const Word bogus = uint64_t{200} << 56;
+  Instruction decoded;
+  EXPECT_FALSE(DecodeInstruction(bogus, &decoded));
+}
+
+TEST(InstructionCodec, AllOpcodesRoundTrip) {
+  for (unsigned op = 0; op < static_cast<unsigned>(Opcode::kNumOpcodes); ++op) {
+    const Instruction ins = MakeIns(static_cast<Opcode>(op), 7);
+    Instruction decoded;
+    ASSERT_TRUE(DecodeInstruction(EncodeInstruction(ins), &decoded));
+    EXPECT_EQ(decoded.opcode, static_cast<Opcode>(op));
+  }
+}
+
+TEST(InstructionCodec, RandomizedRoundTrip) {
+  Xorshift rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    Instruction ins;
+    ins.opcode = static_cast<Opcode>(rng.Below(static_cast<uint64_t>(Opcode::kNumOpcodes)));
+    ins.indirect = rng.Chance(1, 2);
+    ins.pr_relative = rng.Chance(1, 2);
+    ins.prnum = static_cast<uint8_t>(rng.Below(8));
+    ins.reg = static_cast<uint8_t>(rng.Below(8));
+    ins.tag = static_cast<uint8_t>(rng.Below(8));
+    ins.offset = static_cast<int32_t>(static_cast<int64_t>(rng.Below(1 << 18)) - (1 << 17));
+    Instruction decoded;
+    ASSERT_TRUE(DecodeInstruction(EncodeInstruction(ins), &decoded));
+    EXPECT_EQ(decoded, ins);
+  }
+}
+
+TEST(OpcodeInfo, OperandKinds) {
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kLda).operand, OperandKind::kRead);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kSta).operand, OperandKind::kWrite);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kAos).operand, OperandKind::kReadWrite);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kEpp).operand, OperandKind::kEaOnly);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kTra).operand, OperandKind::kTransfer);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kCall).operand, OperandKind::kCall);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kRet).operand, OperandKind::kReturn);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kNop).operand, OperandKind::kNone);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kLdai).operand, OperandKind::kImmediate);
+}
+
+TEST(OpcodeInfo, PrivilegeLevels) {
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kLdbr).max_ring, 0);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kSio).max_ring, 0);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kHlt).max_ring, 0);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kRett).max_ring, 0);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kSvc).max_ring, 1);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kLda).max_ring, kMaxRing);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kCall).max_ring, kMaxRing);
+  EXPECT_EQ(GetOpcodeInfo(Opcode::kMme).max_ring, kMaxRing);
+}
+
+TEST(OpcodeMnemonics, LookupBothWays) {
+  EXPECT_EQ(OpcodeFromMnemonic("lda"), Opcode::kLda);
+  EXPECT_EQ(OpcodeFromMnemonic("LDA"), Opcode::kLda);
+  EXPECT_EQ(OpcodeFromMnemonic("call"), Opcode::kCall);
+  EXPECT_EQ(OpcodeFromMnemonic("bogus"), std::nullopt);
+  for (unsigned op = 0; op < static_cast<unsigned>(Opcode::kNumOpcodes); ++op) {
+    const auto& info = GetOpcodeInfo(static_cast<Opcode>(op));
+    EXPECT_EQ(OpcodeFromMnemonic(info.mnemonic), static_cast<Opcode>(op)) << info.mnemonic;
+  }
+}
+
+TEST(ToString, Readable) {
+  EXPECT_EQ(MakeIns(Opcode::kLda, 5).ToString(), "lda 5");
+  Instruction ins = MakeInsPr(Opcode::kLda, 3, 2, true);
+  EXPECT_EQ(ins.ToString(), "lda pr3|2,*");
+  ins = MakeInsReg(Opcode::kLdx, 2, 7);
+  ins.tag = 1;
+  EXPECT_EQ(ins.ToString(), "ldx x2, 7,x1");
+  EXPECT_EQ(MakeInsPrReg(Opcode::kEpp, 1, 3, 4).ToString(), "epp pr3, pr1|4");
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,245 @@
+#include "src/kasm/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/instruction.h"
+
+namespace rings {
+namespace {
+
+Instruction DecodeAt(const AssembledSegment& seg, Wordno wordno) {
+  Instruction ins;
+  EXPECT_TRUE(DecodeInstruction(seg.words[wordno], &ins));
+  return ins;
+}
+
+TEST(Assembler, SimpleSegment) {
+  const AssembleResult r = Assemble(R"(
+        .segment main
+start:  ldai 5
+        sta  buf
+buf:    .word 0
+)");
+  ASSERT_TRUE(r.ok) << r.error.ToString();
+  ASSERT_EQ(r.program.segments.size(), 1u);
+  const AssembledSegment& seg = r.program.segments[0];
+  EXPECT_EQ(seg.name, "main");
+  ASSERT_EQ(seg.words.size(), 3u);
+  EXPECT_EQ(seg.Symbol("start"), 0u);
+  EXPECT_EQ(seg.Symbol("buf"), 2u);
+  EXPECT_EQ(DecodeAt(seg, 0), MakeIns(Opcode::kLdai, 5));
+  EXPECT_EQ(DecodeAt(seg, 1), MakeIns(Opcode::kSta, 2));  // buf resolved
+  EXPECT_EQ(seg.words[2], 0u);
+}
+
+TEST(Assembler, PrRelativeIndirectAndIndex) {
+  const AssembleResult r = Assemble(R"(
+        .segment s
+        lda  pr3|5,*
+        ldx  x2, table, x1
+        epp  pr2, pr1|0
+table:  .word 9
+)");
+  ASSERT_TRUE(r.ok) << r.error.ToString();
+  const AssembledSegment& seg = r.program.segments[0];
+
+  Instruction lda = DecodeAt(seg, 0);
+  EXPECT_EQ(lda.opcode, Opcode::kLda);
+  EXPECT_TRUE(lda.pr_relative);
+  EXPECT_EQ(lda.prnum, 3);
+  EXPECT_EQ(lda.offset, 5);
+  EXPECT_TRUE(lda.indirect);
+
+  Instruction ldx = DecodeAt(seg, 1);
+  EXPECT_EQ(ldx.opcode, Opcode::kLdx);
+  EXPECT_EQ(ldx.reg, 2);
+  EXPECT_EQ(ldx.offset, 3);  // table
+  EXPECT_EQ(ldx.tag, 1);
+  EXPECT_FALSE(ldx.pr_relative);
+
+  Instruction epp = DecodeAt(seg, 2);
+  EXPECT_EQ(epp.opcode, Opcode::kEpp);
+  EXPECT_EQ(epp.reg, 2);
+  EXPECT_TRUE(epp.pr_relative);
+  EXPECT_EQ(epp.prnum, 1);
+}
+
+TEST(Assembler, GatesDirective) {
+  const AssembleResult r = Assemble(R"(
+        .segment g
+        .gates 3
+a:      nop
+b:      nop
+c:      nop
+)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.program.segments[0].gate_count, 3u);
+}
+
+TEST(Assembler, EquAndExpressions) {
+  const AssembleResult r = Assemble(R"(
+        .equ magic, 40
+        .segment s
+        ldai magic
+        ldai magic+2
+lbl:    .word lbl+1
+)");
+  ASSERT_TRUE(r.ok) << r.error.ToString();
+  const AssembledSegment& seg = r.program.segments[0];
+  EXPECT_EQ(DecodeAt(seg, 0).offset, 40);
+  EXPECT_EQ(DecodeAt(seg, 1).offset, 42);
+  EXPECT_EQ(seg.words[2], 3u);  // lbl=2, +1
+}
+
+TEST(Assembler, StringDirective) {
+  const AssembleResult r = Assemble(R"(
+        .segment s
+msg:    .string Hi there
+after:  .word 0
+)");
+  ASSERT_TRUE(r.ok) << r.error.ToString();
+  const AssembledSegment& seg = r.program.segments[0];
+  ASSERT_EQ(seg.Symbol("after"), 8u);  // "Hi there" = 8 characters
+  EXPECT_EQ(seg.words[0], static_cast<Word>('H'));
+  EXPECT_EQ(seg.words[1], static_cast<Word>('i'));
+  EXPECT_EQ(seg.words[2], static_cast<Word>(' '));
+  EXPECT_EQ(seg.words[7], static_cast<Word>('e'));
+}
+
+TEST(Assembler, EmptyStringRejected) {
+  EXPECT_FALSE(Assemble(".segment s\n .string\n").ok);
+}
+
+TEST(Assembler, BlockAndReserve) {
+  const AssembleResult r = Assemble(R"(
+        .segment s
+        .block 5
+after:  .word 1
+        .reserve 100
+)");
+  ASSERT_TRUE(r.ok);
+  const AssembledSegment& seg = r.program.segments[0];
+  EXPECT_EQ(seg.words.size(), 6u);
+  EXPECT_EQ(seg.Symbol("after"), 5u);
+  EXPECT_EQ(seg.reserve_words, 100u);
+}
+
+TEST(Assembler, ItsPatchRecorded) {
+  const AssembleResult r = Assemble(R"(
+        .segment s
+p:      .its 4, other, target,*
+q:      .its 2, other, 7
+)");
+  ASSERT_TRUE(r.ok) << r.error.ToString();
+  const AssembledSegment& seg = r.program.segments[0];
+  ASSERT_EQ(seg.patches.size(), 2u);
+  EXPECT_EQ(seg.patches[0].wordno, 0u);
+  EXPECT_EQ(seg.patches[0].ring, 4);
+  EXPECT_TRUE(seg.patches[0].indirect);
+  EXPECT_EQ(seg.patches[0].target_segment, "other");
+  EXPECT_EQ(seg.patches[0].target_symbol, "target");
+  EXPECT_EQ(seg.patches[1].ring, 2);
+  EXPECT_FALSE(seg.patches[1].indirect);
+  EXPECT_EQ(seg.patches[1].target_offset, 7);
+}
+
+TEST(Assembler, MultipleSegments) {
+  const AssembleResult r = Assemble(R"(
+        .segment a
+        nop
+        .segment b
+        nop
+        nop
+)");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.program.segments.size(), 2u);
+  EXPECT_EQ(r.program.Find("a")->words.size(), 1u);
+  EXPECT_EQ(r.program.Find("b")->words.size(), 2u);
+  EXPECT_EQ(r.program.Find("c"), nullptr);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const AssembleResult r = Assemble(R"(
+; full-line comment
+        .segment s     ; trailing comment
+        nop            # hash comment
+
+lbl:                   ; label-only line
+        nop
+)");
+  ASSERT_TRUE(r.ok) << r.error.ToString();
+  EXPECT_EQ(r.program.segments[0].words.size(), 2u);
+  EXPECT_EQ(r.program.segments[0].Symbol("lbl"), 1u);
+}
+
+TEST(Assembler, HexAndNegativeLiterals) {
+  const AssembleResult r = Assemble(R"(
+        .segment s
+        ldai 0x2a
+        ldai -3
+)");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(DecodeAt(r.program.segments[0], 0).offset, 42);
+  EXPECT_EQ(DecodeAt(r.program.segments[0], 1).offset, -3);
+}
+
+// --- errors ---------------------------------------------------------------
+
+TEST(AssemblerErrors, UnknownOpcode) {
+  const AssembleResult r = Assemble(".segment s\n frobnicate 3\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error.line, 2);
+  EXPECT_NE(r.error.message.find("frobnicate"), std::string::npos);
+}
+
+TEST(AssemblerErrors, CodeOutsideSegment) {
+  EXPECT_FALSE(Assemble("nop\n").ok);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_FALSE(Assemble(".segment s\nx: nop\nx: nop\n").ok);
+}
+
+TEST(AssemblerErrors, DuplicateSegment) {
+  EXPECT_FALSE(Assemble(".segment s\n.segment s\n").ok);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  const AssembleResult r = Assemble(".segment s\n lda nowhere\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.message.find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerErrors, OffsetOverflow) {
+  EXPECT_FALSE(Assemble(".segment s\n ldai 140000\n").ok);
+  EXPECT_TRUE(Assemble(".segment s\n ldai 131071\n").ok);
+}
+
+TEST(AssemblerErrors, MissingRegisterOperand) {
+  EXPECT_FALSE(Assemble(".segment s\n ldx 5\n").ok);
+}
+
+TEST(AssemblerErrors, BadItsRing) {
+  EXPECT_FALSE(Assemble(".segment s\n .its 9, other, 0\n").ok);
+}
+
+TEST(AssemblerErrors, X0AsIndexTag) {
+  EXPECT_FALSE(Assemble(".segment s\nlbl: lda lbl, x0\n").ok);
+}
+
+TEST(AssemblerErrors, OperandOnNoOperandOpcode) {
+  EXPECT_FALSE(Assemble(".segment s\n nop 5\n").ok);
+}
+
+TEST(AssemblerErrors, UnknownDirective) {
+  EXPECT_FALSE(Assemble(".segment s\n .bogus 1\n").ok);
+}
+
+TEST(AssemblerErrors, ErrorToStringIncludesLine) {
+  const AssembleResult r = Assemble(".segment s\n\n\n bad_op\n");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.ToString().find("line 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rings

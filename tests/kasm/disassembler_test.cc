@@ -1,0 +1,68 @@
+#include "src/kasm/disassembler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/indirect_word.h"
+#include "src/isa/instruction.h"
+#include "src/kasm/assembler.h"
+
+namespace rings {
+namespace {
+
+TEST(Disassembler, SimpleInstruction) {
+  EXPECT_EQ(DisassembleWord(EncodeInstruction(MakeIns(Opcode::kLdai, 5))), "ldai 5");
+  EXPECT_EQ(DisassembleWord(EncodeInstruction(MakeInsPr(Opcode::kLda, 3, 2, true))),
+            "lda pr3|2,*");
+}
+
+TEST(Disassembler, InvalidOpcodeAsData) {
+  const Word bogus = uint64_t{250} << 56;
+  const std::string text = DisassembleWord(bogus);
+  EXPECT_NE(text.find(".word"), std::string::npos);
+}
+
+TEST(Disassembler, IndirectWordAnnotated) {
+  const Word iw = EncodeIndirectWord(IndirectWord{4, true, 12, 34});
+  // An indirect word with a nonzero ring decodes as some instruction or a
+  // .word; the annotation must mention the its fields when shown as data.
+  const std::string text = DisassembleWord(iw);
+  EXPECT_FALSE(text.empty());
+}
+
+TEST(Disassembler, SegmentListingMarksGates) {
+  const Program program = AssembleOrDie(R"(
+        .segment s
+        .gates 2
+a:      nop
+b:      nop
+c:      ldai 7
+)");
+  const std::string listing =
+      DisassembleSegment(program.segments[0].words, program.segments[0].gate_count);
+  // Three lines; first two marked as gates.
+  EXPECT_NE(listing.find("0 G"), std::string::npos);
+  EXPECT_NE(listing.find("1 G"), std::string::npos);
+  EXPECT_EQ(listing.find("2 G"), std::string::npos);
+  EXPECT_NE(listing.find("ldai 7"), std::string::npos);
+}
+
+TEST(Disassembler, RoundTripThroughAssembler) {
+  // Assemble, disassemble, re-assemble the instruction lines: the words
+  // must match. (Data words are excluded — the disassembler cannot know
+  // word types.)
+  const char* lines[] = {
+      "lda pr2|5", "sta pr1|0,*", "epp pr3, pr1|4", "ldx x2, 9",
+      "tra 3",     "call pr2|0",  "ret pr7|0",      "mme 0",
+      "nop",       "ldai -42",    "aos pr4|1",      "spp pr6, pr0|2",
+  };
+  for (const char* line : lines) {
+    const std::string source = std::string(".segment s\n") + line + "\n";
+    const Program first = AssembleOrDie(source);
+    const std::string disassembled = DisassembleWord(first.segments[0].words[0]);
+    const Program second = AssembleOrDie(".segment s\n" + disassembled + "\n");
+    EXPECT_EQ(first.segments[0].words[0], second.segments[0].words[0]) << line;
+  }
+}
+
+}  // namespace
+}  // namespace rings

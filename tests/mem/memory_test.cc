@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/mem/descriptor_segment.h"
+#include "src/mem/physical_memory.h"
+
+namespace rings {
+namespace {
+
+TEST(PhysicalMemory, ReadWrite) {
+  PhysicalMemory mem(1024);
+  mem.Write(10, 42);
+  EXPECT_EQ(mem.Read(10), 42u);
+  EXPECT_EQ(mem.Read(11), 0u);
+  EXPECT_EQ(mem.size(), 1024u);
+}
+
+TEST(PhysicalMemory, AllocatorHandsOutDisjointRegions) {
+  PhysicalMemory mem(1000);
+  const auto a = mem.Allocate(100);
+  const auto b = mem.Allocate(200);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_GE(*b, *a + 100);
+  EXPECT_EQ(mem.allocated(), 300u);
+}
+
+TEST(PhysicalMemory, AllocatorExhaustion) {
+  PhysicalMemory mem(100);
+  EXPECT_TRUE(mem.Allocate(60).has_value());
+  EXPECT_FALSE(mem.Allocate(60).has_value());
+  EXPECT_TRUE(mem.Allocate(40).has_value());
+  EXPECT_FALSE(mem.Allocate(1).has_value());
+}
+
+TEST(DescriptorSegment, CreateInitializesAbsent) {
+  PhysicalMemory mem(4096);
+  const auto ds = DescriptorSegment::Create(&mem, 16, 0);
+  ASSERT_TRUE(ds.has_value());
+  for (Segno s = 0; s < 16; ++s) {
+    const auto sdw = ds->Fetch(s);
+    ASSERT_TRUE(sdw.has_value());
+    EXPECT_FALSE(sdw->present);
+  }
+}
+
+TEST(DescriptorSegment, StoreFetchRoundTrip) {
+  PhysicalMemory mem(4096);
+  auto ds = DescriptorSegment::Create(&mem, 16, 0);
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = 100;
+  sdw.bound = 50;
+  sdw.access = MakeDataSegment(3, 5);
+  ds->Store(7, sdw);
+  EXPECT_EQ(ds->Fetch(7), sdw);
+  // Neighbors untouched.
+  EXPECT_FALSE(ds->Fetch(6)->present);
+  EXPECT_FALSE(ds->Fetch(8)->present);
+}
+
+TEST(DescriptorSegment, OutOfBoundsSegno) {
+  PhysicalMemory mem(4096);
+  auto ds = DescriptorSegment::Create(&mem, 16, 0);
+  EXPECT_EQ(ds->Fetch(16), std::nullopt);
+  EXPECT_EQ(ds->Fetch(1000), std::nullopt);
+}
+
+TEST(DescriptorSegment, TwoVirtualMemoriesShareOneSegment) {
+  // "A single segment may be part of several virtual memories at the same
+  // time, allowing straightforward sharing of segments among users."
+  PhysicalMemory mem(8192);
+  auto ds_a = DescriptorSegment::Create(&mem, 16, 0);
+  auto ds_b = DescriptorSegment::Create(&mem, 16, 0);
+  const AbsAddr shared = *mem.Allocate(10);
+  mem.Write(shared + 3, 77);
+
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = shared;
+  sdw.bound = 10;
+  sdw.access = MakeDataSegment(4, 4);
+  ds_a->Store(5, sdw);
+  // Different segment number, different access, same storage.
+  sdw.access = MakeReadOnlyDataSegment(4);
+  ds_b->Store(9, sdw);
+
+  EXPECT_EQ(ds_a->Fetch(5)->base, ds_b->Fetch(9)->base);
+  EXPECT_TRUE(ds_a->Fetch(5)->access.flags.write);
+  EXPECT_FALSE(ds_b->Fetch(9)->access.flags.write);
+  EXPECT_EQ(mem.Read(ds_b->Fetch(9)->base + 3), 77u);
+}
+
+TEST(DescriptorSegment, StackBaseRecordedInDbr) {
+  PhysicalMemory mem(4096);
+  const auto ds = DescriptorSegment::Create(&mem, 16, /*stack_base=*/8);
+  EXPECT_EQ(ds->dbr().stack_base, 8u);
+  EXPECT_EQ(ds->dbr().bound, 16u);
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,103 @@
+// Figure 3 storage formats: SDW encode/decode round-trips and supervisor
+// validation rules.
+#include "src/mem/sdw.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/xorshift.h"
+
+namespace rings {
+namespace {
+
+Sdw SampleSdw() {
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = 0x123456789;
+  sdw.bound = 4096;
+  sdw.access = MakeProcedureSegment(2, 4, 6, 3);
+  return sdw;
+}
+
+TEST(SdwCodec, RoundTrip) {
+  const Sdw sdw = SampleSdw();
+  Word w0 = 0;
+  Word w1 = 0;
+  EncodeSdw(sdw, &w0, &w1);
+  EXPECT_EQ(DecodeSdw(w0, w1), sdw);
+}
+
+TEST(SdwCodec, AbsentSegment) {
+  Sdw sdw;
+  sdw.present = false;
+  Word w0 = 0;
+  Word w1 = 0;
+  EncodeSdw(sdw, &w0, &w1);
+  EXPECT_FALSE(DecodeSdw(w0, w1).present);
+}
+
+TEST(SdwCodec, MaximumFieldValues) {
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = (uint64_t{1} << 40) - 1;
+  sdw.bound = kMaxSegmentWords;
+  sdw.access.flags = {true, true, true};
+  sdw.access.brackets = {7, 7, 7};
+  sdw.access.gate_count = 0xFFFFFFFF;
+  Word w0 = 0;
+  Word w1 = 0;
+  EncodeSdw(sdw, &w0, &w1);
+  EXPECT_EQ(DecodeSdw(w0, w1), sdw);
+}
+
+TEST(SdwCodec, RandomizedRoundTrip) {
+  Xorshift rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Sdw sdw;
+    sdw.present = rng.Chance(1, 2);
+    sdw.base = rng.Below(uint64_t{1} << 40);
+    sdw.bound = rng.Below(kMaxSegmentWords + 1);
+    sdw.access.flags = {rng.Chance(1, 2), rng.Chance(1, 2), rng.Chance(1, 2)};
+    const Ring r1 = static_cast<Ring>(rng.Below(kRingCount));
+    const Ring r2 = static_cast<Ring>(rng.Between(r1, kMaxRing));
+    const Ring r3 = static_cast<Ring>(rng.Between(r2, kMaxRing));
+    sdw.access.brackets = {r1, r2, r3};
+    sdw.access.gate_count = static_cast<uint32_t>(rng.Below(1 << 20));
+    Word w0 = 0;
+    Word w1 = 0;
+    EncodeSdw(sdw, &w0, &w1);
+    EXPECT_EQ(DecodeSdw(w0, w1), sdw);
+  }
+}
+
+TEST(ValidateSdw, AcceptsWellFormed) {
+  EXPECT_EQ(ValidateSdw(SampleSdw()), std::nullopt);
+}
+
+TEST(ValidateSdw, AbsentIsAlwaysValid) {
+  Sdw sdw;
+  sdw.present = false;
+  sdw.access.brackets = {5, 2, 0};  // garbage, but absent
+  EXPECT_EQ(ValidateSdw(sdw), std::nullopt);
+}
+
+TEST(ValidateSdw, RejectsMalformedBrackets) {
+  Sdw sdw = SampleSdw();
+  sdw.access.brackets = {5, 2, 7};
+  EXPECT_NE(ValidateSdw(sdw), std::nullopt);
+}
+
+TEST(ValidateSdw, RejectsGateCountBeyondBound) {
+  Sdw sdw = SampleSdw();
+  sdw.bound = 2;
+  sdw.access.gate_count = 3;
+  EXPECT_NE(ValidateSdw(sdw), std::nullopt);
+}
+
+TEST(ValidateSdw, RejectsOversizeBound) {
+  Sdw sdw = SampleSdw();
+  sdw.bound = kMaxSegmentWords + 1;
+  EXPECT_NE(ValidateSdw(sdw), std::nullopt);
+}
+
+}  // namespace
+}  // namespace rings

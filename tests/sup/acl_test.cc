@@ -1,0 +1,77 @@
+#include "src/sup/acl.h"
+
+#include <gtest/gtest.h>
+
+namespace rings {
+namespace {
+
+TEST(Acl, LookupByUser) {
+  AccessControlList acl{{"alice", MakeDataSegment(4, 4)}, {"bob", MakeReadOnlyDataSegment(4)}};
+  ASSERT_TRUE(acl.Lookup("alice").has_value());
+  EXPECT_TRUE(acl.Lookup("alice")->flags.write);
+  ASSERT_TRUE(acl.Lookup("bob").has_value());
+  EXPECT_FALSE(acl.Lookup("bob")->flags.write);
+  EXPECT_EQ(acl.Lookup("carol"), std::nullopt);
+}
+
+TEST(Acl, WildcardMatchesAnyUser) {
+  const AccessControlList acl = AccessControlList::Public(MakeDataSegment(4, 4));
+  EXPECT_TRUE(acl.Lookup("anyone").has_value());
+  EXPECT_TRUE(acl.Lookup("admin").has_value());
+}
+
+TEST(Acl, FirstMatchWins) {
+  // A specific entry preceding the wildcard overrides it — e.g. bob gets
+  // read-only while everyone else can write.
+  AccessControlList acl{{"bob", MakeReadOnlyDataSegment(4)},
+                        {kAclWildcard, MakeDataSegment(4, 4)}};
+  EXPECT_FALSE(acl.Lookup("bob")->flags.write);
+  EXPECT_TRUE(acl.Lookup("alice")->flags.write);
+}
+
+TEST(Acl, SetReplacesExisting) {
+  AccessControlList acl = AccessControlList::ForUser("alice", MakeDataSegment(4, 4));
+  ASSERT_TRUE(acl.Set("alice", MakeReadOnlyDataSegment(3)));
+  EXPECT_FALSE(acl.Lookup("alice")->flags.write);
+  EXPECT_EQ(acl.entries().size(), 1u);
+}
+
+TEST(Acl, SetAddsInFrontOfWildcard) {
+  AccessControlList acl = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(acl.Set("bob", MakeReadOnlyDataSegment(4)));
+  EXPECT_FALSE(acl.Lookup("bob")->flags.write);
+  EXPECT_TRUE(acl.Lookup("alice")->flags.write);
+}
+
+TEST(Acl, SetRejectsMalformedBrackets) {
+  AccessControlList acl;
+  SegmentAccess bad = MakeDataSegment(4, 4);
+  bad.brackets = Brackets{5, 2, 1};
+  EXPECT_FALSE(acl.Set("alice", bad));
+  EXPECT_TRUE(acl.empty());
+}
+
+TEST(Acl, Remove) {
+  AccessControlList acl{{"alice", MakeDataSegment(4, 4)}, {"bob", MakeDataSegment(4, 4)}};
+  acl.Remove("alice");
+  EXPECT_EQ(acl.Lookup("alice"), std::nullopt);
+  EXPECT_TRUE(acl.Lookup("bob").has_value());
+}
+
+TEST(Acl, EmptyDeniesEveryone) {
+  const AccessControlList acl;
+  EXPECT_EQ(acl.Lookup("anyone"), std::nullopt);
+}
+
+TEST(Acl, DifferentUsersDifferentBrackets) {
+  // The paper's audited-data-base scenario: owner A accesses the segment
+  // directly from ring 4; B reaches it only through A's ring-3 subsystem,
+  // expressed by giving B brackets that stop at ring 3.
+  AccessControlList acl{{"a", MakeDataSegment(4, 4)}, {"b", MakeDataSegment(3, 3)}};
+  EXPECT_TRUE(acl.Lookup("a")->brackets.InReadBracket(4));
+  EXPECT_FALSE(acl.Lookup("b")->brackets.InReadBracket(4));
+  EXPECT_TRUE(acl.Lookup("b")->brackets.InReadBracket(3));
+}
+
+}  // namespace
+}  // namespace rings

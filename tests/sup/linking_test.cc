@@ -1,0 +1,229 @@
+// Dynamic linking: fault-tagged link words (.link) trap on first
+// reference, are snapped by the supervisor, and the disrupted instruction
+// resumes and completes — Multics-style "snapping the link".
+#include <gtest/gtest.h>
+
+#include "src/isa/indirect_word.h"
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+std::map<std::string, AccessControlList> BaseAcls() {
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  return acls;
+}
+
+TEST(DynamicLinking, SnapsOnFirstReference) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  lda   lk,*           ; first use: link fault, snap, resume
+        ada   lk,*           ; second use: already snapped
+        mme   0
+lk:     .link 4, data, value
+
+        .segment data
+        .word 0
+value:  .word 21
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["data"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 42);
+  // Exactly one snap, one link-fault trap.
+  EXPECT_EQ(machine.cpu().counters().links_snapped, 1u);
+  EXPECT_EQ(machine.cpu().counters().TrapCount(TrapCause::kLinkFault), 1u);
+  // The stored word is now an ordinary snapped pointer.
+  const IndirectWord snapped = DecodeIndirectWord(*machine.PeekSegment("main", 3));
+  EXPECT_FALSE(snapped.fault);
+  EXPECT_EQ(snapped.wordno, 1u);
+}
+
+TEST(DynamicLinking, TargetMayBeRegisteredAfterTheReferent) {
+  // The whole point of dynamic linking: `main` links against a segment
+  // that does not exist at load time.
+  Machine machine;
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  lda   lk,*
+        mme   0
+lk:     .link 4, latecomer, 0
+)",
+                                        BaseAcls()));
+  // Register the target afterwards.
+  machine.registry().CreateSegmentWithContents(
+      "latecomer", {77}, 0, 0, AccessControlList::Public(MakeDataSegment(4, 4)));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 77);
+}
+
+TEST(DynamicLinking, UnresolvableLinkKillsProcess) {
+  Machine machine;
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  lda   lk,*
+        mme   0
+lk:     .link 4, nowhere, 0
+)",
+                                        BaseAcls()));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kLinkFault);
+}
+
+TEST(DynamicLinking, UnknownSymbolKillsProcess) {
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["data"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  lda   lk,*
+        mme   0
+lk:     .link 4, data, missing_symbol
+
+        .segment data
+        .word 1
+)",
+                                        acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kLinkFault);
+}
+
+TEST(DynamicLinking, SnappedLinkKeepsRingValidation) {
+  // The link declares ring 4; snapping must not grant more than the
+  // declared validation level. Linking to supervisor-only data still
+  // faults on the post-snap reference.
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["secret"] = AccessControlList::Public(MakeDataSegment(1, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  lda   lk,*
+        mme   0
+lk:     .link 4, secret, 0
+
+        .segment secret
+        .word 9
+)",
+                                        acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  // The snap succeeds (linking is name resolution, not access), but the
+  // resumed LDA is denied by the ordinary ring check.
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kReadViolation);
+  EXPECT_EQ(machine.cpu().counters().links_snapped, 1u);
+}
+
+TEST(DynamicLinking, SharedSnapVisibleToSecondProcess) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  lda   lk,*
+        mme   0
+lk:     .link 4, data, 0
+
+        .segment data
+        .word 5
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["data"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* a = machine.Login("alice");
+  Process* b = machine.Login("bob");
+  machine.supervisor().InitiateAll(a);
+  machine.supervisor().InitiateAll(b);
+  ASSERT_TRUE(machine.Start(a, "main", "start", kUserRing));
+  ASSERT_TRUE(machine.Start(b, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(a->state, ProcessState::kExited);
+  EXPECT_EQ(b->state, ProcessState::kExited);
+  EXPECT_EQ(a->exit_code, 5);
+  EXPECT_EQ(b->exit_code, 5);
+  // One snap serves both processes (shared storage).
+  EXPECT_EQ(machine.cpu().counters().links_snapped, 1u);
+}
+
+TEST(DynamicLinking, ProcedureCallThroughLink) {
+  // The canonical Multics use: calling a procedure by name. The CALL's
+  // effective-address formation hits the fault word, the supervisor snaps
+  // it, and the re-executed CALL crosses into the (ring-1) service as if
+  // the link had always been there.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, lk,*      ; link fault on first execution
+        call  pr2|0
+        mme   0
+lk:     .link 4, service, 0
+
+        .segment service
+        .gates 1
+entry:  ldai  31
+        ret   pr7|0
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["service"] = AccessControlList::Public(MakeProcedureSegment(1, 1, 5, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 31);
+  EXPECT_EQ(machine.cpu().counters().links_snapped, 1u);
+  EXPECT_EQ(machine.cpu().counters().calls_downward, 1u);
+}
+
+TEST(DynamicLinking, ForgedFaultWordDoesNotEscalate) {
+  // A user fabricates a fault-tagged word naming the supervisor gate
+  // segment's link table (it has none): the process dies, nothing is
+  // written anywhere else.
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["scratch"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(R"(
+        .segment main
+start:  lda   sp2,*
+        mme   0
+sp2:    .its  4, scratch, 0,*
+
+        .segment scratch
+        .word 0
+)",
+                                        acls));
+  // Plant a forged fault word in scratch pointing at the gate segment's
+  // (empty) link table.
+  const Segno gates = machine.registry().Find(kGateSegmentRing1)->segno;
+  machine.PokeSegment("scratch", 0,
+                      EncodeIndirectWord(IndirectWord{4, false, gates, 0, /*fault=*/true}));
+  Process* p = machine.Login("mallory");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kLinkFault);
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,140 @@
+#include "src/sup/segment_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/isa/indirect_word.h"
+#include "src/kasm/assembler.h"
+#include "src/sup/abi.h"
+
+namespace rings {
+namespace {
+
+TEST(Registry, CreateSegmentAssignsIncreasingSegnos) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const auto a = reg.CreateSegment("a", 10, AccessControlList::Public(MakeDataSegment(4, 4)));
+  const auto b = reg.CreateSegment("b", 10, AccessControlList::Public(MakeDataSegment(4, 4)));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, kFirstSharedSegno);
+  EXPECT_EQ(*b, kFirstSharedSegno + 1);
+}
+
+TEST(Registry, DuplicateNameRejected) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  ASSERT_TRUE(reg.CreateSegment("a", 4, {}).has_value());
+  EXPECT_FALSE(reg.CreateSegment("a", 4, {}).has_value());
+}
+
+TEST(Registry, ContentsWritten) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const auto segno =
+      reg.CreateSegmentWithContents("a", {7, 8, 9}, /*extra_zero=*/2, /*gates=*/1, {});
+  ASSERT_TRUE(segno.has_value());
+  const RegisteredSegment* seg = reg.FindBySegno(*segno);
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->bound, 5u);
+  EXPECT_EQ(seg->gate_count, 1u);
+  EXPECT_EQ(mem.Read(seg->base + 0), 7u);
+  EXPECT_EQ(mem.Read(seg->base + 2), 9u);
+  EXPECT_EQ(mem.Read(seg->base + 4), 0u);
+}
+
+TEST(Registry, LoadProgramResolvesItsPatches) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const Program program = AssembleOrDie(R"(
+        .segment code
+ptr:    .its 4, data, target,*
+        .segment data
+        .word 0
+target: .word 42
+)");
+  std::map<std::string, AccessControlList> acls;
+  acls["code"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["data"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  std::string error;
+  ASSERT_TRUE(reg.LoadProgram(program, acls, &error)) << error;
+
+  const RegisteredSegment* code = reg.Find("code");
+  const RegisteredSegment* data = reg.Find("data");
+  const IndirectWord iw = DecodeIndirectWord(mem.Read(code->base));
+  EXPECT_EQ(iw.segno, data->segno);
+  EXPECT_EQ(iw.wordno, 1u);
+  EXPECT_EQ(iw.ring, 4);
+  EXPECT_TRUE(iw.indirect);
+}
+
+TEST(Registry, LoadProgramRequiresAcls) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const Program program = AssembleOrDie(".segment lonely\n nop\n");
+  std::string error;
+  EXPECT_FALSE(reg.LoadProgram(program, {}, &error));
+  EXPECT_NE(error.find("lonely"), std::string::npos);
+}
+
+TEST(Registry, LoadProgramRejectsUnknownPatchTarget) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const Program program = AssembleOrDie(".segment s\n .its 4, ghost, 0\n");
+  std::map<std::string, AccessControlList> acls;
+  acls["s"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  std::string error;
+  EXPECT_FALSE(reg.LoadProgram(program, acls, &error));
+  EXPECT_NE(error.find("ghost"), std::string::npos);
+}
+
+TEST(Registry, LoadProgramRejectsUnknownPatchSymbol) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const Program program = AssembleOrDie(R"(
+        .segment s
+        .its 4, d, missing
+        .segment d
+        .word 0
+)");
+  std::map<std::string, AccessControlList> acls;
+  acls["s"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  acls["d"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  std::string error;
+  EXPECT_FALSE(reg.LoadProgram(program, acls, &error));
+  EXPECT_NE(error.find("missing"), std::string::npos);
+}
+
+TEST(Registry, ResolveSymbolAddresses) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const Program program = AssembleOrDie(R"(
+        .segment code
+        nop
+entry:  nop
+)");
+  std::map<std::string, AccessControlList> acls;
+  acls["code"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  std::string error;
+  ASSERT_TRUE(reg.LoadProgram(program, acls, &error));
+  const auto addr = reg.Resolve("code", "entry");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->wordno, 1u);
+  EXPECT_EQ(reg.Resolve("code", "nosuch"), std::nullopt);
+  EXPECT_EQ(reg.Resolve("nosuch", ""), std::nullopt);
+  // Empty symbol = word 0.
+  EXPECT_EQ(reg.Resolve("code", "")->wordno, 0u);
+}
+
+TEST(Registry, SymbolsPreservedFromAssembly) {
+  PhysicalMemory mem(1 << 16);
+  SegmentRegistry reg(&mem);
+  const Program program = AssembleOrDie(".segment s\na: nop\nb: nop\n");
+  std::map<std::string, AccessControlList> acls;
+  acls["s"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  std::string error;
+  ASSERT_TRUE(reg.LoadProgram(program, acls, &error));
+  EXPECT_EQ(reg.Find("s")->symbols.at("b"), 1u);
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,124 @@
+// Supervisor services beyond the basics: runtime segment creation via the
+// g_mkseg gate, with the ring constraint, and actual use of the created
+// segment through a guest-constructed indirect word.
+#include <gtest/gtest.h>
+
+#include "src/base/strings.h"
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+// Requests a fresh segment (A = words, Q = spec), builds an indirect word
+// addressing it at runtime (segno is only known after the call), writes
+// 123 through it, reads it back, and exits with the value.
+constexpr char kMakeSegmentProgram[] = R"(
+        .segment main
+start:  ldai  64             ; request 64 words
+        ldqi  0              ; patched: packed access spec
+        epp   pr2, gptr,*
+        call  pr2|0          ; g_mkseg (gate 6)
+        tmi   fail           ; A = -1 on refusal
+        mpy   segshift       ; A = segno << 33 (the IND.SEGNO field)
+        ora   ringbits       ; ring field = 4
+        sta   slot,*         ; the constructed indirect word
+        ldai  123
+        sta   chain,*        ; store through it: new_segment[0] = 123
+        lda   chain,*        ; and read it back
+        mme   0
+fail:   ldai  -1
+        mme   0
+segshift: .word 8589934592   ; 1 << 33
+ringbits: .word 0x4000000000000000
+slot:   .its  4, scratch, 0
+chain:  .its  4, scratch, 0,*
+gptr:   .its  4, sup_gates, 6
+
+        .segment scratch
+        .word 0
+)";
+
+int64_t RunMakeSegment(Word spec) {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["scratch"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  EXPECT_TRUE(machine.LoadProgramSource(kMakeSegmentProgram, acls));
+  // Patch the spec into the ldqi literal (fits in 18 bits).
+  Word ins = *machine.PeekSegment("main", 1);
+  machine.PokeSegment("main", 1, (ins & ~uint64_t{0x3FFFF}) | (spec & 0x3FFFF));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  EXPECT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  return p->exit_code;
+}
+
+TEST(MakeSegment, CreatesUsableSegment) {
+  EXPECT_EQ(RunMakeSegment(PackAccessSpec(true, true, false, 4, 4, 4)), 123);
+}
+
+TEST(MakeSegment, RefusesBracketsBelowCallerRing) {
+  EXPECT_EQ(RunMakeSegment(PackAccessSpec(true, true, false, 0, 4, 4)), -1);
+  EXPECT_EQ(RunMakeSegment(PackAccessSpec(true, true, false, 4, 4, 2)), -1);
+}
+
+TEST(MakeSegment, RefusesMalformedBrackets) {
+  // r1 > r2 is not even expressible as well-formed: 5,4,4.
+  EXPECT_EQ(RunMakeSegment(PackAccessSpec(true, true, false, 5, 4, 4)), -1);
+}
+
+TEST(MakeSegment, SegmentIsPrivateToCreator) {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["scratch"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kMakeSegmentProgram, acls));
+  Word ins = *machine.PeekSegment("main", 1);
+  machine.PokeSegment("main", 1,
+                      (ins & ~uint64_t{0x3FFFF}) | PackAccessSpec(true, true, false, 4, 4, 4));
+  Process* alice = machine.Login("alice");
+  machine.supervisor().InitiateAll(alice);
+  ASSERT_TRUE(machine.Start(alice, "main", "start", kUserRing));
+  machine.Run();
+  ASSERT_EQ(alice->state, ProcessState::kExited);
+  ASSERT_EQ(alice->exit_code, 123);
+
+  // The created segment's ACL names only alice: bob cannot initiate it.
+  const std::string created = StrFormat("proc%d_seg1", alice->pid);
+  ASSERT_NE(machine.registry().Find(created), nullptr);
+  Process* bob = machine.Login("bob");
+  EXPECT_EQ(machine.supervisor().Initiate(bob, created), std::nullopt);
+  EXPECT_TRUE(machine.supervisor().Initiate(alice, created).has_value());
+}
+
+TEST(MakeSegment, RefusesZeroAndOversize) {
+  // Patch A (the word count) instead: 0 words.
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["scratch"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kMakeSegmentProgram, acls));
+  // ldai 64 is word 0; make it ldai 0.
+  Word ins0 = *machine.PeekSegment("main", 0);
+  machine.PokeSegment("main", 0, ins0 & ~uint64_t{0x3FFFF});
+  Word ins1 = *machine.PeekSegment("main", 1);
+  machine.PokeSegment("main", 1,
+                      (ins1 & ~uint64_t{0x3FFFF}) | PackAccessSpec(true, true, false, 4, 4, 4));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, -1);
+}
+
+TEST(Services, GateSevenIsMkseg) {
+  // Sanity: the gate segment really has 7 gates now.
+  Machine machine;
+  EXPECT_EQ(machine.registry().Find(kGateSegmentRing1)->gate_count, 7u);
+}
+
+}  // namespace
+}  // namespace rings

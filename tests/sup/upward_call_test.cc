@@ -1,0 +1,284 @@
+// The hard cases of the Call and Return section: upward calls and
+// downward returns, emulated by the supervisor with dynamic stacked
+// return gates, argument copy-in/copy-out, and stack-pointer
+// verification.
+#include <gtest/gtest.h>
+
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+std::map<std::string, AccessControlList> BaseAcls() {
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  return acls;
+}
+
+TEST(UpwardCall, EntersHigherRingAndReturns) {
+  // Ring-4 code calls a gate of a ring-6 procedure (execute bracket
+  // [6,6]): the hardware traps, the supervisor emulates the upward call;
+  // the callee's RET traps again and the supervisor performs the
+  // downward return.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, hiptr,*
+        call  pr2|0
+        ldai  0            ; A clobbered by callee; prove we resumed here
+        adai  11
+        mme   0
+hiptr:  .its  4, high, 0
+
+        .segment high
+        .gates 1
+entry:  ldai  77           ; runs in ring 6
+        ret   pr7|0        ; downward return -> trap -> supervisor
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 11);
+  EXPECT_EQ(machine.cpu().counters().upward_calls_emulated, 1u);
+  EXPECT_EQ(machine.cpu().counters().downward_returns_emulated, 1u);
+  EXPECT_TRUE(p->return_gates.empty());  // gate destroyed on return
+}
+
+TEST(UpwardCall, CalleeRunsInTargetBracketFloor) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, hiptr,*
+        call  pr2|0
+        mme   0
+hiptr:  .its  4, high, 0
+
+        .segment high
+        .gates 1
+entry:  epp   pr3, ringgate,*
+        call  pr3|0          ; downward call to the g_ring service (ring 1)
+        sta   saver,*        ; should report ring 6... A = caller ring = 6
+        epp   pr2, exitgate,*
+        lda   saver,*
+        call  pr2|0          ; exit with A
+ringgate: .its 6, sup_gates, 3
+exitgate: .its 6, sup_gates, 0
+saver:  .its  6, scratch, 0
+
+        .segment scratch
+        .word 0
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  acls["scratch"] = AccessControlList::Public(MakeDataSegment(6, 6));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  // Rings 6 cannot reach supervisor gates (R3 = 5): the downward call
+  // from ring 6 must be denied.
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kExecuteViolation);
+}
+
+TEST(UpwardCall, ArgumentsCopiedInAndOut) {
+  // The ring-4 caller passes an in/out argument in a segment the ring-6
+  // callee cannot reference; the supervisor's copy-in/copy-out makes the
+  // upward call work anyway ("copying arguments into segments that are
+  // accessible in the called ring, and then copying them back").
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr1, arglist
+        epp   pr2, hiptr,*
+        call  pr2|0
+        lda   dptr,*         ; read back the (copied-out) result
+        mme   0
+arglist: .word 1
+        .its  4, lowdata, 0
+        .word 1
+hiptr:  .its  4, high, 0
+dptr:   .its  4, lowdata, 0
+
+        .segment lowdata     ; accessible only to rings <= 4
+        .word 5
+
+        .segment high
+        .gates 1
+entry:  lda   pr1|1,*        ; read arg 0 through the (rewritten) arg list
+        adai  100
+        sta   pr1|1,*        ; write it back (into the transfer area)
+        ret   pr7|0
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["lowdata"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 105);
+  EXPECT_EQ(machine.PeekSegment("lowdata", 0), 105u);
+  EXPECT_GT(machine.cpu().counters().argument_words_copied, 0u);
+}
+
+TEST(UpwardCall, CallerCannotPassArgumentsItCannotRead) {
+  // The caller names an argument in a ring-0 segment: the supervisor's
+  // copy-in validates at the caller's ring and kills the process.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr1, arglist
+        epp   pr2, hiptr,*
+        call  pr2|0
+        mme   0
+arglist: .word 1
+        .its  4, secret, 0
+        .word 1
+hiptr:  .its  4, high, 0
+
+        .segment secret
+        .word 999
+
+        .segment high
+        .gates 1
+entry:  ret   pr7|0
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["secret"] = AccessControlList::Public(MakeDataSegment(0, 0));
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kReadViolation);
+}
+
+TEST(DownwardReturn, VerifiedAgainstGateStack) {
+  // A ring-5 program attempts a downward return with NO outstanding
+  // upward call: the supervisor must kill it.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  ret   fakeptr,*
+        mme   0
+fakeptr: .its 5, low, 0
+
+        .segment low
+        nop
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(5, 5));
+  acls["low"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", /*ring=*/5));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kDownwardReturn);
+}
+
+TEST(DownwardReturn, WrongTargetRejected) {
+  // The callee (entered by upward call) tries to "return" somewhere other
+  // than the recorded return point: rejected.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, hiptr,*
+        call  pr2|0
+        mme   0              ; the legitimate return point
+victim: nop                  ; the forged target
+        mme   0
+hiptr:  .its  4, high, 0
+
+        .segment high
+        .gates 1
+entry:  ret   forged,*
+forged: .its  6, main, victim
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kDownwardReturn);
+}
+
+TEST(DownwardReturn, TamperedStackPointerRejected) {
+  // "...if the intervening software verifies the restored stack pointer
+  // register value when performing the downward return." The callee
+  // clobbers PR6 before returning: rejected.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, hiptr,*
+        call  pr2|0
+        mme   0
+hiptr:  .its  4, high, 0
+
+        .segment high
+        .gates 1
+entry:  epp   pr6, entry     ; clobber the stack pointer
+        ret   pr7|0
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kDownwardReturn);
+}
+
+TEST(UpwardCall, RecursiveUpwardCallsStackGates) {
+  // main (ring 4) -> high (ring 6) -> via a second upward call from a
+  // trampoline at ring 4? Not expressible without a downward call first;
+  // instead: main calls high twice in sequence, checking the gate stack
+  // empties each time and the process completes.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, hiptr,*
+        call  pr2|0
+        epp   pr2, hiptr,*
+        call  pr2|0
+        adai  1
+        mme   0
+hiptr:  .its  4, high, 0
+
+        .segment high
+        .gates 1
+entry:  adai  10
+        ret   pr7|0
+)";
+  Machine machine;
+  auto acls = BaseAcls();
+  acls["high"] = AccessControlList::Public(MakeProcedureSegment(6, 6, 6, 1));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 21);
+  EXPECT_EQ(machine.cpu().counters().upward_calls_emulated, 2u);
+  EXPECT_EQ(machine.cpu().counters().downward_returns_emulated, 2u);
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,285 @@
+// Whole-machine tests: assemble guest programs, load them with ACLs, run
+// processes, and observe results — including downward calls through
+// supervisor gates, the exit protocol, and tty services.
+#include <gtest/gtest.h>
+
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+// A program that computes 6*7 into a data-segment word and exits with the
+// result. (The result cannot live in `main`: a pure procedure segment has
+// its write flag off, and the hardware enforces that.)
+constexpr char kArithmeticProgram[] = R"(
+        .segment main
+start:  ldai  6
+        mpy   seven
+        sta   rptr,*
+        mme   0            ; exit, code in A
+seven:  .word 7
+rptr:   .its  4, results, 0
+
+        .segment results
+        .word 0
+)";
+
+std::map<std::string, AccessControlList> UserAcls() {
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["results"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  return acls;
+}
+
+TEST(MachineTest, ConstructsCleanly) {
+  Machine machine;
+  ASSERT_TRUE(machine.ok());
+  // Supervisor gate segments exist.
+  EXPECT_NE(machine.registry().Find(kGateSegmentRing1), nullptr);
+  EXPECT_NE(machine.registry().Find(kGateSegmentRing0), nullptr);
+  EXPECT_NE(machine.registry().Find(kAdminGateSegment), nullptr);
+}
+
+TEST(MachineTest, RunsArithmeticProgramToExit) {
+  Machine machine;
+  ASSERT_TRUE(machine.ok());
+  ASSERT_TRUE(machine.LoadProgramSource(kArithmeticProgram, UserAcls()));
+  Process* p = machine.Login("alice");
+  ASSERT_NE(p, nullptr);
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 42);
+  EXPECT_EQ(machine.PeekSegment("results", 0), 42u);
+}
+
+TEST(MachineTest, ExitViaSupervisorGate) {
+  // Same computation, but exiting through the ring-1 gate segment with a
+  // hardware downward CALL (ring 4 -> ring 1) instead of MME.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  ldai  21
+        ada   val
+        epp   pr2, gateptr,*
+        call  pr2|0          ; g_exit gate
+val:    .word 21
+gateptr: .its 4, sup_gates, 0
+)";
+  Machine machine;
+  ASSERT_TRUE(machine.ok());
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 42);
+  // The downward call was performed by hardware, without supervisor
+  // emulation.
+  EXPECT_GE(machine.cpu().counters().calls_downward, 1u);
+  EXPECT_EQ(machine.cpu().counters().upward_calls_emulated, 0u);
+}
+
+TEST(MachineTest, GetRingServiceReportsCallerRing) {
+  // Call the g_ring gate (gate word 3) from ring 4: A must come back 4.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, gateptr,*
+        call  pr2|0
+        mme   0
+gateptr: .its 4, sup_gates, 3
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 4);
+}
+
+TEST(MachineTest, TtyWriteThroughGate) {
+  // Write "HI" to the typewriter through the ring-1 gate, passing a
+  // proper argument list via PR1.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr1, arglist
+        epp   pr2, gateptr,*
+        call  pr2|0          ; g_ttyw (gate 1)
+        mme   0
+arglist: .word 1             ; one argument
+        .its  4, main, buf   ; pointer to the buffer
+        .word 2              ; length
+buf:    .word 72             ; 'H'
+        .word 73             ; 'I'
+gateptr: .its 4, sup_gates, 1
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(machine.TtyOutput(), "HI");
+  EXPECT_EQ(machine.tty_operations(), 1u);
+}
+
+TEST(MachineTest, ProcessKilledOnWildStore) {
+  // Storing into a read-only segment kills the process with a write
+  // violation.
+  constexpr char kSource[] = R"(
+        .segment main
+start:  ldai  1
+        sta   roptr,*
+        mme   0
+roptr:  .its  4, rodata, 0
+
+        .segment rodata
+        .word 7
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["rodata"] = AccessControlList::Public(MakeReadOnlyDataSegment(4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kWriteViolation);
+  // The target segment is unchanged.
+  EXPECT_EQ(machine.PeekSegment("rodata", 0), 7u);
+}
+
+TEST(MachineTest, UninitiatedSegmentIsMissing) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  lda   ptr,*
+        mme   0
+ptr:    .its  4, secret, 0
+
+        .segment secret
+        .word 1234
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  // secret's ACL names only bob; alice's initiate must fail and the
+  // reference must trap.
+  acls["secret"] = AccessControlList::ForUser("bob", MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kMissingSegment);
+}
+
+TEST(MachineTest, AdminGateRestrictedByAcl) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr2, gateptr,*
+        call  pr2|0
+        mme   0
+gateptr: .its 4, admin_gates, 0
+)";
+  const auto run_as = [&](const std::string& user) {
+    Machine machine;
+    std::map<std::string, AccessControlList> acls;
+    acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+    EXPECT_TRUE(machine.LoadProgramSource(kSource, acls));
+    Process* p = machine.Login(user);
+    machine.supervisor().InitiateAll(p);
+    EXPECT_TRUE(machine.Start(p, "main", "start", kUserRing));
+    machine.Run();
+    return std::make_pair(p->state, machine.supervisor().registered_users());
+  };
+
+  const auto [admin_state, admin_users] = run_as("admin");
+  EXPECT_EQ(admin_state, ProcessState::kExited);
+  ASSERT_EQ(admin_users.size(), 1u);
+  EXPECT_EQ(admin_users[0], "admin");
+
+  // A non-admin cannot even initiate the gate segment: the call traps.
+  const auto [user_state, user_users] = run_as("mallory");
+  EXPECT_EQ(user_state, ProcessState::kKilled);
+  EXPECT_TRUE(user_users.empty());
+}
+
+TEST(MachineTest, RunReportsBudgetExhaustion) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  tra   start
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* p = machine.Login("alice");
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  const RunResult result = machine.Run(/*max_cycles=*/10000);
+  EXPECT_FALSE(result.idle);
+  EXPECT_GE(result.cycles, 10000u);
+}
+
+TEST(MachineTest, PeekPokeSegment) {
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["d"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(".segment d\n.word 5\n.word 6\n", acls));
+  EXPECT_EQ(machine.PeekSegment("d", 0), 5u);
+  EXPECT_EQ(machine.PeekSegment("d", 1), 6u);
+  EXPECT_TRUE(machine.PokeSegment("d", 0, 99));
+  EXPECT_EQ(machine.PeekSegment("d", 0), 99u);
+  EXPECT_FALSE(machine.PokeSegment("d", 2, 1));
+  EXPECT_EQ(machine.PeekSegment("nosuch", 0), std::nullopt);
+}
+
+TEST(MachineTest, TtyReadService) {
+  constexpr char kSource[] = R"(
+        .segment main
+start:  epp   pr1, arglist
+        epp   pr2, gateptr,*
+        call  pr2|0           ; g_ttyr (gate 2)
+        mme   0               ; exit code = words read
+arglist: .word 1
+        .its  4, inbuf, 0
+        .word 4
+gateptr: .its 4, sup_gates, 2
+
+        .segment inbuf
+        .block 8
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["inbuf"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  machine.TtyFeedInput("ok");
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "main", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 2);
+  EXPECT_EQ(machine.PeekSegment("inbuf", 0), static_cast<Word>('o'));
+  EXPECT_EQ(machine.PeekSegment("inbuf", 1), static_cast<Word>('k'));
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,287 @@
+// ringsim — run a guest assembly program on the ring-protection machine
+// from the command line.
+//
+//   ringsim [options] program.asm
+//
+// Options:
+//   --list           print a disassembly listing of every segment
+//   --trace          print ring switches and traps as they happen
+//   --max-cycles=N   cycle budget (default 100M)
+//
+// The program file carries its own manifest in `;;` directive lines
+// (ordinary `;` comments to the assembler):
+//
+//   ;; acl <segment> <user|*> procedure <r1> <r2> [<r3>]
+//   ;; acl <segment> <user|*> data <write_top> <read_top>
+//   ;; acl <segment> <user|*> rodata <read_top>
+//   ;; start <segment> <entry> <ring> [<user>]
+//   ;; tty-input <text until end of line>
+//
+// Example (examples/asm/hello.asm):
+//   ;; acl main * procedure 4 4
+//   ;; start main start 4
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/kasm/assembler.h"
+#include "src/kasm/disassembler.h"
+#include "src/sup/audit.h"
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+struct StartSpec {
+  std::string segment;
+  std::string entry;
+  Ring ring = kUserRing;
+  std::string user = "user";
+};
+
+struct Manifest {
+  std::map<std::string, AccessControlList> acls;
+  std::vector<StartSpec> starts;
+  std::string tty_input;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+bool ParseRingValue(const std::string& text, unsigned* out) {
+  if (text.size() != 1 || text[0] < '0' || text[0] > '7') {
+    return false;
+  }
+  *out = static_cast<unsigned>(text[0] - '0');
+  return true;
+}
+
+Manifest ParseManifest(const std::string& source) {
+  Manifest manifest;
+  std::istringstream stream(source);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.substr(0, 2) != ";;") {
+      continue;
+    }
+    const std::string body(StripWhitespace(trimmed.substr(2)));
+    std::istringstream words(body);
+    std::string verb;
+    words >> verb;
+    if (verb == "acl") {
+      std::string segment;
+      std::string user;
+      std::string kind;
+      words >> segment >> user >> kind;
+      SegmentAccess access;
+      unsigned a = 0;
+      unsigned b = 0;
+      unsigned c = 0;
+      std::string sa, sb, sc;
+      if (kind == "procedure") {
+        words >> sa >> sb;
+        if (!ParseRingValue(sa, &a) || !ParseRingValue(sb, &b)) {
+          manifest.error = StrFormat("line %d: bad procedure rings", line_no);
+          return manifest;
+        }
+        c = b;
+        if (words >> sc && !ParseRingValue(sc, &c)) {
+          manifest.error = StrFormat("line %d: bad gate extension", line_no);
+          return manifest;
+        }
+        access = MakeProcedureSegment(static_cast<Ring>(a), static_cast<Ring>(b),
+                                      static_cast<Ring>(c), /*gate_count=*/0);
+      } else if (kind == "data") {
+        words >> sa >> sb;
+        if (!ParseRingValue(sa, &a) || !ParseRingValue(sb, &b)) {
+          manifest.error = StrFormat("line %d: bad data rings", line_no);
+          return manifest;
+        }
+        access = MakeDataSegment(static_cast<Ring>(a), static_cast<Ring>(b));
+      } else if (kind == "rodata") {
+        words >> sa;
+        if (!ParseRingValue(sa, &a)) {
+          manifest.error = StrFormat("line %d: bad rodata ring", line_no);
+          return manifest;
+        }
+        access = MakeReadOnlyDataSegment(static_cast<Ring>(a));
+      } else {
+        manifest.error = StrFormat("line %d: unknown acl kind '%s'", line_no, kind.c_str());
+        return manifest;
+      }
+      if (!access.brackets.IsWellFormed()) {
+        manifest.error = StrFormat("line %d: ill-formed brackets", line_no);
+        return manifest;
+      }
+      manifest.acls[segment].Add(AclEntry{user, access});
+    } else if (verb == "start") {
+      StartSpec spec;
+      std::string ring_text;
+      words >> spec.segment >> spec.entry >> ring_text;
+      unsigned ring = 0;
+      if (spec.segment.empty() || spec.entry.empty() || !ParseRingValue(ring_text, &ring)) {
+        manifest.error = StrFormat("line %d: bad start directive", line_no);
+        return manifest;
+      }
+      spec.ring = static_cast<Ring>(ring);
+      std::string user;
+      if (words >> user) {
+        spec.user = user;
+      }
+      manifest.starts.push_back(spec);
+    } else if (verb == "tty-input") {
+      const size_t pos = body.find("tty-input");
+      manifest.tty_input += std::string(StripWhitespace(body.substr(pos + 9)));
+    } else if (!verb.empty()) {
+      manifest.error = StrFormat("line %d: unknown directive '%s'", line_no, verb.c_str());
+      return manifest;
+    }
+  }
+  if (manifest.starts.empty()) {
+    manifest.error = "no ';; start <segment> <entry> <ring>' directive found";
+  }
+  return manifest;
+}
+
+int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max_cycles) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "ringsim: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string source = buffer.str();
+
+  const Manifest manifest = ParseManifest(source);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "ringsim: manifest: %s\n", manifest.error.c_str());
+    return 2;
+  }
+  const AssembleResult assembled = Assemble(source);
+  if (!assembled.ok) {
+    std::fprintf(stderr, "ringsim: %s: %s\n", path.c_str(),
+                 assembled.error.ToString().c_str());
+    return 2;
+  }
+
+  if (list) {
+    for (const AssembledSegment& seg : assembled.program.segments) {
+      std::printf("; segment %s (%zu words, %u gates)\n", seg.name.c_str(), seg.words.size(),
+                  seg.gate_count);
+      std::printf("%s\n", DisassembleSegment(seg.words, seg.gate_count).c_str());
+    }
+  }
+
+  Machine machine;
+  if (!machine.ok()) {
+    std::fprintf(stderr, "ringsim: machine construction failed\n");
+    return 2;
+  }
+  std::string error;
+  if (!machine.LoadProgram(assembled.program, manifest.acls, &error)) {
+    std::fprintf(stderr, "ringsim: load: %s\n", error.c_str());
+    return 2;
+  }
+  machine.TtyFeedInput(manifest.tty_input);
+  machine.trace().set_enabled(trace);
+
+  std::vector<Process*> processes;
+  for (const StartSpec& spec : manifest.starts) {
+    Process* p = machine.Login(spec.user);
+    if (p == nullptr) {
+      std::fprintf(stderr, "ringsim: login failed\n");
+      return 2;
+    }
+    machine.supervisor().InitiateAll(p);
+    if (!machine.Start(p, spec.segment, spec.entry, spec.ring)) {
+      std::fprintf(stderr, "ringsim: cannot start %s$%s in ring %u\n", spec.segment.c_str(),
+                   spec.entry.c_str(), spec.ring);
+      return 2;
+    }
+    processes.push_back(p);
+  }
+
+  if (audit) {
+    const auto findings =
+        AuditProtectionState(&machine.memory(), machine.registry(), machine.supervisor());
+    for (const AuditFinding& f : findings) {
+      std::printf("audit: %s\n", f.ToString().c_str());
+    }
+    std::printf("audit: %zu finding(s), %s\n", findings.size(),
+                AuditClean(findings) ? "clean" : "NOT CLEAN");
+  }
+
+  const RunResult result = machine.Run(max_cycles);
+
+  if (trace) {
+    for (const TraceEvent& e : machine.trace().events()) {
+      if (e.kind == EventKind::kRingSwitch || e.kind == EventKind::kTrap) {
+        std::printf("%s\n", e.ToString().c_str());
+      }
+    }
+  }
+  if (!machine.TtyOutput().empty()) {
+    std::printf("tty: %s\n", machine.TtyOutput().c_str());
+  }
+  std::printf("%s\n", result.ToString().c_str());
+  int exit_code = 0;
+  for (const Process* p : processes) {
+    if (p->state == ProcessState::kExited) {
+      std::printf("process %d ('%s'): exited with %lld\n", p->pid, p->user.c_str(),
+                  static_cast<long long>(p->exit_code));
+      exit_code = std::max(exit_code, static_cast<int>(p->exit_code & 0xFF));
+    } else {
+      std::printf("process %d ('%s'): %s (%s at %u|%u)\n", p->pid, p->user.c_str(),
+                  p->state == ProcessState::kKilled ? "KILLED" : "did not finish",
+                  std::string(TrapCauseName(p->kill_cause)).c_str(), p->kill_pc.segno,
+                  p->kill_pc.wordno);
+      exit_code = 111;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace rings
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool trace = false;
+  bool audit = false;
+  uint64_t max_cycles = 100'000'000;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg.rfind("--max-cycles=", 0) == 0) {
+      max_cycles = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ringsim [--list] [--trace] [--audit] [--max-cycles=N] program.asm\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "ringsim: unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: ringsim [--list] [--trace] [--audit] [--max-cycles=N] program.asm\n");
+    return 2;
+  }
+  return rings::Run(path, list, trace, audit, max_cycles);
+}
