@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_argval.dir/bench_argval.cc.o"
+  "CMakeFiles/bench_argval.dir/bench_argval.cc.o.d"
+  "bench_argval"
+  "bench_argval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_argval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_645baseline.dir/bench_claim_645baseline.cc.o"
+  "CMakeFiles/bench_claim_645baseline.dir/bench_claim_645baseline.cc.o.d"
+  "bench_claim_645baseline"
+  "bench_claim_645baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_645baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

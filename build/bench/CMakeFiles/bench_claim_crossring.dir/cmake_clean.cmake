@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_crossring.dir/bench_claim_crossring.cc.o"
+  "CMakeFiles/bench_claim_crossring.dir/bench_claim_crossring.cc.o.d"
+  "bench_claim_crossring"
+  "bench_claim_crossring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_crossring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

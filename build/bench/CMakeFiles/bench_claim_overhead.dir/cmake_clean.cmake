@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_overhead.dir/bench_claim_overhead.cc.o"
+  "CMakeFiles/bench_claim_overhead.dir/bench_claim_overhead.cc.o.d"
+  "bench_claim_overhead"
+  "bench_claim_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

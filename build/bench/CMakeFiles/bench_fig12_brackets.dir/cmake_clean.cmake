@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_brackets.dir/bench_fig12_brackets.cc.o"
+  "CMakeFiles/bench_fig12_brackets.dir/bench_fig12_brackets.cc.o.d"
+  "bench_fig12_brackets"
+  "bench_fig12_brackets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_brackets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fetch.dir/bench_fig4_fetch.cc.o"
+  "CMakeFiles/bench_fig4_fetch.dir/bench_fig4_fetch.cc.o.d"
+  "bench_fig4_fetch"
+  "bench_fig4_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ea.dir/bench_fig5_ea.cc.o"
+  "CMakeFiles/bench_fig5_ea.dir/bench_fig5_ea.cc.o.d"
+  "bench_fig5_ea"
+  "bench_fig5_ea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_return.dir/bench_fig9_return.cc.o"
+  "CMakeFiles/bench_fig9_return.dir/bench_fig9_return.cc.o.d"
+  "bench_fig9_return"
+  "bench_fig9_return.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_return.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

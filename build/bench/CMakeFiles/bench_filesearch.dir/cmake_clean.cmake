@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filesearch.dir/bench_filesearch.cc.o"
+  "CMakeFiles/bench_filesearch.dir/bench_filesearch.cc.o.d"
+  "bench_filesearch"
+  "bench_filesearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filesearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typewriter.dir/bench_typewriter.cc.o"
+  "CMakeFiles/bench_typewriter.dir/bench_typewriter.cc.o.d"
+  "bench_typewriter"
+  "bench_typewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_ring.dir/debug_ring.cpp.o"
+  "CMakeFiles/debug_ring.dir/debug_ring.cpp.o.d"
+  "debug_ring"
+  "debug_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

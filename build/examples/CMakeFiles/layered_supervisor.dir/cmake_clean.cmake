@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_supervisor.dir/layered_supervisor.cpp.o"
+  "CMakeFiles/layered_supervisor.dir/layered_supervisor.cpp.o.d"
+  "layered_supervisor"
+  "layered_supervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_supervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protected_subsystem.dir/protected_subsystem.cpp.o"
+  "CMakeFiles/protected_subsystem.dir/protected_subsystem.cpp.o.d"
+  "protected_subsystem"
+  "protected_subsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protected_subsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

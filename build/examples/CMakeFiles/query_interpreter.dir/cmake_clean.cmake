@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_interpreter.dir/query_interpreter.cpp.o"
+  "CMakeFiles/query_interpreter.dir/query_interpreter.cpp.o.d"
+  "query_interpreter"
+  "query_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

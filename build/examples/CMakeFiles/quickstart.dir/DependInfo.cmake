@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rings_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rings_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rings_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rings_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/rings_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kasm/CMakeFiles/rings_kasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sup/CMakeFiles/rings_sup.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/rings_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/b645/CMakeFiles/rings_b645.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rings_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typewriter.dir/typewriter.cpp.o"
+  "CMakeFiles/typewriter.dir/typewriter.cpp.o.d"
+  "typewriter"
+  "typewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for typewriter.
+# This may be replaced when dependencies are built.

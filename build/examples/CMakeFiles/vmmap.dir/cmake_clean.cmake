@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmmap.dir/vmmap.cpp.o"
+  "CMakeFiles/vmmap.dir/vmmap.cpp.o.d"
+  "vmmap"
+  "vmmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_b645.dir/b645_machine.cc.o"
+  "CMakeFiles/rings_b645.dir/b645_machine.cc.o.d"
+  "librings_b645.a"
+  "librings_b645.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_b645.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rings_b645.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rings_b645.
+# This may be replaced when dependencies are built.

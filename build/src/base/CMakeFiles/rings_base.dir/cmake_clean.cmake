@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_base.dir/log.cc.o"
+  "CMakeFiles/rings_base.dir/log.cc.o.d"
+  "CMakeFiles/rings_base.dir/strings.cc.o"
+  "CMakeFiles/rings_base.dir/strings.cc.o.d"
+  "librings_base.a"
+  "librings_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

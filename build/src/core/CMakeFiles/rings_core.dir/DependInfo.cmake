@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access.cc" "src/core/CMakeFiles/rings_core.dir/access.cc.o" "gcc" "src/core/CMakeFiles/rings_core.dir/access.cc.o.d"
+  "/root/repo/src/core/brackets.cc" "src/core/CMakeFiles/rings_core.dir/brackets.cc.o" "gcc" "src/core/CMakeFiles/rings_core.dir/brackets.cc.o.d"
+  "/root/repo/src/core/transfer.cc" "src/core/CMakeFiles/rings_core.dir/transfer.cc.o" "gcc" "src/core/CMakeFiles/rings_core.dir/transfer.cc.o.d"
+  "/root/repo/src/core/trap_cause.cc" "src/core/CMakeFiles/rings_core.dir/trap_cause.cc.o" "gcc" "src/core/CMakeFiles/rings_core.dir/trap_cause.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rings_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_core.dir/access.cc.o"
+  "CMakeFiles/rings_core.dir/access.cc.o.d"
+  "CMakeFiles/rings_core.dir/brackets.cc.o"
+  "CMakeFiles/rings_core.dir/brackets.cc.o.d"
+  "CMakeFiles/rings_core.dir/transfer.cc.o"
+  "CMakeFiles/rings_core.dir/transfer.cc.o.d"
+  "CMakeFiles/rings_core.dir/trap_cause.cc.o"
+  "CMakeFiles/rings_core.dir/trap_cause.cc.o.d"
+  "librings_core.a"
+  "librings_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

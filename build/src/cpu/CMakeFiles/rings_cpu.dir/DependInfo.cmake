@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cc" "src/cpu/CMakeFiles/rings_cpu.dir/cpu.cc.o" "gcc" "src/cpu/CMakeFiles/rings_cpu.dir/cpu.cc.o.d"
+  "/root/repo/src/cpu/registers.cc" "src/cpu/CMakeFiles/rings_cpu.dir/registers.cc.o" "gcc" "src/cpu/CMakeFiles/rings_cpu.dir/registers.cc.o.d"
+  "/root/repo/src/cpu/sdw_cache.cc" "src/cpu/CMakeFiles/rings_cpu.dir/sdw_cache.cc.o" "gcc" "src/cpu/CMakeFiles/rings_cpu.dir/sdw_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rings_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rings_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rings_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rings_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rings_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

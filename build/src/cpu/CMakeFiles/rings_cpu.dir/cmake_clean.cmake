@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_cpu.dir/cpu.cc.o"
+  "CMakeFiles/rings_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/rings_cpu.dir/registers.cc.o"
+  "CMakeFiles/rings_cpu.dir/registers.cc.o.d"
+  "CMakeFiles/rings_cpu.dir/sdw_cache.cc.o"
+  "CMakeFiles/rings_cpu.dir/sdw_cache.cc.o.d"
+  "librings_cpu.a"
+  "librings_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_isa.dir/indirect_word.cc.o"
+  "CMakeFiles/rings_isa.dir/indirect_word.cc.o.d"
+  "CMakeFiles/rings_isa.dir/instruction.cc.o"
+  "CMakeFiles/rings_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/rings_isa.dir/opcode.cc.o"
+  "CMakeFiles/rings_isa.dir/opcode.cc.o.d"
+  "librings_isa.a"
+  "librings_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_kasm.dir/assembler.cc.o"
+  "CMakeFiles/rings_kasm.dir/assembler.cc.o.d"
+  "CMakeFiles/rings_kasm.dir/disassembler.cc.o"
+  "CMakeFiles/rings_kasm.dir/disassembler.cc.o.d"
+  "CMakeFiles/rings_kasm.dir/program.cc.o"
+  "CMakeFiles/rings_kasm.dir/program.cc.o.d"
+  "librings_kasm.a"
+  "librings_kasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_kasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/descriptor_segment.cc" "src/mem/CMakeFiles/rings_mem.dir/descriptor_segment.cc.o" "gcc" "src/mem/CMakeFiles/rings_mem.dir/descriptor_segment.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/rings_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/rings_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/physical_memory.cc" "src/mem/CMakeFiles/rings_mem.dir/physical_memory.cc.o" "gcc" "src/mem/CMakeFiles/rings_mem.dir/physical_memory.cc.o.d"
+  "/root/repo/src/mem/sdw.cc" "src/mem/CMakeFiles/rings_mem.dir/sdw.cc.o" "gcc" "src/mem/CMakeFiles/rings_mem.dir/sdw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rings_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rings_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_mem.dir/descriptor_segment.cc.o"
+  "CMakeFiles/rings_mem.dir/descriptor_segment.cc.o.d"
+  "CMakeFiles/rings_mem.dir/page_table.cc.o"
+  "CMakeFiles/rings_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/rings_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/rings_mem.dir/physical_memory.cc.o.d"
+  "CMakeFiles/rings_mem.dir/sdw.cc.o"
+  "CMakeFiles/rings_mem.dir/sdw.cc.o.d"
+  "librings_mem.a"
+  "librings_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

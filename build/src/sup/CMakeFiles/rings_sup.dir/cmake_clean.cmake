@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_sup.dir/acl.cc.o"
+  "CMakeFiles/rings_sup.dir/acl.cc.o.d"
+  "CMakeFiles/rings_sup.dir/audit.cc.o"
+  "CMakeFiles/rings_sup.dir/audit.cc.o.d"
+  "CMakeFiles/rings_sup.dir/process.cc.o"
+  "CMakeFiles/rings_sup.dir/process.cc.o.d"
+  "CMakeFiles/rings_sup.dir/segment_registry.cc.o"
+  "CMakeFiles/rings_sup.dir/segment_registry.cc.o.d"
+  "CMakeFiles/rings_sup.dir/supervisor.cc.o"
+  "CMakeFiles/rings_sup.dir/supervisor.cc.o.d"
+  "librings_sup.a"
+  "librings_sup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_sup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rings_sup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_sys.dir/machine.cc.o"
+  "CMakeFiles/rings_sys.dir/machine.cc.o.d"
+  "librings_sys.a"
+  "librings_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/counters.cc" "src/trace/CMakeFiles/rings_trace.dir/counters.cc.o" "gcc" "src/trace/CMakeFiles/rings_trace.dir/counters.cc.o.d"
+  "/root/repo/src/trace/event_trace.cc" "src/trace/CMakeFiles/rings_trace.dir/event_trace.cc.o" "gcc" "src/trace/CMakeFiles/rings_trace.dir/event_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/rings_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rings_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/rings_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rings_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

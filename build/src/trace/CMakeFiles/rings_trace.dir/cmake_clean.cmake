@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rings_trace.dir/counters.cc.o"
+  "CMakeFiles/rings_trace.dir/counters.cc.o.d"
+  "CMakeFiles/rings_trace.dir/event_trace.cc.o"
+  "CMakeFiles/rings_trace.dir/event_trace.cc.o.d"
+  "librings_trace.a"
+  "librings_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rings_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

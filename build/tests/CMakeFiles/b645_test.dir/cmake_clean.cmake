@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b645_test.dir/b645/b645_test.cc.o"
+  "CMakeFiles/b645_test.dir/b645/b645_test.cc.o.d"
+  "b645_test"
+  "b645_test.pdb"
+  "b645_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b645_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_bitfield_test.dir/base/bitfield_test.cc.o"
+  "CMakeFiles/base_bitfield_test.dir/base/bitfield_test.cc.o.d"
+  "base_bitfield_test"
+  "base_bitfield_test.pdb"
+  "base_bitfield_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_bitfield_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_strings_test.dir/base/strings_test.cc.o"
+  "CMakeFiles/base_strings_test.dir/base/strings_test.cc.o.d"
+  "base_strings_test"
+  "base_strings_test.pdb"
+  "base_strings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_strings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_xorshift_test.dir/base/xorshift_test.cc.o"
+  "CMakeFiles/base_xorshift_test.dir/base/xorshift_test.cc.o.d"
+  "base_xorshift_test"
+  "base_xorshift_test.pdb"
+  "base_xorshift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_xorshift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

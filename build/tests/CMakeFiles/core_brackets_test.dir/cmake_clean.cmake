@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_brackets_test.dir/core/brackets_test.cc.o"
+  "CMakeFiles/core_brackets_test.dir/core/brackets_test.cc.o.d"
+  "core_brackets_test"
+  "core_brackets_test.pdb"
+  "core_brackets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_brackets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

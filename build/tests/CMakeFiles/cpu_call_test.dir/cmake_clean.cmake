@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_call_test.dir/cpu/call_test.cc.o"
+  "CMakeFiles/cpu_call_test.dir/cpu/call_test.cc.o.d"
+  "cpu_call_test"
+  "cpu_call_test.pdb"
+  "cpu_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

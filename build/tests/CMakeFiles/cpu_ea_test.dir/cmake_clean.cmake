@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_ea_test.dir/cpu/ea_test.cc.o"
+  "CMakeFiles/cpu_ea_test.dir/cpu/ea_test.cc.o.d"
+  "cpu_ea_test"
+  "cpu_ea_test.pdb"
+  "cpu_ea_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_ea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_fetch_test.dir/cpu/fetch_test.cc.o"
+  "CMakeFiles/cpu_fetch_test.dir/cpu/fetch_test.cc.o.d"
+  "cpu_fetch_test"
+  "cpu_fetch_test.pdb"
+  "cpu_fetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_fetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_misc_test.dir/cpu/misc_test.cc.o"
+  "CMakeFiles/cpu_misc_test.dir/cpu/misc_test.cc.o.d"
+  "cpu_misc_test"
+  "cpu_misc_test.pdb"
+  "cpu_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_operand_test.dir/cpu/operand_test.cc.o"
+  "CMakeFiles/cpu_operand_test.dir/cpu/operand_test.cc.o.d"
+  "cpu_operand_test"
+  "cpu_operand_test.pdb"
+  "cpu_operand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_operand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

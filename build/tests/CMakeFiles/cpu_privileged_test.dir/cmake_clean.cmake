@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_privileged_test.dir/cpu/privileged_test.cc.o"
+  "CMakeFiles/cpu_privileged_test.dir/cpu/privileged_test.cc.o.d"
+  "cpu_privileged_test"
+  "cpu_privileged_test.pdb"
+  "cpu_privileged_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_privileged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_return_test.dir/cpu/return_test.cc.o"
+  "CMakeFiles/cpu_return_test.dir/cpu/return_test.cc.o.d"
+  "cpu_return_test"
+  "cpu_return_test.pdb"
+  "cpu_return_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_return_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

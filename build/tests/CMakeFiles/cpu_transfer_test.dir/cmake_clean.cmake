@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_transfer_test.dir/cpu/transfer_test.cc.o"
+  "CMakeFiles/cpu_transfer_test.dir/cpu/transfer_test.cc.o.d"
+  "cpu_transfer_test"
+  "cpu_transfer_test.pdb"
+  "cpu_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_convention_test.dir/integration/convention_test.cc.o"
+  "CMakeFiles/integration_convention_test.dir/integration/convention_test.cc.o.d"
+  "integration_convention_test"
+  "integration_convention_test.pdb"
+  "integration_convention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_convention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_multiprocess_test.dir/integration/multiprocess_test.cc.o"
+  "CMakeFiles/integration_multiprocess_test.dir/integration/multiprocess_test.cc.o.d"
+  "integration_multiprocess_test"
+  "integration_multiprocess_test.pdb"
+  "integration_multiprocess_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_multiprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

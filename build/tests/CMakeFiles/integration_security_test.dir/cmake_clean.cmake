@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_security_test.dir/integration/security_test.cc.o"
+  "CMakeFiles/integration_security_test.dir/integration/security_test.cc.o.d"
+  "integration_security_test"
+  "integration_security_test.pdb"
+  "integration_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_indirect_word_test.dir/isa/indirect_word_test.cc.o"
+  "CMakeFiles/isa_indirect_word_test.dir/isa/indirect_word_test.cc.o.d"
+  "isa_indirect_word_test"
+  "isa_indirect_word_test.pdb"
+  "isa_indirect_word_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_indirect_word_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_instruction_test.dir/isa/instruction_test.cc.o"
+  "CMakeFiles/isa_instruction_test.dir/isa/instruction_test.cc.o.d"
+  "isa_instruction_test"
+  "isa_instruction_test.pdb"
+  "isa_instruction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_instruction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kasm_assembler_test.dir/kasm/assembler_test.cc.o"
+  "CMakeFiles/kasm_assembler_test.dir/kasm/assembler_test.cc.o.d"
+  "kasm_assembler_test"
+  "kasm_assembler_test.pdb"
+  "kasm_assembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kasm_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

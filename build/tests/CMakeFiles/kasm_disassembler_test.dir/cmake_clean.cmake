@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kasm_disassembler_test.dir/kasm/disassembler_test.cc.o"
+  "CMakeFiles/kasm_disassembler_test.dir/kasm/disassembler_test.cc.o.d"
+  "kasm_disassembler_test"
+  "kasm_disassembler_test.pdb"
+  "kasm_disassembler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kasm_disassembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

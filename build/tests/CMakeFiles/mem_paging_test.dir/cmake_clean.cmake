@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_paging_test.dir/mem/paging_test.cc.o"
+  "CMakeFiles/mem_paging_test.dir/mem/paging_test.cc.o.d"
+  "mem_paging_test"
+  "mem_paging_test.pdb"
+  "mem_paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_sdw_test.dir/mem/sdw_test.cc.o"
+  "CMakeFiles/mem_sdw_test.dir/mem/sdw_test.cc.o.d"
+  "mem_sdw_test"
+  "mem_sdw_test.pdb"
+  "mem_sdw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_sdw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

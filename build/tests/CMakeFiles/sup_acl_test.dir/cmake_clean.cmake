@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sup_acl_test.dir/sup/acl_test.cc.o"
+  "CMakeFiles/sup_acl_test.dir/sup/acl_test.cc.o.d"
+  "sup_acl_test"
+  "sup_acl_test.pdb"
+  "sup_acl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sup_acl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

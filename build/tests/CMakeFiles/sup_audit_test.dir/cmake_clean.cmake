@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sup_audit_test.dir/sup/audit_test.cc.o"
+  "CMakeFiles/sup_audit_test.dir/sup/audit_test.cc.o.d"
+  "sup_audit_test"
+  "sup_audit_test.pdb"
+  "sup_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sup_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

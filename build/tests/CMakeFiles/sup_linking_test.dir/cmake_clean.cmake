@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sup_linking_test.dir/sup/linking_test.cc.o"
+  "CMakeFiles/sup_linking_test.dir/sup/linking_test.cc.o.d"
+  "sup_linking_test"
+  "sup_linking_test.pdb"
+  "sup_linking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sup_linking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sup_registry_test.dir/sup/registry_test.cc.o"
+  "CMakeFiles/sup_registry_test.dir/sup/registry_test.cc.o.d"
+  "sup_registry_test"
+  "sup_registry_test.pdb"
+  "sup_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sup_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sup_service_test.dir/sup/service_test.cc.o"
+  "CMakeFiles/sup_service_test.dir/sup/service_test.cc.o.d"
+  "sup_service_test"
+  "sup_service_test.pdb"
+  "sup_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sup_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sup_supervisor_test.dir/sup/supervisor_test.cc.o"
+  "CMakeFiles/sup_supervisor_test.dir/sup/supervisor_test.cc.o.d"
+  "sup_supervisor_test"
+  "sup_supervisor_test.pdb"
+  "sup_supervisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sup_supervisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

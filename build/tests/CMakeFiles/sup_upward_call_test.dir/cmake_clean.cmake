@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sup_upward_call_test.dir/sup/upward_call_test.cc.o"
+  "CMakeFiles/sup_upward_call_test.dir/sup/upward_call_test.cc.o.d"
+  "sup_upward_call_test"
+  "sup_upward_call_test.pdb"
+  "sup_upward_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sup_upward_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sys_argref_test.dir/sys/argref_test.cc.o"
+  "CMakeFiles/sys_argref_test.dir/sys/argref_test.cc.o.d"
+  "sys_argref_test"
+  "sys_argref_test.pdb"
+  "sys_argref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sys_argref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sys_machine_test.dir/sys/machine_test.cc.o"
+  "CMakeFiles/sys_machine_test.dir/sys/machine_test.cc.o.d"
+  "sys_machine_test"
+  "sys_machine_test.pdb"
+  "sys_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sys_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

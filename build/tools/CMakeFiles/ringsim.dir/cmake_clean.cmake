@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringsim.dir/ringsim.cc.o"
+  "CMakeFiles/ringsim.dir/ringsim.cc.o.d"
+  "ringsim"
+  "ringsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

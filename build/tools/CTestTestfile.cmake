@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ringsim_hello "/root/repo/build/tools/ringsim" "/root/repo/examples/asm/hello.asm")
+set_tests_properties(ringsim_hello PROPERTIES  PASS_REGULAR_EXPRESSION "tty: HELLO" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ringsim_rings_demo "/root/repo/build/tools/ringsim" "--trace" "/root/repo/examples/asm/rings_demo.asm")
+set_tests_properties(ringsim_rings_demo PROPERTIES  PASS_REGULAR_EXPRESSION "KILLED \\(write_violation" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ringsim_audit "/root/repo/build/tools/ringsim" "--audit" "/root/repo/examples/asm/hello.asm")
+set_tests_properties(ringsim_audit PROPERTIES  PASS_REGULAR_EXPRESSION "audit: 0 finding" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ringsim_listing "/root/repo/build/tools/ringsim" "--list" "/root/repo/examples/asm/hello.asm")
+set_tests_properties(ringsim_listing PROPERTIES  PASS_REGULAR_EXPRESSION "segment main" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ringsim_linked "/root/repo/build/tools/ringsim" "--trace" "/root/repo/examples/asm/linked.asm")
+set_tests_properties(ringsim_linked PROPERTIES  PASS_REGULAR_EXPRESSION "cause=link_fault.*exited with 2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
