@@ -61,7 +61,14 @@ bool B645Machine::LoadProgram(const Program& program,
 bool B645Machine::LoadProgramSource(std::string_view source,
                                     const std::map<std::string, SegmentAccess>& ring_specs,
                                     std::string* error) {
-  return LoadProgram(AssembleOrDie(source), ring_specs, error);
+  const AssembleResult result = Assemble(source);
+  if (!result.ok) {
+    if (error != nullptr) {
+      *error = result.error.ToString();
+    }
+    return false;
+  }
+  return LoadProgram(result.program, ring_specs, error);
 }
 
 bool B645Machine::PokeWordForTest(const std::string& name, Wordno wordno, Word value) {

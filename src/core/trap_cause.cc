@@ -46,6 +46,12 @@ std::string_view TrapCauseName(TrapCause cause) {
       return "io_completion";
     case TrapCause::kHalt:
       return "halt";
+    case TrapCause::kMachineFault:
+      return "machine_fault";
+    case TrapCause::kDoubleFault:
+      return "double_fault";
+    case TrapCause::kTrapStorm:
+      return "trap_storm";
     case TrapCause::kNumCauses:
       break;
   }

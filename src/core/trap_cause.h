@@ -44,6 +44,11 @@ enum class TrapCause {
   kIoCompletion,       // simulated channel finished
   kHalt,               // HLT executed in ring 0
 
+  // Hardware-fault conditions (see DESIGN.md, "Fault model & recovery").
+  kMachineFault,       // physical store fault (e.g. out-of-range absolute address)
+  kDoubleFault,        // trap raised while the supervisor was servicing a trap
+  kTrapStorm,          // watchdog: repeated traps without forward progress
+
   kNumCauses,
 };
 

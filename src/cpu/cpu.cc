@@ -98,7 +98,13 @@ bool Cpu::FetchSdw(Segno segno, Sdw* out) {
     return false;
   }
   const AbsAddr addr = regs_.dbr.base + static_cast<AbsAddr>(segno) * kSdwPairWords;
-  const Sdw sdw = DecodeSdw(memory_->Read(addr), memory_->Read(addr + 1));
+  Sdw sdw = DecodeSdw(memory_->Read(addr), memory_->Read(addr + 1));
+  if (fault_injector_ != nullptr) {
+    // Injected bit damage lands in the fetched copy (and thus the cache),
+    // never in the descriptor segment itself: the authoritative SDW stays
+    // intact, so the supervisor can detect and recover from the mismatch.
+    fault_injector_->MaybeCorruptSdw(cycles_, segno, &sdw);
+  }
   sdw_cache_.Insert(segno, sdw);
   if (!sdw.present) {
     RaiseTrap(TrapCause::kMissingSegment);
@@ -252,6 +258,20 @@ bool Cpu::Step() {
     --timer_;
   }
 
+  // Fault-injection opportunities at the instruction boundary.
+  if (fault_injector_ != nullptr) {
+    size_t index = 0;
+    if (fault_injector_->MaybeDropCacheEntry(cycles_, SdwCache::kEntries, &index)) {
+      sdw_cache_.InvalidateIndex(index);
+    }
+    if (fault_injector_->MaybeSpuriousMissingPage(cycles_, regs_.ipr.segno,
+                                                  regs_.ipr.wordno)) {
+      pending_fault_addr_ = SegAddr{regs_.ipr.segno, regs_.ipr.wordno};
+      RaiseTrap(TrapCause::kMissingPage);
+      return false;
+    }
+  }
+
   ++counters_.instructions;
   cycles_ += cycle_model_.instruction_base;
 
@@ -392,7 +412,10 @@ bool Cpu::FormEffectiveAddress(const Instruction& ins) {
     ++counters_.memory_reads;
     ++counters_.indirect_words;
     cycles_ += cycle_model_.memory_ref;
-    const IndirectWord iw = DecodeIndirectWord(memory_->Read(addr));
+    IndirectWord iw = DecodeIndirectWord(memory_->Read(addr));
+    if (fault_injector_ != nullptr && !iw.fault) {
+      fault_injector_->MaybeCorruptIndirectRing(cycles_, tpr_.segno, tpr_.wordno, &iw);
+    }
     if (iw.fault) {
       // An unsnapped dynamic link: trap so the supervisor can resolve the
       // symbolic reference, overwrite this word with a snapped pointer,

@@ -14,6 +14,7 @@
 #include "src/core/access.h"
 #include "src/core/transfer.h"
 #include "src/cpu/registers.h"
+#include "src/fault/fault_injector.h"
 #include "src/cpu/sdw_cache.h"
 #include "src/cpu/trap.h"
 #include "src/isa/indirect_word.h"
@@ -60,6 +61,14 @@ class Cpu {
   void set_checks_enabled(bool enabled) { checks_enabled_ = enabled; }
 
   SdwCache& sdw_cache() { return sdw_cache_; }
+  const SdwCache& sdw_cache() const { return sdw_cache_; }
+
+  // Hardware fault injection (nullptr = disabled; the hooks are a single
+  // pointer test when off). The injector is consulted at SDW fetch, at
+  // instruction boundaries (cache drops, spurious page faults), and when
+  // indirect words are retrieved.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
 
   // Executes one instruction. No-op while a trap is pending. Returns true
   // if an instruction was retired, false if the processor is frozen on a
@@ -192,6 +201,7 @@ class Cpu {
   int64_t timer_ = 0;
 
   SdwCache sdw_cache_;
+  FaultInjector* fault_injector_ = nullptr;
   uint64_t cycles_ = 0;
   Counters counters_;
   EventTrace* trace_ = nullptr;

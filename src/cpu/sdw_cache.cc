@@ -16,6 +16,17 @@ std::optional<Sdw> SdwCache::Lookup(Segno segno) const {
   return std::nullopt;
 }
 
+std::optional<Sdw> SdwCache::Peek(Segno segno) const {
+  if (!enabled_) {
+    return std::nullopt;
+  }
+  const Entry& e = entries_[segno % kEntries];
+  if (e.valid && e.segno == segno) {
+    return e.sdw;
+  }
+  return std::nullopt;
+}
+
 void SdwCache::Insert(Segno segno, const Sdw& sdw) {
   if (!enabled_) {
     return;
@@ -28,6 +39,10 @@ void SdwCache::Invalidate(Segno segno) {
   if (e.valid && e.segno == segno) {
     e.valid = false;
   }
+}
+
+void SdwCache::InvalidateIndex(size_t index) {
+  entries_[index % kEntries].valid = false;
 }
 
 void SdwCache::Flush() {

@@ -26,8 +26,15 @@ class SdwCache {
   }
 
   std::optional<Sdw> Lookup(Segno segno) const;
+  // Like Lookup, but does not count a hit or miss: used by the supervisor's
+  // fault-recovery path to inspect what the processor believes without
+  // perturbing the cache statistics.
+  std::optional<Sdw> Peek(Segno segno) const;
   void Insert(Segno segno, const Sdw& sdw);
   void Invalidate(Segno segno);
+  // Invalidates by cache index rather than segment number (fault injection:
+  // a dropped associative register, whatever it happened to hold).
+  void InvalidateIndex(size_t index);
   void Flush();
 
   uint64_t hits() const { return hits_; }

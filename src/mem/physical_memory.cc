@@ -7,20 +7,31 @@ namespace rings {
 
 PhysicalMemory::PhysicalMemory(size_t size_words) : store_(size_words, 0) {}
 
+void PhysicalMemory::LatchFault(AbsAddr addr, bool write) const {
+  if (policy_ == OutOfRangePolicy::kAbort) {
+    std::fprintf(stderr, "PhysicalMemory::%s out of range: %llu >= %zu\n",
+                 write ? "Write" : "Read", static_cast<unsigned long long>(addr),
+                 store_.size());
+    std::abort();
+  }
+  ++fault_count_;
+  if (!latched_fault_.has_value()) {
+    latched_fault_ = MemoryFault{addr, write};
+  }
+}
+
 Word PhysicalMemory::Read(AbsAddr addr) const {
   if (addr >= store_.size()) {
-    std::fprintf(stderr, "PhysicalMemory::Read out of range: %llu >= %zu\n",
-                 static_cast<unsigned long long>(addr), store_.size());
-    std::abort();
+    LatchFault(addr, /*write=*/false);
+    return 0;
   }
   return store_[addr];
 }
 
 void PhysicalMemory::Write(AbsAddr addr, Word value) {
   if (addr >= store_.size()) {
-    std::fprintf(stderr, "PhysicalMemory::Write out of range: %llu >= %zu\n",
-                 static_cast<unsigned long long>(addr), store_.size());
-    std::abort();
+    LatchFault(addr, /*write=*/true);
+    return;
   }
   store_[addr] = value;
 }

@@ -7,6 +7,7 @@
 #define SRC_MEM_PHYSICAL_MEMORY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -14,17 +15,44 @@
 
 namespace rings {
 
+// A latched out-of-range access. Out-of-range absolute addresses indicate a
+// simulator bug or injected hardware fault; instead of aborting the host
+// process, the store records the first offending access and lets the machine
+// convert it into a simulated kMachineFault trap (the supervisor then kills
+// the offending process rather than the whole machine).
+struct MemoryFault {
+  AbsAddr addr = 0;
+  bool write = false;
+};
+
 class PhysicalMemory {
  public:
+  // What to do on an out-of-range absolute address.
+  //   kLatchFault: record the access in a sticky latch, make the reference
+  //     inert (reads return 0, writes are dropped) and keep running — the
+  //     machine's run loop converts the latch into a kMachineFault trap.
+  //   kAbort: legacy behaviour for debugging the simulator itself.
+  enum class OutOfRangePolicy { kLatchFault, kAbort };
+
   explicit PhysicalMemory(size_t size_words);
 
   size_t size() const { return store_.size(); }
 
-  // Unchecked-by-trap accessors: out-of-range absolute addresses indicate a
-  // simulator bug (virtual bounds are checked before translation), so they
-  // abort rather than raise a simulated trap.
+  OutOfRangePolicy out_of_range_policy() const { return policy_; }
+  void set_out_of_range_policy(OutOfRangePolicy policy) { policy_ = policy; }
+
   Word Read(AbsAddr addr) const;
   void Write(AbsAddr addr, Word value);
+
+  // The oldest unconsumed out-of-range access, if any; consuming clears the
+  // latch (later accesses re-arm it). fault_count() keeps the lifetime total.
+  std::optional<MemoryFault> TakeFault() const {
+    const auto fault = latched_fault_;
+    latched_fault_.reset();
+    return fault;
+  }
+  bool fault_pending() const { return latched_fault_.has_value(); }
+  uint64_t fault_count() const { return fault_count_; }
 
   // Allocates `words` contiguous words; returns the base absolute address,
   // or nullopt when the store is exhausted.
@@ -34,8 +62,15 @@ class PhysicalMemory {
   AbsAddr allocated() const { return next_free_; }
 
  private:
+  void LatchFault(AbsAddr addr, bool write) const;
+
   std::vector<Word> store_;
   AbsAddr next_free_ = 0;
+  OutOfRangePolicy policy_ = OutOfRangePolicy::kLatchFault;
+  // Mutable so that a const Read can latch: the latch models a hardware
+  // fault indicator, not logical store state.
+  mutable std::optional<MemoryFault> latched_fault_;
+  mutable uint64_t fault_count_ = 0;
 };
 
 }  // namespace rings

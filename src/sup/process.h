@@ -83,6 +83,13 @@ struct Process {
   uint64_t instructions_run = 0;
   uint64_t dispatches = 0;
 
+  // Trap-storm watchdog state: consecutive synchronous traps taken without
+  // an instruction retiring in between (see Supervisor::Options::
+  // trap_storm_limit). Reset whenever the global instruction counter has
+  // advanced since the previous trap.
+  uint64_t trap_streak = 0;
+  uint64_t last_trap_instructions = 0;
+
   bool runnable() const { return state == ProcessState::kReady || state == ProcessState::kRunning; }
   bool finished() const { return state == ProcessState::kExited || state == ProcessState::kKilled; }
 };

@@ -6,6 +6,7 @@
 #include "src/isa/indirect_word.h"
 #include "src/kasm/assembler.h"
 #include "src/mem/page_table.h"
+#include "src/mem/sdw.h"
 
 namespace rings {
 
@@ -263,8 +264,104 @@ void Supervisor::ResumeCurrent(const RegisterFile& regs) {
 // ---------------------------------------------------------------------------
 
 bool Supervisor::HandleTrap() {
+  if (handling_trap_) {
+    // Double fault: a trap was raised while the supervisor was already
+    // servicing one. On real hardware this means the trap machinery
+    // itself can no longer make progress; the recoverable response is to
+    // kill the offending process, never the machine. The nested frame
+    // must not dispatch — the outer HandleTrap frame is still on the
+    // C++ stack and finishes the scheduling decision.
+    const TrapState trap = cpu_->TakeTrap();
+    ++cpu_->counters().double_faults;
+    RINGS_LOG(kWarning) << "double fault (" << TrapCauseName(trap.cause)
+                        << ") while servicing a trap; killing process";
+    KillCurrent(TrapCause::kDoubleFault,
+                SegAddr{trap.regs.ipr.segno, trap.regs.ipr.wordno});
+    return current_ != nullptr;
+  }
+  handling_trap_ = true;
+  const bool result = HandleTrapImpl();
+  handling_trap_ = false;
+  return result;
+}
+
+bool Supervisor::WatchdogTripped(const TrapState& trap) {
+  if (options_.trap_storm_limit <= 0 || current_ == nullptr) {
+    return false;
+  }
+  // External events (timer runout, I/O completions) can legitimately
+  // arrive back-to-back without the process retiring an instruction;
+  // only synchronous traps count toward the storm.
+  if (trap.cause == TrapCause::kTimerRunout || trap.cause == TrapCause::kIoCompletion) {
+    return false;
+  }
+  const uint64_t now = cpu_->counters().instructions;
+  if (current_->trap_streak > 0 && now == current_->last_trap_instructions) {
+    ++current_->trap_streak;
+  } else {
+    current_->trap_streak = 1;
+  }
+  current_->last_trap_instructions = now;
+  if (current_->trap_streak < static_cast<uint64_t>(options_.trap_storm_limit)) {
+    return false;
+  }
+  ++cpu_->counters().trap_storm_kills;
+  RINGS_LOG(kWarning) << "trap storm: process " << current_->pid << " took "
+                      << current_->trap_streak << " consecutive traps (last: "
+                      << TrapCauseName(trap.cause) << ") without retiring an instruction";
+  KillCurrent(TrapCause::kTrapStorm, SegAddr{trap.regs.ipr.segno, trap.regs.ipr.wordno});
+  return true;
+}
+
+bool Supervisor::TryRecoverCachedSdw(const TrapState& trap) {
+  if (current_ == nullptr) {
+    return false;
+  }
+  // Compare the processor's cached descriptors for the segments involved
+  // in the faulting reference against the authoritative descriptor
+  // segment. A mismatch means the cached copy was damaged in flight (the
+  // descriptor segment is supervisor-maintained and cannot legitimately
+  // disagree): flush the stale entry and re-execute the disrupted
+  // instruction, which will re-fetch the descriptor from memory.
+  bool flushed = false;
+  const Segno candidates[] = {trap.regs.ipr.segno, trap.tpr.segno};
+  for (const Segno segno : candidates) {
+    const auto cached = cpu_->sdw_cache().Peek(segno);
+    if (!cached.has_value()) {
+      continue;
+    }
+    const auto authoritative = cpu_->ReadSdw(segno);
+    if (!authoritative.has_value()) {
+      continue;
+    }
+    Word c0 = 0, c1 = 0, a0 = 0, a1 = 0;
+    EncodeSdw(*cached, &c0, &c1);
+    EncodeSdw(*authoritative, &a0, &a1);
+    if (c0 == a0 && c1 == a1) {
+      continue;
+    }
+    cpu_->InvalidateSdw(segno);
+    flushed = true;
+    RINGS_LOG(kWarning) << "recovered corrupted cached SDW for segment " << segno
+                        << " (process " << current_->pid << ", "
+                        << TrapCauseName(trap.cause) << ")";
+  }
+  if (!flushed) {
+    return false;
+  }
+  ++cpu_->counters().sdw_recoveries;
+  Charge(6);  // descriptor comparison and cache flush
+  ResumeCurrent(trap.regs);
+  return true;
+}
+
+bool Supervisor::HandleTrapImpl() {
   const TrapState trap = cpu_->TakeTrap();
   Charge(2);  // trap decode and vectoring bookkeeping
+
+  if (WatchdogTripped(trap)) {
+    return DispatchNext();
+  }
 
   switch (trap.cause) {
     case TrapCause::kSupervisorService:
@@ -318,13 +415,32 @@ bool Supervisor::HandleTrap() {
       // to the guest, as the paper requires of paging.
       const SegAddr fault = trap.fault_addr;
       const auto sdw = cpu_->ReadSdw(fault.segno);
-      if (current_ != nullptr && sdw.has_value() && sdw->present && sdw->paged &&
-          fault.wordno < sdw->bound &&
-          InstallZeroPage(memory_, sdw->base, fault.wordno >> kPageShift).has_value()) {
-        ++cpu_->counters().pages_supplied;
-        Charge(8);
-        ResumeCurrent(trap.regs);
-        return true;
+      if (current_ != nullptr && sdw.has_value() && sdw->present &&
+          fault.wordno < sdw->bound) {
+        if (!sdw->paged) {
+          // Spurious: an unpaged present segment cannot legitimately page
+          // fault. Absorb it — re-executing the disrupted instruction
+          // succeeds against the intact descriptor.
+          ++cpu_->counters().spurious_pages_ignored;
+          Charge(2);
+          ResumeCurrent(trap.regs);
+          return true;
+        }
+        const Ptw ptw = DecodePtw(memory_->Read(sdw->base + (fault.wordno >> kPageShift)));
+        if (ptw.present) {
+          // Spurious: the page is already resident. Installing a fresh
+          // zero page here would discard live data, so just resume.
+          ++cpu_->counters().spurious_pages_ignored;
+          Charge(2);
+          ResumeCurrent(trap.regs);
+          return true;
+        }
+        if (InstallZeroPage(memory_, sdw->base, fault.wordno >> kPageShift).has_value()) {
+          ++cpu_->counters().pages_supplied;
+          Charge(8);
+          ResumeCurrent(trap.regs);
+          return true;
+        }
       }
       KillCurrent(TrapCause::kMissingPage, SegAddr{trap.regs.ipr.segno, trap.regs.ipr.wordno});
       return DispatchNext();
@@ -342,8 +458,24 @@ bool Supervisor::HandleTrap() {
       EmulateDownwardReturn(trap);
       return current_ != nullptr || DispatchNext();
 
+    case TrapCause::kMachineFault:
+      // A physical-store fault: a reference escaped the segment-level
+      // checks, which means the descriptor that produced the absolute
+      // address was corrupt. The process is killed; the machine survives.
+      ++cpu_->counters().machine_faults;
+      RINGS_LOG(kWarning) << "machine fault (absolute address " << trap.code
+                          << ") in process " << (current_ != nullptr ? current_->pid : 0);
+      KillCurrent(TrapCause::kMachineFault,
+                  SegAddr{trap.regs.ipr.segno, trap.regs.ipr.wordno});
+      return DispatchNext();
+
     default:
-      // Access violations and faults are fatal to the process.
+      // Before declaring an access violation fatal, check whether it was
+      // manufactured by a damaged cached descriptor; if so, flush and
+      // retry instead of killing the process.
+      if (TryRecoverCachedSdw(trap)) {
+        return true;
+      }
       KillCurrent(trap.cause, SegAddr{trap.regs.ipr.segno, trap.regs.ipr.wordno});
       return DispatchNext();
   }

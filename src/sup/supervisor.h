@@ -40,6 +40,10 @@ class Supervisor {
   struct Options {
     int64_t quantum = 5000;  // instructions per scheduling time slice
     bool verbose = false;
+    // Trap-storm watchdog: a process that takes this many consecutive
+    // synchronous traps without retiring a single instruction is killed
+    // (kTrapStorm) instead of live-locking the machine. 0 disables.
+    int64_t trap_storm_limit = 64;
   };
 
   Supervisor(Cpu* cpu, PhysicalMemory* memory, SegmentRegistry* registry, Options options);
@@ -110,6 +114,20 @@ class Supervisor {
   // Charges `steps` logical supervisor steps to the cycle account.
   void Charge(uint64_t steps);
 
+  // HandleTrap body; the public wrapper adds double-fault detection.
+  bool HandleTrapImpl();
+
+  // Trap-storm watchdog bookkeeping; true when the limit was hit and the
+  // current process was killed.
+  bool WatchdogTripped(const TrapState& trap);
+
+  // Hardware-fault recovery: when a fatal-looking trap was caused by a
+  // corrupted *cached* SDW (the authoritative descriptor-segment copy
+  // disagrees with what the processor cached), invalidate the cached copy
+  // and resume the disrupted instruction instead of killing the process.
+  // Returns true when it recovered and resumed.
+  bool TryRecoverCachedSdw(const TrapState& trap);
+
   void KillCurrent(TrapCause cause, const SegAddr& pc);
   void ResumeCurrent(const RegisterFile& regs);
 
@@ -156,6 +174,7 @@ class Supervisor {
   std::vector<std::unique_ptr<Process>> processes_;
   std::deque<Process*> ready_;
   Process* current_ = nullptr;
+  bool handling_trap_ = false;
   int next_pid_ = 1;
   int anonymous_segments_ = 0;
 

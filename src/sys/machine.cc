@@ -1,5 +1,6 @@
 #include "src/sys/machine.h"
 
+#include "src/base/log.h"
 #include "src/base/strings.h"
 #include "src/mem/page_table.h"
 
@@ -21,6 +22,10 @@ Machine::Machine(MachineConfig config)
   cpu_.set_mode(config.mode);
   cpu_.set_trace(&trace_);
   supervisor_.set_start_io([this](uint8_t device, Word detail) { StartIo(device, detail); });
+  if (config_.fault.enabled) {
+    fault_injector_ = std::make_unique<FaultInjector>(config_.fault);
+    cpu_.set_fault_injector(fault_injector_.get());
+  }
   ok_ = supervisor_.Initialize();
 }
 
@@ -35,14 +40,37 @@ bool Machine::LoadProgram(const Program& program,
 bool Machine::LoadProgramSource(std::string_view source,
                                 const std::map<std::string, AccessControlList>& acls,
                                 std::string* error) {
-  const Program program = AssembleOrDie(source);
-  return LoadProgram(program, acls, error);
+  const AssembleResult result = Assemble(source);
+  if (!result.ok) {
+    const std::string message = result.error.ToString();
+    RINGS_LOG(kError) << "assembly failed: " << message;
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  }
+  return LoadProgram(result.program, acls, error);
 }
 
 void Machine::StartIo(uint8_t device, Word detail) {
   (void)detail;
   ++tty_operations_;
-  pending_io_.push_back(IoEvent{cpu_.cycles() + config_.cycle_model.io_latency, device});
+  uint64_t latency = config_.cycle_model.io_latency;
+  if (fault_injector_ != nullptr) {
+    latency += fault_injector_->MaybeIoDelay(cpu_.cycles());
+  }
+  pending_io_.push_back(IoEvent{cpu_.cycles() + latency, device});
+}
+
+void Machine::RunAudit() {
+  ++audit_runs_;
+  std::vector<AuditFinding> findings = AuditProtectionState(&memory_, registry_, supervisor_);
+  for (AuditFinding& finding : findings) {
+    if (finding.severity == AuditSeverity::kError) {
+      RINGS_LOG(kError) << "audit: " << finding.ToString();
+    }
+    audit_findings_.push_back(std::move(finding));
+  }
 }
 
 RunResult Machine::Run(uint64_t max_cycles) {
@@ -58,10 +86,24 @@ RunResult Machine::Run(uint64_t max_cycles) {
   }
 
   while (cpu_.cycles() - start_cycles < max_cycles) {
+    // A latched physical-store fault becomes a machine-fault trap. When
+    // some other trap is already pending, it is serviced first; the
+    // latch survives until the fault can be delivered.
+    if (!cpu_.trap_pending() && memory_.fault_pending()) {
+      const auto fault = memory_.TakeFault();
+      cpu_.InjectTrap(TrapCause::kMachineFault, static_cast<int64_t>(fault->addr));
+    }
     if (cpu_.trap_pending()) {
+      const bool quantum_end = cpu_.trap_state().cause == TrapCause::kTimerRunout;
       if (!supervisor_.HandleTrap()) {
+        if (config_.audit_every_quantum) {
+          RunAudit();
+        }
         result.idle = true;
         break;
+      }
+      if (quantum_end && config_.audit_every_quantum) {
+        RunAudit();
       }
       continue;
     }

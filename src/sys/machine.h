@@ -14,8 +14,10 @@
 #include <string_view>
 
 #include "src/cpu/cpu.h"
+#include "src/fault/fault_injector.h"
 #include "src/kasm/assembler.h"
 #include "src/mem/physical_memory.h"
+#include "src/sup/audit.h"
 #include "src/sup/segment_registry.h"
 #include "src/sup/supervisor.h"
 #include "src/trace/event_trace.h"
@@ -27,6 +29,14 @@ struct MachineConfig {
   CycleModel cycle_model{};
   int64_t quantum = 5000;
   ProtectionMode mode = ProtectionMode::kRingHardware;
+  // Deterministic fault injection (see DESIGN.md, "Fault model &
+  // recovery"). Disabled by default; zero overhead when disabled.
+  FaultConfig fault{};
+  // Run the protection auditor after every quantum (timer runout) and
+  // accumulate its findings; Run() keeps going, the caller inspects
+  // audit_findings(). Off by default — auditing walks every descriptor
+  // segment of every process.
+  bool audit_every_quantum = false;
 };
 
 struct RunResult {
@@ -53,12 +63,20 @@ class Machine {
   SegmentRegistry& registry() { return registry_; }
   EventTrace& trace() { return trace_; }
 
+  // Null unless MachineConfig::fault.enabled.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+  const FaultInjector* fault_injector() const { return fault_injector_.get(); }
+
+  // Per-quantum audit results (empty unless audit_every_quantum).
+  const std::vector<AuditFinding>& audit_findings() const { return audit_findings_; }
+  uint64_t audit_runs() const { return audit_runs_; }
+
   // Registers an assembled program's segments with the given ACLs (keyed
   // by segment name).
   bool LoadProgram(const Program& program, const std::map<std::string, AccessControlList>& acls,
                    std::string* error = nullptr);
-  // Assembles and loads in one step; aborts with a diagnostic on assembly
-  // errors (programs are compiled into the binary, so a failure is a bug).
+  // Assembles and loads in one step. Assembly failures are reported
+  // through `error` (and the log), never by aborting the host.
   bool LoadProgramSource(std::string_view source,
                          const std::map<std::string, AccessControlList>& acls,
                          std::string* error = nullptr);
@@ -96,13 +114,19 @@ class Machine {
 
   void StartIo(uint8_t device, Word detail);
 
+  // Runs the protection auditor once and accumulates findings.
+  void RunAudit();
+
   MachineConfig config_;
   PhysicalMemory memory_;
   Cpu cpu_;
   SegmentRegistry registry_;
   Supervisor supervisor_;
   EventTrace trace_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::deque<IoEvent> pending_io_;
+  std::vector<AuditFinding> audit_findings_;
+  uint64_t audit_runs_ = 0;
   uint64_t tty_operations_ = 0;
   bool ok_ = false;
 };

@@ -38,6 +38,11 @@ Counters Counters::Since(const Counters& earlier) const {
   d.upward_calls_emulated = upward_calls_emulated - earlier.upward_calls_emulated;
   d.downward_returns_emulated = downward_returns_emulated - earlier.downward_returns_emulated;
   d.argument_words_copied = argument_words_copied - earlier.argument_words_copied;
+  d.sdw_recoveries = sdw_recoveries - earlier.sdw_recoveries;
+  d.spurious_pages_ignored = spurious_pages_ignored - earlier.spurious_pages_ignored;
+  d.machine_faults = machine_faults - earlier.machine_faults;
+  d.trap_storm_kills = trap_storm_kills - earlier.trap_storm_kills;
+  d.double_faults = double_faults - earlier.double_faults;
   for (size_t i = 0; i < traps.size(); ++i) {
     d.traps[i] = traps[i] - earlier.traps[i];
   }

@@ -45,6 +45,13 @@ struct Counters {
   uint64_t downward_returns_emulated = 0;
   uint64_t argument_words_copied = 0;
 
+  // Hardened trap paths (see DESIGN.md, "Fault model & recovery").
+  uint64_t sdw_recoveries = 0;         // corrupted cached SDW detected, flushed, resumed
+  uint64_t spurious_pages_ignored = 0; // missing-page trap with the page already present
+  uint64_t machine_faults = 0;         // physical-store faults converted to process kills
+  uint64_t trap_storm_kills = 0;       // watchdog terminations
+  uint64_t double_faults = 0;          // traps raised while servicing a trap
+
   std::array<uint64_t, static_cast<size_t>(TrapCause::kNumCauses)> traps{};
 
   uint64_t TotalChecks() const {

@@ -1,0 +1,123 @@
+// Trap resumption: RETT after a missing-page fault taken in the middle of
+// an indirect-word chain must make the fault invisible — the disrupted
+// instruction re-executes from scratch and TPR (including the effective
+// ring accumulated by the chain) is recomputed exactly, never restored
+// from stale state.
+#include <gtest/gtest.h>
+
+#include "src/mem/page_table.h"
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+// A paged segment stored directly in the bare machine's descriptor
+// segment at `segno`, with all pages initially absent.
+AbsAddr StorePagedSegment(BareMachine& m, Segno segno, uint64_t words,
+                          const SegmentAccess& access) {
+  const AbsAddr table = *AllocatePageTable(&m.memory(), PageCount(words));
+  Sdw sdw;
+  sdw.present = true;
+  sdw.paged = true;
+  sdw.base = table;
+  sdw.bound = words;
+  sdw.access = access;
+  m.dseg().Store(segno, sdw);
+  m.cpu().InvalidateSdw(segno);
+  return table;
+}
+
+TEST(TrapResume, MissingPageMidIndirectChainRestoresTprExactly) {
+  // Chain: pr3 -> ptrs1[0] (ring 5, indirect) -> paged[kPageWords] (in an
+  // absent page) -> data[3]. The fault hits while *fetching the second
+  // indirect word*, i.e. mid-chain with a partially-accumulated TPR.
+  BareMachine m;
+  const Segno data = m.AddSegment({0, 0, 0, 777}, MakeDataSegment(0, 6));
+  const Segno paged = 10;
+  const AbsAddr table =
+      StorePagedSegment(m, paged, 2 * kPageWords, MakeDataSegment(4, 7));
+  const Segno ptrs1 = m.AddSegment(
+      {EncodeIndirectWord(IndirectWord{5, true, paged, static_cast<Wordno>(kPageWords)})},
+      MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, /*indirect=*/true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs1, 0);
+
+  ASSERT_EQ(m.StepTrap(), TrapCause::kMissingPage);
+  const TrapState trap = m.cpu().TakeTrap();
+  // The fault names the absent word and the saved IPR addresses the
+  // disrupted instruction, not its successor.
+  EXPECT_EQ(trap.fault_addr.segno, paged);
+  EXPECT_EQ(trap.fault_addr.wordno, kPageWords);
+  EXPECT_EQ(trap.regs.ipr.segno, code);
+  EXPECT_EQ(trap.regs.ipr.wordno, 0u);
+  // Mid-chain TPR at fault time: max(exec 4, first indirect ring 5).
+  EXPECT_EQ(trap.tpr.ring, 5);
+
+  // Supervisor-equivalent: page in the missing page, whose content is the
+  // second indirect word (ring 6), then resume the disrupted instruction.
+  const AbsAddr frame = *InstallZeroPage(&m.memory(), table, 1);
+  m.memory().Write(frame, EncodeIndirectWord(IndirectWord{6, false, data, 3}));
+  m.cpu().Rett(trap.regs);
+
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.cpu().regs().a, 777u);
+  // The whole chain was re-walked: effective ring = max(4, 5, 6).
+  EXPECT_EQ(m.cpu().tpr().ring, 6);
+  EXPECT_EQ(m.cpu().tpr().segno, data);
+  EXPECT_EQ(m.cpu().tpr().wordno, 3u);
+  EXPECT_EQ(m.cpu().regs().ipr.wordno, 1u);
+}
+
+TEST(TrapResume, RecomputedEffectiveRingStillDeniesAfterResume) {
+  // Same shape, but the final operand is only readable through ring 4.
+  // After the page-in and RETT, re-execution must re-accumulate the ring-6
+  // effective ring and deny the read — proof the ring is recomputed by
+  // the re-walk rather than carried through the trap.
+  BareMachine m;
+  const Segno data = m.AddSegment({1, 2, 3}, MakeDataSegment(4, 4));
+  const Segno paged = 10;
+  const AbsAddr table =
+      StorePagedSegment(m, paged, 2 * kPageWords, MakeDataSegment(4, 7));
+  const Segno ptrs1 = m.AddSegment(
+      {EncodeIndirectWord(IndirectWord{4, true, paged, static_cast<Wordno>(kPageWords + 9)})},
+      MakeDataSegment(4, 4));
+  const Segno code = m.AddCode({MakeInsPr(Opcode::kLda, 3, 0, true)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(3, 4, ptrs1, 0);
+
+  ASSERT_EQ(m.StepTrap(), TrapCause::kMissingPage);
+  const TrapState trap = m.cpu().TakeTrap();
+  const AbsAddr frame = *InstallZeroPage(&m.memory(), table, 1);
+  m.memory().Write(frame + 9, EncodeIndirectWord(IndirectWord{6, false, data, 0}));
+  m.cpu().Rett(trap.regs);
+
+  EXPECT_EQ(m.StepTrap(), TrapCause::kReadViolation);
+  EXPECT_EQ(m.cpu().tpr().ring, 6);
+}
+
+TEST(TrapResume, OperandPageFaultLeavesNoSideEffects) {
+  // A store whose operand page is absent: the fault must precede the
+  // write, and after the page is supplied the re-executed store lands in
+  // the fresh frame.
+  BareMachine m;
+  const Segno paged = 10;
+  const AbsAddr table =
+      StorePagedSegment(m, paged, kPageWords, MakeDataSegment(4, 4));
+  const Segno code = m.AddCode(
+      {MakeIns(Opcode::kLdai, 31), MakeInsPr(Opcode::kSta, 2, 7)}, UserCode());
+  m.SetIpr(4, code, 0);
+  m.SetPr(2, 4, paged, 0);
+
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);  // ldai
+  ASSERT_EQ(m.StepTrap(), TrapCause::kMissingPage);
+  const TrapState trap = m.cpu().TakeTrap();
+  EXPECT_EQ(trap.regs.a, 31u);  // accumulator preserved across the fault
+  const AbsAddr frame = *InstallZeroPage(&m.memory(), table, 0);
+  m.cpu().Rett(trap.regs);
+  ASSERT_EQ(m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(m.memory().Read(frame + 7), 31u);
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,0 +1,157 @@
+// The fault injector's own contract: runs are exactly reproducible from
+// (seed, rates), corruption is restriction-only, and the event log stays
+// bounded while the counters keep counting.
+#include <gtest/gtest.h>
+
+#include "src/core/access.h"
+#include "src/fault/fault_injector.h"
+#include "src/mem/sdw.h"
+
+namespace rings {
+namespace {
+
+Sdw SampleSdw() {
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = 1000;
+  sdw.bound = 100;
+  sdw.access = MakeProcedureSegment(2, 4, 6, 3);
+  sdw.access.flags.read = true;
+  return sdw;
+}
+
+TEST(FaultInjector, SameSeedReplaysIdentically) {
+  const FaultConfig config = FaultConfig::Uniform(/*seed=*/42, /*ppm=*/200'000);
+  FaultInjector a(config);
+  FaultInjector b(config);
+
+  // Drive both injectors through the same opportunity sequence.
+  for (uint64_t cycle = 0; cycle < 2000; ++cycle) {
+    Sdw sa = SampleSdw();
+    Sdw sb = SampleSdw();
+    a.MaybeCorruptSdw(cycle, 9, &sa);
+    b.MaybeCorruptSdw(cycle, 9, &sb);
+    EXPECT_EQ(sa, sb);
+
+    size_t ia = 0, ib = 0;
+    EXPECT_EQ(a.MaybeDropCacheEntry(cycle, 8, &ia), b.MaybeDropCacheEntry(cycle, 8, &ib));
+    EXPECT_EQ(ia, ib);
+
+    IndirectWord wa{2, false, 5, 7};
+    IndirectWord wb = wa;
+    a.MaybeCorruptIndirectRing(cycle, 5, 7, &wa);
+    b.MaybeCorruptIndirectRing(cycle, 5, 7, &wb);
+    EXPECT_EQ(wa.ring, wb.ring);
+
+    EXPECT_EQ(a.MaybeSpuriousMissingPage(cycle, 3, 1), b.MaybeSpuriousMissingPage(cycle, 3, 1));
+    EXPECT_EQ(a.MaybeIoDelay(cycle), b.MaybeIoDelay(cycle));
+  }
+
+  EXPECT_GT(a.total_injected(), 0u);
+  EXPECT_EQ(a.total_injected(), b.total_injected());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].sequence, b.events()[i].sequence);
+    EXPECT_EQ(a.events()[i].site, b.events()[i].site);
+    EXPECT_EQ(a.events()[i].cycle, b.events()[i].cycle);
+    EXPECT_EQ(a.events()[i].detail, b.events()[i].detail);
+  }
+}
+
+TEST(FaultInjector, SdwCorruptionIsRestrictionOnly) {
+  // For every corrupted descriptor and every ring: any access the
+  // corrupted SDW still grants, the original granted too. A violation here
+  // would mean the injector can *create* access — i.e. corrupt the TCB,
+  // which the fault model excludes by construction.
+  FaultConfig config;
+  config.set_rate(FaultSite::kSdwCorruption, 1'000'000);  // every roll fires
+  config.seed = 3;
+  FaultInjector injector(config);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    const Sdw original = SampleSdw();
+    Sdw corrupted = original;
+    ASSERT_TRUE(injector.MaybeCorruptSdw(trial, 9, &corrupted));
+    EXPECT_NE(corrupted, original);
+
+    EXPECT_LE(corrupted.present, original.present);
+    EXPECT_LE(corrupted.bound, original.bound);
+    for (Ring ring = 0; ring <= kMaxRing; ++ring) {
+      if (CheckRead(corrupted.access, ring).ok()) {
+        EXPECT_TRUE(CheckRead(original.access, ring).ok()) << "read granted at ring " << +ring;
+      }
+      if (CheckWrite(corrupted.access, ring).ok()) {
+        EXPECT_TRUE(CheckWrite(original.access, ring).ok()) << "write granted at ring " << +ring;
+      }
+      if (CheckExecute(corrupted.access, ring).ok()) {
+        EXPECT_TRUE(CheckExecute(original.access, ring).ok())
+            << "execute granted at ring " << +ring;
+      }
+      if (corrupted.access.brackets.InGateExtension(ring)) {
+        EXPECT_TRUE(original.access.brackets.InGateExtension(ring))
+            << "gate capability granted at ring " << +ring;
+      }
+    }
+  }
+}
+
+TEST(FaultInjector, IndirectRingOnlyRaises) {
+  FaultConfig config;
+  config.set_rate(FaultSite::kIndirectRingCorruption, 1'000'000);
+  config.seed = 5;
+  FaultInjector injector(config);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const Ring before = static_cast<Ring>(trial % kMaxRing);  // 0..kMaxRing-1
+    IndirectWord iw{before, false, 4, 2};
+    ASSERT_TRUE(injector.MaybeCorruptIndirectRing(trial, 4, 2, &iw));
+    EXPECT_GT(iw.ring, before);
+    EXPECT_LE(iw.ring, kMaxRing);
+  }
+  // A ring field already at the maximum cannot be raised: never corrupted.
+  IndirectWord top{kMaxRing, false, 4, 2};
+  EXPECT_FALSE(injector.MaybeCorruptIndirectRing(999, 4, 2, &top));
+  EXPECT_EQ(top.ring, kMaxRing);
+}
+
+TEST(FaultInjector, DisabledInjectorNeverFires) {
+  FaultConfig config;
+  config.rate_ppm.fill(1'000'000);
+  config.enabled = false;  // master switch wins over the rates
+  FaultInjector injector(config);
+
+  Sdw sdw = SampleSdw();
+  size_t index = 0;
+  IndirectWord iw{1, false, 2, 3};
+  for (uint64_t cycle = 0; cycle < 100; ++cycle) {
+    EXPECT_FALSE(injector.MaybeCorruptSdw(cycle, 1, &sdw));
+    EXPECT_FALSE(injector.MaybeDropCacheEntry(cycle, 8, &index));
+    EXPECT_FALSE(injector.MaybeCorruptIndirectRing(cycle, 2, 3, &iw));
+    EXPECT_FALSE(injector.MaybeSpuriousMissingPage(cycle, 2, 3));
+    EXPECT_EQ(injector.MaybeIoDelay(cycle), 0u);
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+  EXPECT_TRUE(injector.events().empty());
+}
+
+TEST(FaultInjector, EventLogBoundedButCountsExact) {
+  FaultConfig config;
+  config.set_rate(FaultSite::kSpuriousMissingPage, 1'000'000);
+  config.seed = 8;
+  FaultInjector injector(config);
+
+  const uint64_t kInjections = FaultInjector::kMaxLoggedEvents + 500;
+  for (uint64_t i = 0; i < kInjections; ++i) {
+    ASSERT_TRUE(injector.MaybeSpuriousMissingPage(i, 1, 0));
+  }
+  EXPECT_EQ(injector.injected(FaultSite::kSpuriousMissingPage), kInjections);
+  EXPECT_EQ(injector.events().size(), FaultInjector::kMaxLoggedEvents);
+  // Logged sequence numbers are the injection order, gap-free.
+  for (size_t i = 0; i < injector.events().size(); ++i) {
+    EXPECT_EQ(injector.events()[i].sequence, i);
+  }
+  EXPECT_NE(injector.Summary().find("spurious_missing_page"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rings

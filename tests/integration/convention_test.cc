@@ -152,6 +152,13 @@ start:  epp   pr2, lp,*
         mme   0
 lp:     .its  1, lib, 0
 )";
+  // Copies the outcome out before the machine (which owns the process)
+  // is destroyed.
+  struct Outcome {
+    ProcessState state;
+    int64_t exit_code;
+    TrapCause kill_cause;
+  };
   const auto run_in = [&](Ring ring) {
     Machine machine;
     std::map<std::string, AccessControlList> acls;
@@ -163,19 +170,19 @@ lp:     .its  1, lib, 0
     machine.supervisor().InitiateAll(p);
     EXPECT_TRUE(machine.Start(p, "prog", "start", ring));
     machine.Run();
-    return p;
+    return Outcome{p->state, p->exit_code, p->kill_cause};
   };
 
   // From ring 2: within privdata's read bracket — works.
-  Process* low = run_in(2);
-  EXPECT_EQ(low->state, ProcessState::kExited);
-  EXPECT_EQ(low->exit_code, 42);
+  const Outcome low = run_in(2);
+  EXPECT_EQ(low.state, ProcessState::kExited);
+  EXPECT_EQ(low.exit_code, 42);
 
   // From ring 5: the same library code is denied the read, because it
   // executes in ring 5 — certification travels with the caller's ring.
-  Process* high = run_in(5);
-  EXPECT_EQ(high->state, ProcessState::kKilled);
-  EXPECT_EQ(high->kill_cause, TrapCause::kReadViolation);
+  const Outcome high = run_in(5);
+  EXPECT_EQ(high.state, ProcessState::kKilled);
+  EXPECT_EQ(high.kill_cause, TrapCause::kReadViolation);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // scheduler, plus I/O completion delivery.
 #include <gtest/gtest.h>
 
+#include "src/sup/audit.h"
 #include "src/sys/machine.h"
 
 namespace rings {
@@ -31,7 +32,7 @@ limit:  .word 300
         .segment counters
         .block 8
 )";
-  Machine machine(MachineConfig{.quantum = 50});
+  Machine machine(MachineConfig{.quantum = 50, .audit_every_quantum = true});
   std::map<std::string, AccessControlList> acls;
   acls["spin"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
   acls["counters"] = AccessControlList::Public(MakeDataSegment(4, 4));
@@ -55,6 +56,9 @@ limit:  .word 300
   EXPECT_GT(a->dispatches, 1u);
   EXPECT_GT(b->dispatches, 1u);
   EXPECT_GE(machine.cpu().counters().TrapCount(TrapCause::kTimerRunout), 2u);
+  // The protection auditor ran after every quantum and found nothing.
+  EXPECT_GT(machine.audit_runs(), 2u);
+  EXPECT_TRUE(AuditClean(machine.audit_findings()));
 }
 
 TEST(Multiprocess, SharedSegmentVisibleToBoth) {

@@ -32,6 +32,49 @@ TEST(PhysicalMemory, AllocatorExhaustion) {
   EXPECT_FALSE(mem.Allocate(1).has_value());
 }
 
+TEST(PhysicalMemory, OutOfRangeReadLatchesFaultInsteadOfAborting) {
+  PhysicalMemory mem(100);
+  EXPECT_FALSE(mem.fault_pending());
+  // The reference is inert: reads return 0, and the host survives.
+  EXPECT_EQ(mem.Read(100), 0u);
+  ASSERT_TRUE(mem.fault_pending());
+  const auto fault = mem.TakeFault();
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->addr, 100u);
+  EXPECT_FALSE(fault->write);
+  // Consuming clears the latch.
+  EXPECT_FALSE(mem.fault_pending());
+  EXPECT_FALSE(mem.TakeFault().has_value());
+  EXPECT_EQ(mem.fault_count(), 1u);
+}
+
+TEST(PhysicalMemory, OutOfRangeWriteIsDroppedAndLatched) {
+  PhysicalMemory mem(100);
+  mem.Write(5000, 42);
+  const auto fault = mem.TakeFault();
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->addr, 5000u);
+  EXPECT_TRUE(fault->write);
+  // In-range contents are untouched and later in-range traffic works.
+  mem.Write(50, 7);
+  EXPECT_EQ(mem.Read(50), 7u);
+  EXPECT_FALSE(mem.fault_pending());
+}
+
+TEST(PhysicalMemory, LatchKeepsFirstFaultAndCountsTheRest) {
+  PhysicalMemory mem(100);
+  mem.Write(200, 1);
+  mem.Write(300, 2);
+  EXPECT_EQ(mem.Read(400), 0u);
+  const auto fault = mem.TakeFault();
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->addr, 200u);  // oldest access wins
+  EXPECT_EQ(mem.fault_count(), 3u);
+  // After consuming, the next out-of-range access re-arms the latch.
+  mem.Write(500, 3);
+  EXPECT_EQ(mem.TakeFault()->addr, 500u);
+}
+
 TEST(DescriptorSegment, CreateInitializesAbsent) {
   PhysicalMemory mem(4096);
   const auto ds = DescriptorSegment::Create(&mem, 16, 0);

@@ -1,0 +1,282 @@
+// Hardened trap handling: double-fault containment, the trap-storm
+// watchdog, machine faults (out-of-range physical addresses) killing the
+// process instead of the host, spurious missing-page absorption, and
+// recovery from corrupted descriptor-cache entries.
+#include <gtest/gtest.h>
+
+#include "src/fault/fault_injector.h"
+#include "src/isa/instruction.h"
+#include "src/mem/descriptor_segment.h"
+#include "src/mem/page_table.h"
+#include "src/sys/machine.h"
+
+namespace rings {
+namespace {
+
+constexpr char kSpinSource[] = R"(
+        .segment spin
+start:  ldai  0
+loop:   adai  1
+        sta   slot,*
+        lda   limit
+        sba   slot,*
+        tze   done
+        tmi   done
+        lda   slot,*
+        tra   loop
+done:   lda   slot,*
+        mme   0
+slot:   .its  4, counters, 0
+limit:  .word 200
+
+        .segment counters
+        .block 8
+)";
+
+std::map<std::string, AccessControlList> SpinAcls() {
+  std::map<std::string, AccessControlList> acls;
+  acls["spin"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["counters"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  return acls;
+}
+
+TEST(Hardening, DoubleFaultKillsProcessNotMachine) {
+  constexpr char kSource[] = R"(
+        .segment victim
+vstart: mme   1
+
+        .segment good
+gstart: ldai  9
+        mme   0
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["victim"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["good"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* victim = machine.Login("alice");
+  Process* good = machine.Login("bob");
+  machine.supervisor().InitiateAll(victim);
+  machine.supervisor().InitiateAll(good);
+  ASSERT_TRUE(machine.Start(victim, "victim", "vstart", kUserRing));
+  ASSERT_TRUE(machine.Start(good, "good", "gstart", kUserRing));
+
+  // The MME handler models a supervisor path that itself faults while
+  // servicing the trap: it raises a second trap and re-enters the trap
+  // dispatcher.
+  int nested_calls = 0;
+  machine.supervisor().set_mme_handler([&machine, &nested_calls](const TrapState& trap) {
+    if (trap.code != 1) {
+      return false;  // default protocol for everyone else
+    }
+    ++nested_calls;
+    machine.cpu().InjectTrap(TrapCause::kBoundsViolation);
+    machine.supervisor().HandleTrap();
+    return true;
+  });
+
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(nested_calls, 1);
+  EXPECT_EQ(victim->state, ProcessState::kKilled);
+  EXPECT_EQ(victim->kill_cause, TrapCause::kDoubleFault);
+  EXPECT_EQ(machine.cpu().counters().double_faults, 1u);
+  // The machine survived and the other process ran to completion.
+  EXPECT_EQ(good->state, ProcessState::kExited);
+  EXPECT_EQ(good->exit_code, 9);
+}
+
+TEST(Hardening, TrapStormWatchdogKillsLivelockedProcess) {
+  // A 100% spurious-missing-page rate makes every instruction trap
+  // without retiring: absorb-and-resume alone would spin forever. The
+  // watchdog must attribute the livelock and kill the process.
+  MachineConfig config;
+  config.fault.seed = 7;
+  config.fault.set_rate(FaultSite::kSpuriousMissingPage, 1'000'000);
+  Machine machine(config);
+  ASSERT_TRUE(machine.LoadProgramSource(kSpinSource, SpinAcls()));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "spin", "start", kUserRing));
+
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(p->state, ProcessState::kKilled);
+  EXPECT_EQ(p->kill_cause, TrapCause::kTrapStorm);
+  EXPECT_EQ(machine.cpu().counters().trap_storm_kills, 1u);
+  // The storm ran exactly to the configured limit before the kill.
+  EXPECT_GE(machine.cpu().counters().spurious_pages_ignored + 1,
+            static_cast<uint64_t>(machine.supervisor().options().trap_storm_limit));
+}
+
+TEST(Hardening, SpuriousMissingPageAbsorbed) {
+  // A moderate spurious-trap rate against an ordinary (unpaged) workload:
+  // every injected trap is absorbed and the program's result is
+  // unaffected.
+  MachineConfig config;
+  config.fault.seed = 11;
+  config.fault.set_rate(FaultSite::kSpuriousMissingPage, 20'000);
+  Machine machine(config);
+  ASSERT_TRUE(machine.LoadProgramSource(kSpinSource, SpinAcls()));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "spin", "start", kUserRing));
+
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 200);
+  ASSERT_NE(machine.fault_injector(), nullptr);
+  EXPECT_GT(machine.fault_injector()->injected(FaultSite::kSpuriousMissingPage), 0u);
+  EXPECT_EQ(machine.cpu().counters().spurious_pages_ignored,
+            machine.fault_injector()->injected(FaultSite::kSpuriousMissingPage));
+}
+
+TEST(Hardening, SpuriousMissingPageDoesNotRemapLivePages) {
+  // Regression: the old missing-page handler installed a zero page
+  // unconditionally, so a spurious trap against a resident page would
+  // discard its contents. With paged *code*, that corruption is fatal to
+  // the program; the hardened handler must leave resident pages alone.
+  MachineConfig config;
+  config.fault.seed = 13;
+  config.fault.set_rate(FaultSite::kSpuriousMissingPage, 20'000);
+  Machine machine(config);
+  // A countdown loop long enough for spurious traps to hit the (resident)
+  // code page mid-run, then exit 42.
+  std::vector<Word> code = {
+      EncodeInstruction(MakeIns(Opcode::kLdai, 400)),
+      EncodeInstruction(MakeIns(Opcode::kAdai, -1)),
+      EncodeInstruction(MakeIns(Opcode::kTnz, 1)),
+      EncodeInstruction(MakeIns(Opcode::kAdai, 42)),
+      EncodeInstruction(MakeIns(Opcode::kMme, 0)),
+  };
+  const auto segno = machine.registry().CreatePagedSegment(
+      "pagedcode", kPageWords, AccessControlList::Public(MakeProcedureSegment(4, 4)),
+      /*populate=*/false, code);
+  ASSERT_TRUE(segno.has_value());
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  machine.registry().FindMutable("pagedcode")->symbols["start"] = 0;
+  ASSERT_TRUE(machine.Start(p, "pagedcode", "start", kUserRing));
+
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 42);
+  // Every spurious trap against the resident code page was absorbed; none
+  // caused the page to be resupplied (which would have zeroed the code).
+  EXPECT_GT(machine.cpu().counters().spurious_pages_ignored, 0u);
+  EXPECT_EQ(machine.cpu().counters().pages_supplied, 0u);
+}
+
+TEST(Hardening, MachineFaultKillsProcessNotHost) {
+  // A hand-corrupted SDW whose base points past the end of the core
+  // store: the reference escapes segment-level checks, the store latches
+  // the fault, and the machine converts it into a kMachineFault that
+  // kills only the offending process.
+  constexpr char kSource[] = R"(
+        .segment reader
+rstart: lda   vp,*
+        mme   0
+vp:     .its  4, victim, 0
+
+        .segment good
+gstart: ldai  5
+        mme   0
+
+        .segment victim
+        .block 16
+)";
+  Machine machine;
+  std::map<std::string, AccessControlList> acls;
+  acls["reader"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["good"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  acls["victim"] = AccessControlList::Public(MakeDataSegment(4, 4));
+  ASSERT_TRUE(machine.LoadProgramSource(kSource, acls));
+  Process* reader = machine.Login("alice");
+  Process* good = machine.Login("bob");
+  machine.supervisor().InitiateAll(reader);
+  machine.supervisor().InitiateAll(good);
+  ASSERT_TRUE(machine.Start(reader, "reader", "rstart", kUserRing));
+  ASSERT_TRUE(machine.Start(good, "good", "gstart", kUserRing));
+
+  // Corrupt the victim's SDW in the reader's descriptor segment (and the
+  // authoritative copy only — this models descriptor-segment damage, not
+  // cache damage, so there is nothing to recover from).
+  const Segno victim_segno = machine.registry().Find("victim")->segno;
+  DescriptorSegment dseg(&machine.memory(), reader->dbr);
+  Sdw bad = *dseg.Fetch(victim_segno);
+  bad.base = static_cast<AbsAddr>(machine.memory().size()) + 4096;
+  dseg.Store(victim_segno, bad);
+
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(reader->state, ProcessState::kKilled);
+  EXPECT_EQ(reader->kill_cause, TrapCause::kMachineFault);
+  EXPECT_EQ(machine.cpu().counters().machine_faults, 1u);
+  EXPECT_GE(machine.memory().fault_count(), 1u);
+  EXPECT_FALSE(machine.memory().fault_pending());  // latch was consumed
+  // The host never aborted and the other process is unaffected.
+  EXPECT_EQ(good->state, ProcessState::kExited);
+  EXPECT_EQ(good->exit_code, 5);
+}
+
+TEST(Hardening, CorruptedCachedSdwRecoveredByFlush) {
+  // SDW corruption lands only in the processor's cached copy; the
+  // descriptor segment stays intact. The supervisor detects the mismatch
+  // on the resulting trap, flushes the entry, and resumes — the workload
+  // finishes correctly despite a 10% per-fetch corruption rate.
+  MachineConfig config;
+  config.quantum = 50;  // frequent dispatches -> frequent cache refills
+  config.fault.seed = 17;
+  config.fault.set_rate(FaultSite::kSdwCorruption, 100'000);
+  Machine machine(config);
+  ASSERT_TRUE(machine.LoadProgramSource(kSpinSource, SpinAcls()));
+  Process* a = machine.Login("alice");
+  Process* b = machine.Login("bob");
+  machine.supervisor().InitiateAll(a);
+  machine.supervisor().InitiateAll(b);
+  ASSERT_TRUE(machine.Start(a, "spin", "start", kUserRing));
+  ASSERT_TRUE(machine.Start(b, "spin", "start", kUserRing));
+
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(a->state, ProcessState::kExited);
+  EXPECT_EQ(b->state, ProcessState::kExited);
+  ASSERT_NE(machine.fault_injector(), nullptr);
+  EXPECT_GT(machine.fault_injector()->injected(FaultSite::kSdwCorruption), 0u);
+  EXPECT_GT(machine.cpu().counters().sdw_recoveries, 0u);
+}
+
+TEST(Hardening, DroppedCacheEntriesAreInvisible) {
+  // Cache-entry drops cost refetches but can never change behaviour.
+  MachineConfig config;
+  config.fault.seed = 19;
+  config.fault.set_rate(FaultSite::kSdwCacheDrop, 100'000);
+  Machine machine(config);
+  ASSERT_TRUE(machine.LoadProgramSource(kSpinSource, SpinAcls()));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "spin", "start", kUserRing));
+  const RunResult result = machine.Run();
+  EXPECT_TRUE(result.idle);
+  EXPECT_EQ(p->state, ProcessState::kExited);
+  EXPECT_EQ(p->exit_code, 200);
+  EXPECT_GT(machine.fault_injector()->injected(FaultSite::kSdwCacheDrop), 0u);
+}
+
+TEST(Hardening, AssemblyErrorsReportedNotFatal) {
+  Machine machine;
+  std::string error;
+  EXPECT_FALSE(machine.LoadProgramSource("        .segment x\n        bogus 1\n", {}, &error));
+  EXPECT_FALSE(error.empty());
+  // The machine remains usable after a failed load.
+  ASSERT_TRUE(machine.LoadProgramSource(kSpinSource, SpinAcls()));
+  Process* p = machine.Login("alice");
+  machine.supervisor().InitiateAll(p);
+  ASSERT_TRUE(machine.Start(p, "spin", "start", kUserRing));
+  machine.Run();
+  EXPECT_EQ(p->state, ProcessState::kExited);
+}
+
+}  // namespace
+}  // namespace rings

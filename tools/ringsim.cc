@@ -7,6 +7,10 @@
 //   --list           print a disassembly listing of every segment
 //   --trace          print ring switches and traps as they happen
 //   --max-cycles=N   cycle budget (default 100M)
+//   --fault-rate=N   enable deterministic fault injection: every site at
+//                    N parts per million per opportunity
+//   --fault-seed=N   fault-injection RNG seed (default 1); a (seed, rate)
+//                    pair replays exactly
 //
 // The program file carries its own manifest in `;;` directive lines
 // (ordinary `;` comments to the assembler):
@@ -20,7 +24,9 @@
 // Example (examples/asm/hello.asm):
 //   ;; acl main * procedure 4 4
 //   ;; start main start 4
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -150,7 +156,8 @@ Manifest ParseManifest(const std::string& source) {
   return manifest;
 }
 
-int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max_cycles) {
+int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max_cycles,
+        const FaultConfig& fault) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "ringsim: cannot open %s\n", path.c_str());
@@ -180,7 +187,9 @@ int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max
     }
   }
 
-  Machine machine;
+  MachineConfig config;
+  config.fault = fault;
+  Machine machine(config);
   if (!machine.ok()) {
     std::fprintf(stderr, "ringsim: machine construction failed\n");
     return 2;
@@ -231,6 +240,14 @@ int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max
   if (!machine.TtyOutput().empty()) {
     std::printf("tty: %s\n", machine.TtyOutput().c_str());
   }
+  if (machine.fault_injector() != nullptr) {
+    std::printf("%s\n", machine.fault_injector()->Summary().c_str());
+    if (trace) {
+      for (const FaultEvent& e : machine.fault_injector()->events()) {
+        std::printf("fault: %s\n", e.ToString().c_str());
+      }
+    }
+  }
   std::printf("%s\n", result.ToString().c_str());
   int exit_code = 0;
   for (const Process* p : processes) {
@@ -249,6 +266,18 @@ int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max
   return exit_code;
 }
 
+// Strict decimal parse: the whole string must be digits. strtoul alone
+// would turn a typo'd value into 0 and silently disable the feature.
+bool ParseU64(const char* s, uint64_t* out) {
+  if (*s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 }  // namespace rings
 
@@ -257,7 +286,12 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool audit = false;
   uint64_t max_cycles = 100'000'000;
+  uint64_t fault_seed = 1;
+  uint32_t fault_rate = 0;
   std::string path;
+  constexpr char kUsage[] =
+      "usage: ringsim [--list] [--trace] [--audit] [--max-cycles=N]\n"
+      "               [--fault-rate=PPM] [--fault-seed=N] program.asm\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -267,9 +301,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg.rfind("--max-cycles=", 0) == 0) {
-      max_cycles = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      if (!rings::ParseU64(arg.c_str() + 13, &max_cycles)) {
+        std::fprintf(stderr, "ringsim: %s: not a number\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 13, &fault_seed)) {
+        std::fprintf(stderr, "ringsim: %s: not a number\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      uint64_t ppm = 0;
+      if (!rings::ParseU64(arg.c_str() + 13, &ppm) || ppm > 1'000'000) {
+        std::fprintf(stderr, "ringsim: %s: expected 0..1000000 ppm\n", arg.c_str());
+        return 2;
+      }
+      fault_rate = static_cast<uint32_t>(ppm);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: ringsim [--list] [--trace] [--audit] [--max-cycles=N] program.asm\n");
+      std::printf("%s", kUsage);
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
@@ -279,9 +328,9 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: ringsim [--list] [--trace] [--audit] [--max-cycles=N] program.asm\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
-  return rings::Run(path, list, trace, audit, max_cycles);
+  const rings::FaultConfig fault = rings::FaultConfig::Uniform(fault_seed, fault_rate);
+  return rings::Run(path, list, trace, audit, max_cycles, fault);
 }
