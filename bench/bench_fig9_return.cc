@@ -108,6 +108,8 @@ void BM_UpwardReturn(benchmark::State& state) {
     rig.cpu.Step();
   }
   state.SetItemsProcessed(state.iterations());
+  // Deterministic simulated cost, gated in CI by tools/bench_check.py.
+  state.counters["sim_cycles_per_return"] = RetCycles(1, 4);
 }
 BENCHMARK(BM_UpwardReturn);
 
@@ -118,6 +120,7 @@ void BM_SameRingReturn(benchmark::State& state) {
     rig.cpu.Step();
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["sim_cycles_per_return"] = RetCycles(4, 4);
 }
 BENCHMARK(BM_SameRingReturn);
 

@@ -11,6 +11,7 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "src/b645/b645_machine.h"
@@ -90,29 +91,45 @@ struct RunCost {
   Counters counters;
 };
 
-inline RunCost RunHardware(const std::string& source, Ring caller, const SegmentAccess& target) {
-  Machine machine;
+// A loaded, started (but not yet run) hardware machine plus its process —
+// lets benchmarks keep construction and assembly outside the timed region.
+struct HardwareRig {
+  std::unique_ptr<Machine> machine;
+  Process* process = nullptr;
+};
+
+inline HardwareRig SetupHardware(const std::string& source, Ring caller,
+                                 const SegmentAccess& target,
+                                 const MachineConfig& config = MachineConfig{}) {
+  HardwareRig rig;
+  rig.machine = std::make_unique<Machine>(config);
   std::map<std::string, AccessControlList> acls;
   acls["main"] = AccessControlList::Public(MakeProcedureSegment(caller, caller));
   acls["counter"] = AccessControlList::Public(MakeDataSegment(caller, caller));
   acls["argdata"] = AccessControlList::Public(MakeDataSegment(caller, caller));
   acls["target"] = AccessControlList::Public(target);
   std::string error;
-  if (!machine.LoadProgramSource(source, acls, &error)) {
+  if (!rig.machine->LoadProgramSource(source, acls, &error)) {
     std::fprintf(stderr, "bench setup failed: %s\n", error.c_str());
     std::abort();
   }
-  Process* p = machine.Login("bench");
-  machine.supervisor().InitiateAll(p);
-  machine.Start(p, "main", "start", caller);
-  machine.Run(2'000'000'000);
-  if (p->state != ProcessState::kExited) {
+  rig.process = rig.machine->Login("bench");
+  rig.machine->supervisor().InitiateAll(rig.process);
+  rig.machine->Start(rig.process, "main", "start", caller);
+  return rig;
+}
+
+inline RunCost RunHardware(const std::string& source, Ring caller, const SegmentAccess& target,
+                           const MachineConfig& config = MachineConfig{}) {
+  HardwareRig rig = SetupHardware(source, caller, target, config);
+  rig.machine->Run(2'000'000'000);
+  if (rig.process->state != ProcessState::kExited) {
     std::fprintf(stderr, "bench workload killed: %s at %u|%u\n",
-                 std::string(TrapCauseName(p->kill_cause)).c_str(), p->kill_pc.segno,
-                 p->kill_pc.wordno);
+                 std::string(TrapCauseName(rig.process->kill_cause)).c_str(),
+                 rig.process->kill_pc.segno, rig.process->kill_pc.wordno);
     std::abort();
   }
-  return RunCost{machine.cpu().cycles(), machine.cpu().counters()};
+  return RunCost{rig.machine->cpu().cycles(), rig.machine->cpu().counters()};
 }
 
 // Differential cost of one epp+call+callee+return sequence on the ring

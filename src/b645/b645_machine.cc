@@ -22,6 +22,7 @@ B645Machine::B645Machine(MachineConfig config)
     : config_(config), memory_(config.memory_words), cpu_(&memory_, config.cycle_model),
       registry_(&memory_) {
   cpu_.set_mode(ProtectionMode::kFlags645);
+  cpu_.set_fast_path_enabled(config.fast_path);
   ok_ = true;
 }
 
@@ -47,8 +48,10 @@ bool B645Machine::LoadProgram(const Program& program,
     acls[seg.name] = AccessControlList::Public(spec->second);
   }
   if (!registry_.LoadProgram(program, acls, err)) {
+    cpu_.FlushInsnCache();
     return false;
   }
+  cpu_.FlushInsnCache();
   for (const AssembledSegment& seg : program.segments) {
     const RegisteredSegment* reg = registry_.Find(seg.name);
     SegmentAccess access = ring_specs.at(seg.name);
@@ -77,6 +80,7 @@ bool B645Machine::PokeWordForTest(const std::string& name, Wordno wordno, Word v
     return false;
   }
   memory_.Write(seg->base + wordno, value);
+  cpu_.FlushInsnCache();
   return true;
 }
 

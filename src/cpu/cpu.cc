@@ -56,7 +56,11 @@ void Cpu::Rett(const RegisterFile& state) {
   trap_pending_ = false;
   cycles_ += cycle_model_.rett;
   if (dbr_changed) {
+    // The flush bumps the SDW-cache epoch, retiring every verdict; the
+    // decoded-instruction cache must also go, since the same segment
+    // numbers may now name different segments.
     sdw_cache_.Flush();
+    insn_cache_.Flush();
   }
   if (trace_ != nullptr) {
     trace_->Record(TraceEvent{EventKind::kTrapReturn, cycles_, regs_.ipr.ring,
@@ -68,6 +72,7 @@ void Cpu::Rett(const RegisterFile& state) {
 void Cpu::SetDbr(const DbrValue& dbr) {
   regs_.dbr = dbr;
   sdw_cache_.Flush();
+  insn_cache_.Flush();
 }
 
 void Cpu::InjectTrap(TrapCause cause, int64_t code) {
@@ -105,6 +110,9 @@ bool Cpu::FetchSdw(Segno segno, Sdw* out) {
     // intact, so the supervisor can detect and recover from the mismatch.
     fault_injector_->MaybeCorruptSdw(cycles_, segno, &sdw);
   }
+  // Whatever the insert evicts from this slot, the matching verdict slot
+  // can no longer vouch for it (verdict validity implies SDW residency).
+  verdict_cache_.InvalidateSlot(segno % SdwCache::kEntries);
   sdw_cache_.Insert(segno, sdw);
   if (!sdw.present) {
     RaiseTrap(TrapCause::kMissingSegment);
@@ -198,6 +206,7 @@ TrapCause Cpu::SupervisorWrite(Segno segno, Wordno wordno, Ring effective_ring, 
     return cause;
   }
   memory_->Write(addr, value);
+  NoteStore(addr, sdw->access.flags.execute, segno);
   return TrapCause::kNone;
 }
 
@@ -232,6 +241,7 @@ TrapCause Cpu::SupervisorWriteRaw(Segno segno, Wordno wordno, Word value) {
     return cause;
   }
   memory_->Write(addr, value);
+  NoteStore(addr, sdw->access.flags.execute, segno);
   return TrapCause::kNone;
 }
 
@@ -263,6 +273,11 @@ bool Cpu::Step() {
     size_t index = 0;
     if (fault_injector_->MaybeDropCacheEntry(cycles_, SdwCache::kEntries, &index)) {
       sdw_cache_.InvalidateIndex(index);
+      // The dropped register's verdict goes with it; the next reference
+      // takes the slow path and re-walks the descriptor segment, exactly
+      // as it would have without the fast path.
+      verdict_cache_.InvalidateSlot(index);
+      ++counters_.verdict_invalidations;
     }
     if (fault_injector_->MaybeSpuriousMissingPage(cycles_, regs_.ipr.segno,
                                                   regs_.ipr.wordno)) {
@@ -318,15 +333,44 @@ bool Cpu::Step() {
 // ring of execution is matched against the execute bracket and the
 // execute flag is checked.
 bool Cpu::FetchInstruction(Instruction* ins) {
+  const Ring ring = EffectiveRing(regs_.ipr.ring);
+
+  // Fast path: a current verdict proves the SDW cache holds this segment
+  // unchanged and that execution is permitted; a cached decode whose fill
+  // address matches the verdict's base proves the word is the same one
+  // the slow path would fetch. Charge exactly what the slow path charges
+  // on an SDW-cache hit and skip the re-fetch and re-decode. Paged
+  // segments always take the slow path (the per-reference PTW walk is
+  // architectural).
+  if (const VerdictCache::Entry* v = FastVerdict(regs_.ipr.segno, ring);
+      v != nullptr && (!checks_enabled_ || v->execute_ok) && !v->paged &&
+      regs_.ipr.wordno < v->bound) {
+    if (const InsnCache::Entry* cached = insn_cache_.Lookup(regs_.ipr.segno, regs_.ipr.wordno);
+        cached != nullptr && cached->addr == v->base + regs_.ipr.wordno) {
+      ++counters_.verdict_hits;
+      ++counters_.insn_cache_hits;
+      ++counters_.sdw_cache_hits;
+      sdw_cache_.CountHit();
+      if (checks_enabled_) {
+        ++counters_.checks_fetch;
+        cycles_ += cycle_model_.access_check;
+      }
+      ++counters_.memory_reads;
+      cycles_ += cycle_model_.memory_ref;
+      *ins = cached->ins;
+      return true;
+    }
+  }
+
   Sdw sdw;
   if (!FetchSdw(regs_.ipr.segno, &sdw)) {
     return false;
   }
+  FillVerdict(regs_.ipr.segno, ring, sdw);
   if (checks_enabled_) {
     ++counters_.checks_fetch;
     cycles_ += cycle_model_.access_check;
-    if (const auto decision = CheckExecute(sdw.access, EffectiveRing(regs_.ipr.ring));
-        !decision.ok()) {
+    if (const auto decision = CheckExecute(sdw.access, ring); !decision.ok()) {
       RaiseTrap(decision.cause);
       return false;
     }
@@ -344,6 +388,10 @@ bool Cpu::FetchInstruction(Instruction* ins) {
   if (!DecodeInstruction(word, ins)) {
     RaiseTrap(TrapCause::kIllegalOpcode);
     return false;
+  }
+  if (fast_path_enabled_ && sdw_cache_.enabled() && !sdw.paged) {
+    ++counters_.insn_cache_misses;
+    insn_cache_.Put(regs_.ipr.segno, regs_.ipr.wordno, addr, *ins);
   }
   return true;
 }
@@ -385,29 +433,53 @@ bool Cpu::FormEffectiveAddress(const Instruction& ins) {
       RaiseTrap(TrapCause::kIndirectionLimit);
       return false;
     }
-    Sdw sdw;
-    if (!FetchSdw(tpr_.segno, &sdw)) {
-      return false;
-    }
     // "The capability to read an indirect word during effective address
     // formation must be validated before the indirect word is retrieved.
     // Validation is with respect to the value in TPR.RING at the time the
     // indirect word is encountered."
-    if (checks_enabled_) {
-      ++counters_.checks_indirect;
-      cycles_ += cycle_model_.access_check;
-      if (const auto decision = CheckIndirectRead(sdw.access, EffectiveRing(tpr_.ring));
-          !decision.ok()) {
-        RaiseTrap(decision.cause);
+    const Ring ring = EffectiveRing(tpr_.ring);
+    AbsAddr addr = 0;
+    Ring sdw_r1 = 0;
+    const VerdictCache::Entry* v = FastVerdict(tpr_.segno, ring);
+    if (v != nullptr && (!checks_enabled_ || v->indirect_ok)) {
+      // Fast path: skip the SDW fetch and the bracket comparison; the
+      // indirect word itself is still read from the core store below.
+      ++counters_.verdict_hits;
+      ++counters_.sdw_cache_hits;
+      sdw_cache_.CountHit();
+      if (checks_enabled_) {
+        ++counters_.checks_indirect;
+        cycles_ += cycle_model_.access_check;
+      }
+      if (tpr_.wordno >= v->bound) {
+        RaiseTrap(TrapCause::kBoundsViolation);
         return false;
       }
-    }
-    if (!CheckBounds(sdw, tpr_.wordno)) {
-      return false;
-    }
-    AbsAddr addr = 0;
-    if (!ResolveOrFault(sdw, tpr_.segno, tpr_.wordno, &addr)) {
-      return false;
+      if (!FastResolve(*v, tpr_.segno, tpr_.wordno, &addr)) {
+        return false;
+      }
+      sdw_r1 = v->r1;
+    } else {
+      Sdw sdw;
+      if (!FetchSdw(tpr_.segno, &sdw)) {
+        return false;
+      }
+      FillVerdict(tpr_.segno, ring, sdw);
+      if (checks_enabled_) {
+        ++counters_.checks_indirect;
+        cycles_ += cycle_model_.access_check;
+        if (const auto decision = CheckIndirectRead(sdw.access, ring); !decision.ok()) {
+          RaiseTrap(decision.cause);
+          return false;
+        }
+      }
+      if (!CheckBounds(sdw, tpr_.wordno)) {
+        return false;
+      }
+      if (!ResolveOrFault(sdw, tpr_.segno, tpr_.wordno, &addr)) {
+        return false;
+      }
+      sdw_r1 = sdw.access.brackets.r1;
     }
     ++counters_.memory_reads;
     ++counters_.indirect_words;
@@ -430,7 +502,7 @@ bool Cpu::FormEffectiveAddress(const Instruction& ins) {
       // ring number in the indirect word (IND.RING), and the top of the
       // write bracket for the segment containing the indirect word
       // (SDW.R1)."
-      tpr_.ring = MaxRing(tpr_.ring, iw.ring, sdw.access.brackets.r1);
+      tpr_.ring = MaxRing(tpr_.ring, iw.ring, sdw_r1);
     }
     tpr_.segno = iw.segno;
     tpr_.wordno = iw.wordno;
@@ -441,14 +513,39 @@ bool Cpu::FormEffectiveAddress(const Instruction& ins) {
 
 // Figure 6: instructions which read or write their operands.
 bool Cpu::ReadOperand(Word* out) {
+  const Ring ring = EffectiveRing(tpr_.ring);
+  if (const VerdictCache::Entry* v = FastVerdict(tpr_.segno, ring);
+      v != nullptr && (!checks_enabled_ || v->read_ok)) {
+    ++counters_.verdict_hits;
+    ++counters_.sdw_cache_hits;
+    sdw_cache_.CountHit();
+    if (checks_enabled_) {
+      ++counters_.checks_read;
+      cycles_ += cycle_model_.access_check;
+    }
+    if (tpr_.wordno >= v->bound) {
+      RaiseTrap(TrapCause::kBoundsViolation);
+      return false;
+    }
+    AbsAddr addr = 0;
+    if (!FastResolve(*v, tpr_.segno, tpr_.wordno, &addr)) {
+      return false;
+    }
+    ++counters_.memory_reads;
+    cycles_ += cycle_model_.memory_ref;
+    *out = memory_->Read(addr);
+    return true;
+  }
+
   Sdw sdw;
   if (!FetchSdw(tpr_.segno, &sdw)) {
     return false;
   }
+  FillVerdict(tpr_.segno, ring, sdw);
   if (checks_enabled_) {
     ++counters_.checks_read;
     cycles_ += cycle_model_.access_check;
-    if (const auto decision = CheckRead(sdw.access, EffectiveRing(tpr_.ring)); !decision.ok()) {
+    if (const auto decision = CheckRead(sdw.access, ring); !decision.ok()) {
       RaiseTrap(decision.cause);
       return false;
     }
@@ -467,14 +564,40 @@ bool Cpu::ReadOperand(Word* out) {
 }
 
 bool Cpu::WriteOperand(Word value) {
+  const Ring ring = EffectiveRing(tpr_.ring);
+  if (const VerdictCache::Entry* v = FastVerdict(tpr_.segno, ring);
+      v != nullptr && (!checks_enabled_ || v->write_ok)) {
+    ++counters_.verdict_hits;
+    ++counters_.sdw_cache_hits;
+    sdw_cache_.CountHit();
+    if (checks_enabled_) {
+      ++counters_.checks_write;
+      cycles_ += cycle_model_.access_check;
+    }
+    if (tpr_.wordno >= v->bound) {
+      RaiseTrap(TrapCause::kBoundsViolation);
+      return false;
+    }
+    AbsAddr addr = 0;
+    if (!FastResolve(*v, tpr_.segno, tpr_.wordno, &addr)) {
+      return false;
+    }
+    ++counters_.memory_writes;
+    cycles_ += cycle_model_.memory_ref;
+    memory_->Write(addr, value);
+    NoteStore(addr, v->flags_execute, tpr_.segno);
+    return true;
+  }
+
   Sdw sdw;
   if (!FetchSdw(tpr_.segno, &sdw)) {
     return false;
   }
+  FillVerdict(tpr_.segno, ring, sdw);
   if (checks_enabled_) {
     ++counters_.checks_write;
     cycles_ += cycle_model_.access_check;
-    if (const auto decision = CheckWrite(sdw.access, EffectiveRing(tpr_.ring)); !decision.ok()) {
+    if (const auto decision = CheckWrite(sdw.access, ring); !decision.ok()) {
       RaiseTrap(decision.cause);
       return false;
     }
@@ -489,7 +612,46 @@ bool Cpu::WriteOperand(Word value) {
   ++counters_.memory_writes;
   cycles_ += cycle_model_.memory_ref;
   memory_->Write(addr, value);
+  NoteStore(addr, sdw.access.flags.execute, tpr_.segno);
   return true;
+}
+
+bool Cpu::FastResolve(const VerdictCache::Entry& v, Segno segno, Wordno wordno, AbsAddr* out) {
+  if (!v.paged) {
+    *out = v.base + wordno;
+    return true;
+  }
+  // Paged: the page-table walk is architectural, so it is performed (and
+  // charged) exactly as in ResolveAddress — only the SDW fetch and the
+  // bracket comparison were skipped.
+  ++counters_.page_walks;
+  cycles_ += cycle_model_.memory_ref;
+  const Ptw ptw = DecodePtw(memory_->Read(v.base + (wordno >> kPageShift)));
+  if (!ptw.present) {
+    pending_fault_addr_ = SegAddr{segno, wordno};
+    RaiseTrap(TrapCause::kMissingPage);
+    return false;
+  }
+  *out = ptw.frame + (wordno & kPageMask);
+  return true;
+}
+
+void Cpu::NoteStore(AbsAddr addr, bool target_executable, Segno segno) {
+  if (target_executable) {
+    // Self-modifying (or link-snapped) code: drop any cached decodes for
+    // the segment so the next fetch re-reads the stored word.
+    insn_cache_.InvalidateSegment(segno);
+    ++counters_.insn_cache_invalidations;
+  }
+  // A store that lands inside the descriptor segment edits an SDW behind
+  // the processor's associative registers; treat it exactly like a
+  // supervisor InvalidateSdw for the segment whose descriptor pair the
+  // word belongs to.
+  const AbsAddr dseg_base = regs_.dbr.base;
+  if (addr >= dseg_base &&
+      addr < dseg_base + static_cast<AbsAddr>(regs_.dbr.bound) * kSdwPairWords) {
+    InvalidateSdw(static_cast<Segno>((addr - dseg_base) / kSdwPairWords));
+  }
 }
 
 // Figure 7: transfer instructions other than CALL and RETURN. The advance
@@ -497,17 +659,36 @@ bool Cpu::WriteOperand(Word value) {
 // instruction which made the illegal transfer"; a raised effective ring is
 // rejected because these transfers cannot change the ring of execution.
 void Cpu::ExecuteTransfer() {
+  const Ring exec_ring = EffectiveRing(regs_.ipr.ring);
+  const Ring effective =
+      EffectiveRing(mode_ == ProtectionMode::kRingHardware ? tpr_.ring : regs_.ipr.ring);
+  if (const VerdictCache::Entry* v = FastVerdict(tpr_.segno, exec_ring);
+      v != nullptr && (!checks_enabled_ || (effective == exec_ring && v->execute_ok))) {
+    ++counters_.verdict_hits;
+    ++counters_.sdw_cache_hits;
+    sdw_cache_.CountHit();
+    if (checks_enabled_) {
+      ++counters_.checks_transfer;
+      cycles_ += cycle_model_.access_check;
+    }
+    if (tpr_.wordno >= v->bound) {
+      RaiseTrap(TrapCause::kBoundsViolation);
+      return;
+    }
+    regs_.ipr.segno = tpr_.segno;
+    regs_.ipr.wordno = tpr_.wordno;
+    return;
+  }
+
   Sdw sdw;
   if (!FetchSdw(tpr_.segno, &sdw)) {
     return;
   }
+  FillVerdict(tpr_.segno, exec_ring, sdw);
   if (checks_enabled_) {
     ++counters_.checks_transfer;
     cycles_ += cycle_model_.access_check;
-    const Ring effective = mode_ == ProtectionMode::kRingHardware ? tpr_.ring : regs_.ipr.ring;
-    if (const auto decision = CheckTransfer(sdw.access, EffectiveRing(regs_.ipr.ring),
-                                            EffectiveRing(effective));
-        !decision.ok()) {
+    if (const auto decision = CheckTransfer(sdw.access, exec_ring, effective); !decision.ok()) {
       RaiseTrap(decision.cause);
       return;
     }

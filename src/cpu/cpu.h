@@ -13,10 +13,12 @@
 
 #include "src/core/access.h"
 #include "src/core/transfer.h"
+#include "src/cpu/insn_cache.h"
 #include "src/cpu/registers.h"
 #include "src/fault/fault_injector.h"
 #include "src/cpu/sdw_cache.h"
 #include "src/cpu/trap.h"
+#include "src/cpu/verdict_cache.h"
 #include "src/isa/indirect_word.h"
 #include "src/isa/instruction.h"
 #include "src/mem/descriptor_segment.h"
@@ -63,6 +65,21 @@ class Cpu {
   SdwCache& sdw_cache() { return sdw_cache_; }
   const SdwCache& sdw_cache() const { return sdw_cache_; }
 
+  // Host-side fast path: the access-verdict and decoded-instruction
+  // caches. Purely a host optimization — simulated cycles, counters, trap
+  // sequences and the fault-injection stream are bit-identical with the
+  // fast path on or off (tests/integration/fastpath_differential_test.cc).
+  // It also disengages automatically while the SDW cache is disabled, so
+  // the ablation benchmarks measure what they claim to.
+  bool fast_path_enabled() const { return fast_path_enabled_; }
+  void set_fast_path_enabled(bool enabled) {
+    fast_path_enabled_ = enabled;
+    verdict_cache_.Flush();
+    insn_cache_.Flush();
+  }
+  const VerdictCache& verdict_cache() const { return verdict_cache_; }
+  const InsnCache& insn_cache() const { return insn_cache_; }
+
   // Hardware fault injection (nullptr = disabled; the hooks are a single
   // pointer test when off). The injector is consulted at SDW fetch, at
   // instruction boundaries (cache drops, spurious page faults), and when
@@ -93,9 +110,30 @@ class Cpu {
   void SetDbr(const DbrValue& dbr);
 
   // Must be called whenever supervisor code edits an SDW that this
-  // processor may have cached.
-  void InvalidateSdw(Segno segno) { sdw_cache_.Invalidate(segno); }
-  void FlushSdwCache() { sdw_cache_.Flush(); }
+  // processor may have cached. Also drops the derived fast-path state: a
+  // new descriptor may change verdicts, the segment's base, or what the
+  // segment's words decode to.
+  void InvalidateSdw(Segno segno) {
+    sdw_cache_.Invalidate(segno);
+    verdict_cache_.InvalidateSegment(segno);
+    insn_cache_.InvalidateSegment(segno);
+    ++counters_.verdict_invalidations;
+    ++counters_.insn_cache_invalidations;
+  }
+  void FlushSdwCache() {
+    sdw_cache_.Flush();  // epoch bump retires every verdict
+    insn_cache_.Flush();
+    ++counters_.verdict_invalidations;
+    ++counters_.insn_cache_invalidations;
+  }
+
+  // Must be called after memory is written behind the processor's back
+  // (program loading, test pokes, DMA-style stores): any of those words
+  // may be a cached decoded instruction.
+  void FlushInsnCache() {
+    insn_cache_.Flush();
+    ++counters_.insn_cache_invalidations;
+  }
 
   // Injects an asynchronous trap (timer runout, I/O completion) that will
   // be taken before the next instruction. The saved state resumes exactly
@@ -164,6 +202,35 @@ class Cpu {
   bool ReadOperand(Word* out);
   bool WriteOperand(Word value);
 
+  // --- host-side fast path (see DESIGN.md) ---
+
+  // Probes the verdict cache for (segno, effective ring). Non-null only
+  // when the fast path may vouch for the reference: fast path enabled,
+  // SDW cache enabled, entry present with the current flush epoch.
+  const VerdictCache::Entry* FastVerdict(Segno segno, Ring ring) {
+    if (!fast_path_enabled_ || !sdw_cache_.enabled()) {
+      return nullptr;
+    }
+    return verdict_cache_.Lookup(segno, ring, sdw_cache_.flush_epoch());
+  }
+  // Memoizes verdicts after a successful slow-path FetchSdw (which left
+  // the descriptor resident in the SDW cache).
+  void FillVerdict(Segno segno, Ring ring, const Sdw& sdw) {
+    if (!fast_path_enabled_ || !sdw_cache_.enabled()) {
+      return;
+    }
+    ++counters_.verdict_misses;
+    verdict_cache_.Fill(segno, ring, sdw_cache_.flush_epoch(), sdw);
+  }
+  // ResolveOrFault against a verdict entry instead of an SDW; identical
+  // charges, counters and missing-page behavior.
+  bool FastResolve(const VerdictCache::Entry& v, Segno segno, Wordno wordno, AbsAddr* out);
+  // Post-store bookkeeping shared by the guest and supervisor write
+  // paths: invalidates cached decodes when the target is executable, and
+  // snoops stores that land inside the descriptor segment (an SDW edit
+  // the processor may have cached).
+  void NoteStore(AbsAddr addr, bool target_executable, Segno segno);
+
   // CALL / RETURN (Figures 8 and 9).
   void ExecuteCall();
   void ExecuteReturn();
@@ -201,6 +268,9 @@ class Cpu {
   int64_t timer_ = 0;
 
   SdwCache sdw_cache_;
+  bool fast_path_enabled_ = true;
+  VerdictCache verdict_cache_;
+  InsnCache insn_cache_;
   FaultInjector* fault_injector_ = nullptr;
   uint64_t cycles_ = 0;
   Counters counters_;

@@ -1,0 +1,13 @@
+#include "src/cpu/insn_cache.h"
+
+namespace rings {
+
+void InsnCache::InvalidateSegment(Segno segno) {
+  for (Entry& e : entries_) {
+    if (e.gen == gen_ && e.segno == segno) {
+      e.gen = 0;
+    }
+  }
+}
+
+}  // namespace rings

@@ -1,0 +1,67 @@
+// Decoded-instruction cache: skips SDW lookup, validation, bounds, address
+// resolution, the core-store read and the decode when a hot loop re-fetches
+// an instruction it already executed. Entries are keyed by (segno, wordno)
+// plus a generation number; Flush() is a generation bump, so wholesale
+// invalidation (DBR reload, raw pokes into memory) is O(1).
+//
+// Only unpaged segments are cached: an unpaged entry is revalidated by the
+// verdict cache (which proves the SDW is unchanged) plus an absolute-
+// address comparison against the verdict's base, so a remapped or edited
+// descriptor can never revalidate a stale instruction. Paged fetches take
+// the slow path, keeping the per-reference page-table walk — and its
+// cycle charge and missing-page behavior — exactly as the paper requires.
+// Stores into executable segments invalidate by segment number.
+#ifndef SRC_CPU_INSN_CACHE_H_
+#define SRC_CPU_INSN_CACHE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/isa/instruction.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+class InsnCache {
+ public:
+  static constexpr size_t kEntries = 512;
+
+  struct Entry {
+    uint64_t gen = 0;  // valid iff equal to the cache's current generation
+    Segno segno = 0;
+    Wordno wordno = 0;
+    AbsAddr addr = 0;  // absolute address the word was fetched from
+    Instruction ins{};
+  };
+
+  // Pure probe; the caller must additionally verify `addr` against the
+  // current verdict before trusting the entry.
+  const Entry* Lookup(Segno segno, Wordno wordno) const {
+    const Entry& e = entries_[Index(segno, wordno)];
+    if (e.gen == gen_ && e.segno == segno && e.wordno == wordno) {
+      return &e;
+    }
+    return nullptr;
+  }
+
+  void Put(Segno segno, Wordno wordno, AbsAddr addr, const Instruction& ins) {
+    entries_[Index(segno, wordno)] = Entry{gen_, segno, wordno, addr, ins};
+  }
+
+  // A store landed in an executable segment, or its SDW was edited.
+  void InvalidateSegment(Segno segno);
+
+  void Flush() { ++gen_; }
+
+ private:
+  static size_t Index(Segno segno, Wordno wordno) {
+    return (wordno ^ (static_cast<uint32_t>(segno) * 0x9E3779B1u)) & (kEntries - 1);
+  }
+
+  uint64_t gen_ = 1;  // entries zero-initialize to gen 0 == invalid
+  std::array<Entry, kEntries> entries_{};
+};
+
+}  // namespace rings
+
+#endif  // SRC_CPU_INSN_CACHE_H_

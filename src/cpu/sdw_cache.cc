@@ -46,6 +46,7 @@ void SdwCache::InvalidateIndex(size_t index) {
 }
 
 void SdwCache::Flush() {
+  ++flush_epoch_;
   for (Entry& e : entries_) {
     e.valid = false;
   }

@@ -40,6 +40,16 @@ class SdwCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
 
+  // Counts a hit without a lookup: the verdict fast path (src/cpu) proves
+  // residency by invariant instead of probing, but the statistics must
+  // read as if the probe happened.
+  void CountHit() const { ++hits_; }
+
+  // Incremented by every Flush (DBR reload, enable toggle, supervisor
+  // flush). Derived caches stamp entries with this epoch so a flush
+  // invalidates them in O(1).
+  uint64_t flush_epoch() const { return flush_epoch_; }
+
  private:
   struct Entry {
     bool valid = false;
@@ -50,6 +60,7 @@ class SdwCache {
   bool enabled_ = true;
   mutable uint64_t hits_ = 0;
   mutable uint64_t misses_ = 0;
+  uint64_t flush_epoch_ = 0;
   std::array<Entry, kEntries> entries_{};
 };
 

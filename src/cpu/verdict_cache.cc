@@ -1,0 +1,30 @@
+#include "src/cpu/verdict_cache.h"
+
+#include "src/core/access.h"
+
+namespace rings {
+
+void VerdictCache::Fill(Segno segno, Ring ring, uint64_t epoch, const Sdw& sdw) {
+  Entry& e = entries_[segno % kEntries];
+  e.valid = true;
+  e.segno = segno;
+  e.ring = ring;
+  e.epoch = epoch;
+  e.read_ok = CheckRead(sdw.access, ring).ok();
+  e.write_ok = CheckWrite(sdw.access, ring).ok();
+  e.execute_ok = CheckExecute(sdw.access, ring).ok();
+  e.indirect_ok = CheckIndirectRead(sdw.access, ring).ok();
+  e.base = sdw.base;
+  e.bound = sdw.bound;
+  e.paged = sdw.paged;
+  e.flags_execute = sdw.access.flags.execute;
+  e.r1 = sdw.access.brackets.r1;
+}
+
+void VerdictCache::Flush() {
+  for (Entry& e : entries_) {
+    e.valid = false;
+  }
+}
+
+}  // namespace rings

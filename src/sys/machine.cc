@@ -20,6 +20,7 @@ Machine::Machine(MachineConfig config)
       supervisor_(&cpu_, &memory_, &registry_,
                   Supervisor::Options{.quantum = config.quantum, .verbose = false}) {
   cpu_.set_mode(config.mode);
+  cpu_.set_fast_path_enabled(config.fast_path);
   cpu_.set_trace(&trace_);
   supervisor_.set_start_io([this](uint8_t device, Word detail) { StartIo(device, detail); });
   if (config_.fault.enabled) {
@@ -34,7 +35,10 @@ bool Machine::LoadProgram(const Program& program,
                           std::string* error) {
   std::string local_error;
   std::string* err = error != nullptr ? error : &local_error;
-  return registry_.LoadProgram(program, acls, err);
+  const bool ok = registry_.LoadProgram(program, acls, err);
+  // Loading writes segment contents directly into the core store.
+  cpu_.FlushInsnCache();
+  return ok;
 }
 
 bool Machine::LoadProgramSource(std::string_view source,
@@ -165,6 +169,7 @@ bool Machine::PokeSegment(const std::string& name, Wordno wordno, Word value) {
     return false;
   }
   memory_.Write(*addr, value);
+  cpu_.FlushInsnCache();
   return true;
 }
 

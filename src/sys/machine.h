@@ -29,6 +29,10 @@ struct MachineConfig {
   CycleModel cycle_model{};
   int64_t quantum = 5000;
   ProtectionMode mode = ProtectionMode::kRingHardware;
+  // Host-side address-formation fast path (verdict + decoded-instruction
+  // caches). Simulated cycles and counters are bit-identical either way;
+  // off is useful for differential testing and host-cost ablation.
+  bool fast_path = true;
   // Deterministic fault injection (see DESIGN.md, "Fault model &
   // recovery"). Disabled by default; zero overhead when disabled.
   FaultConfig fault{};

@@ -38,6 +38,12 @@ Counters Counters::Since(const Counters& earlier) const {
   d.upward_calls_emulated = upward_calls_emulated - earlier.upward_calls_emulated;
   d.downward_returns_emulated = downward_returns_emulated - earlier.downward_returns_emulated;
   d.argument_words_copied = argument_words_copied - earlier.argument_words_copied;
+  d.verdict_hits = verdict_hits - earlier.verdict_hits;
+  d.verdict_misses = verdict_misses - earlier.verdict_misses;
+  d.verdict_invalidations = verdict_invalidations - earlier.verdict_invalidations;
+  d.insn_cache_hits = insn_cache_hits - earlier.insn_cache_hits;
+  d.insn_cache_misses = insn_cache_misses - earlier.insn_cache_misses;
+  d.insn_cache_invalidations = insn_cache_invalidations - earlier.insn_cache_invalidations;
   d.sdw_recoveries = sdw_recoveries - earlier.sdw_recoveries;
   d.spurious_pages_ignored = spurious_pages_ignored - earlier.spurious_pages_ignored;
   d.machine_faults = machine_faults - earlier.machine_faults;
@@ -58,6 +64,13 @@ std::string Counters::ToString() const {
       static_cast<unsigned long long>(sdw_fetches),
       static_cast<unsigned long long>(sdw_cache_hits),
       static_cast<unsigned long long>(TotalChecks()), static_cast<unsigned long long>(TotalTraps()));
+  if (verdict_hits + verdict_misses + insn_cache_hits + insn_cache_misses != 0) {
+    out += StrFormat(" verdict_hits=%llu verdict_misses=%llu insn_hits=%llu insn_misses=%llu",
+                     static_cast<unsigned long long>(verdict_hits),
+                     static_cast<unsigned long long>(verdict_misses),
+                     static_cast<unsigned long long>(insn_cache_hits),
+                     static_cast<unsigned long long>(insn_cache_misses));
+  }
   for (size_t i = 0; i < traps.size(); ++i) {
     if (traps[i] != 0) {
       out += StrFormat(" %s=%llu", std::string(TrapCauseName(static_cast<TrapCause>(i))).c_str(),

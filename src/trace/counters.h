@@ -45,6 +45,17 @@ struct Counters {
   uint64_t downward_returns_emulated = 0;
   uint64_t argument_words_copied = 0;
 
+  // Host-side fast path (see DESIGN.md, "Address-formation fast path").
+  // These describe host work saved, not simulated events: simulated
+  // cycles and the counters above are bit-identical with the fast path
+  // on or off.
+  uint64_t verdict_hits = 0;
+  uint64_t verdict_misses = 0;          // slow-path reference that filled a verdict
+  uint64_t verdict_invalidations = 0;   // slots dropped (SDW edits, evictions, drops)
+  uint64_t insn_cache_hits = 0;
+  uint64_t insn_cache_misses = 0;       // slow-path fetch that cached its decode
+  uint64_t insn_cache_invalidations = 0;
+
   // Hardened trap paths (see DESIGN.md, "Fault model & recovery").
   uint64_t sdw_recoveries = 0;         // corrupted cached SDW detected, flushed, resumed
   uint64_t spurious_pages_ignored = 0; // missing-page trap with the page already present

@@ -1,0 +1,147 @@
+// SDW-cache invalidation coverage: a store that lands inside the
+// descriptor segment is an SDW edit the processor may have cached, and
+// must drop the cached descriptor (and the verdicts derived from it) on
+// both machines — the ring hardware and the flags-only 645 base. Covers
+// the guest store path (WriteOperand snooping) and the supervisor's
+// virtual-memory write path.
+#include <gtest/gtest.h>
+
+#include "src/mem/sdw.h"
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+// A bare machine where the descriptor segment itself is mapped as a
+// writable data segment ("window"), so guest code can edit SDWs with
+// ordinary stores — exactly the hazard the snoop exists for.
+struct WindowRig {
+  BareMachine m;
+  Segno data = 0;
+  Segno window = 0;
+
+  explicit WindowRig(ProtectionMode mode) {
+    m.cpu().set_mode(mode);
+    data = m.AddSegment({5, 6}, MakeDataSegment(4, 4));
+    Sdw win;
+    win.present = true;
+    win.base = m.dseg().dbr().base;
+    win.bound = static_cast<uint64_t>(m.dseg().dbr().bound) * kSdwPairWords;
+    win.access = MakeDataSegment(4, 4);
+    window = 40;  // a slot the sequential allocator has not handed out
+    m.dseg().Store(window, win);
+    m.cpu().InvalidateSdw(window);
+  }
+
+  // The encoded addressing word of `data`'s SDW with the present bit
+  // cleared.
+  Word NotPresentWord0() {
+    Sdw dead = *m.dseg().Fetch(data);
+    dead.present = false;
+    Word w0 = 0;
+    Word w1 = 0;
+    EncodeSdw(dead, &w0, &w1);
+    return w0;
+  }
+};
+
+// Guest code reads `data` (caching its SDW and verdict), stores a
+// not-present SDW over data's descriptor through the window, then reads
+// again: the read must see the edit and trap, not the stale cached SDW.
+void GuestStoreDropsCachedSdw(ProtectionMode mode) {
+  WindowRig rig(mode);
+  const Segno code = rig.m.AddCode(
+      {
+          MakeInsPr(Opcode::kLda, 2, 0),
+          MakeInsPr(Opcode::kLda, 2, 1),  // second read: SDW-cache hit
+          MakeInsPr(Opcode::kSta, 3, static_cast<int32_t>(rig.data) * kSdwPairWords),
+          MakeInsPr(Opcode::kLda, 2, 0),
+      },
+      // Execute bracket reaching ring 0: the 645 base validates at ring 0.
+      MakeProcedureSegment(0, 4));
+  rig.m.SetIpr(4, code, 0);
+  rig.m.SetPr(2, 4, rig.data, 0);
+  rig.m.SetPr(3, 4, rig.window, 0);
+
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.cpu().regs().a, 5u);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  const uint64_t hits_before = rig.m.cpu().counters().sdw_cache_hits;
+  EXPECT_GT(hits_before, 0u);  // data's SDW really is cached
+
+  rig.m.cpu().regs().a = rig.NotPresentWord0();
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);  // the SDW edit lands
+
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kMissingSegment);
+}
+
+TEST(SdwInvalidate, GuestStoreDropsCachedSdwRingHardware) {
+  GuestStoreDropsCachedSdw(ProtectionMode::kRingHardware);
+}
+
+TEST(SdwInvalidate, GuestStoreDropsCachedSdw645) {
+  GuestStoreDropsCachedSdw(ProtectionMode::kFlags645);
+}
+
+// Same hazard through the supervisor's virtual-memory write path
+// (SupervisorWriteRaw is how supervisor services edit arbitrary words).
+void SupervisorStoreDropsCachedSdw(ProtectionMode mode) {
+  WindowRig rig(mode);
+  const Segno code = rig.m.AddCode(
+      {
+          MakeInsPr(Opcode::kLda, 2, 0),
+          MakeInsPr(Opcode::kLda, 2, 1),
+      },
+      MakeProcedureSegment(0, 4));
+  rig.m.SetIpr(4, code, 0);
+  rig.m.SetPr(2, 4, rig.data, 0);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);  // SDW + verdict cached
+
+  EXPECT_EQ(rig.m.cpu().SupervisorWriteRaw(
+                rig.window, static_cast<Wordno>(rig.data) * kSdwPairWords,
+                rig.NotPresentWord0()),
+            TrapCause::kNone);
+
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kMissingSegment);
+}
+
+TEST(SdwInvalidate, SupervisorStoreDropsCachedSdwRingHardware) {
+  SupervisorStoreDropsCachedSdw(ProtectionMode::kRingHardware);
+}
+
+TEST(SdwInvalidate, SupervisorStoreDropsCachedSdw645) {
+  SupervisorStoreDropsCachedSdw(ProtectionMode::kFlags645);
+}
+
+// A store into the descriptor segment that restricts access must also
+// retire the verdict cache's memo of the old access — the next reference
+// must be re-validated against the edited SDW, not the stale verdict.
+TEST(SdwInvalidate, DescriptorStoreRetiresVerdicts) {
+  WindowRig rig(ProtectionMode::kRingHardware);
+  // Re-encode data's SDW with the read flag off (still present).
+  Sdw shut = *rig.m.dseg().Fetch(rig.data);
+  shut.access.flags.read = false;
+  Word w0 = 0;
+  Word w1 = 0;
+  EncodeSdw(shut, &w0, &w1);
+
+  const Segno code = rig.m.AddCode(
+      {
+          MakeInsPr(Opcode::kLda, 2, 0),
+          MakeInsPr(Opcode::kSta, 3,
+                    static_cast<int32_t>(rig.data) * kSdwPairWords + 1),  // access word
+          MakeInsPr(Opcode::kLda, 2, 0),
+      },
+      MakeProcedureSegment(4, 4));
+  rig.m.SetIpr(4, code, 0);
+  rig.m.SetPr(2, 4, rig.data, 0);
+  rig.m.SetPr(3, 4, rig.window, 0);
+
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);  // read verdict is warm
+  rig.m.cpu().regs().a = w1;
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kNone);
+  EXPECT_EQ(rig.m.StepTrap(), TrapCause::kReadViolation);
+}
+
+}  // namespace
+}  // namespace rings

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "src/cpu/verdict_cache.h"
 #include "src/fault/fault_injector.h"
 #include "src/mem/page_table.h"
 #include "src/sup/audit.h"
@@ -145,6 +146,16 @@ void RunSoak(uint64_t seed) {
   EXPECT_GT(machine.audit_runs(), 0u);
   EXPECT_GE(machine.cpu().counters().TrapCount(TrapCause::kTimerRunout), kTargetQuanta);
 
+  // ...including the fast path: the hot loops ran on cached verdicts, the
+  // injected SDW corruption and cache drops retired them (recovery fills
+  // fresh verdicts from re-fetched descriptors), and the whole soak still
+  // audits clean with the caches engaged.
+  EXPECT_GT(machine.cpu().counters().verdict_hits, 0u);
+  EXPECT_GT(machine.cpu().counters().verdict_misses, 0u);
+  EXPECT_GT(machine.cpu().counters().verdict_invalidations, 0u);
+  EXPECT_GT(machine.cpu().counters().insn_cache_hits, 0u);
+  EXPECT_GT(machine.cpu().counters().sdw_recoveries, 0u);
+
   // ...every death is attributed (no process silently disappeared)...
   for (const auto& process : machine.supervisor().processes()) {
     if (process->state == ProcessState::kKilled) {
@@ -169,6 +180,60 @@ void RunSoak(uint64_t seed) {
 TEST(FaultSoak, SeedA) { ASSERT_NO_FATAL_FAILURE(RunSoak(0xA11CE)); }
 TEST(FaultSoak, SeedB) { ASSERT_NO_FATAL_FAILURE(RunSoak(0xB0B)); }
 TEST(FaultSoak, SeedC) { ASSERT_NO_FATAL_FAILURE(RunSoak(0xCAFE)); }
+
+// The injector's restriction-only guarantee, pinned against the verdict
+// cache: a verdict filled from a corrupted SDW may only DENY accesses the
+// clean descriptor would allow, never the reverse. (A corruption that
+// widened a verdict would be a silently-granted capability — the failure
+// class DESIGN.md rules out of scope for software above the TCB.)
+TEST(FaultSoak, CorruptionOnlyRestrictsVerdicts) {
+  FaultConfig config;
+  config.set_rate(FaultSite::kSdwCorruption, 1'000'000);  // always inject
+  FaultInjector injector(config);
+
+  const SegmentAccess shapes[] = {
+      MakeDataSegment(2, 4),          MakeDataSegment(4, 4),
+      MakeReadOnlyDataSegment(5),     MakeProcedureSegment(0, 4),
+      MakeProcedureSegment(2, 3),     MakeProcedureSegment(2, 2, 5, 1),
+      MakeStackSegment(4),
+  };
+  uint64_t corrupted = 0;
+  for (int round = 0; round < 64; ++round) {
+    for (const SegmentAccess& access : shapes) {
+      Sdw clean;
+      clean.present = true;
+      clean.base = 1000 + round;
+      clean.bound = 64;
+      clean.access = access;
+      Sdw damaged = clean;
+      if (!injector.MaybeCorruptSdw(/*cycle=*/round, /*segno=*/9, &damaged)) {
+        continue;
+      }
+      ++corrupted;
+
+      VerdictCache clean_cache;
+      VerdictCache damaged_cache;
+      for (Ring ring = 0; ring <= kMaxRing; ++ring) {
+        clean_cache.Fill(9, ring, 1, clean);
+        damaged_cache.Fill(9, ring, 1, damaged);
+        const VerdictCache::Entry* c = clean_cache.Lookup(9, ring, 1);
+        const VerdictCache::Entry* d = damaged_cache.Lookup(9, ring, 1);
+        ASSERT_NE(c, nullptr);
+        ASSERT_NE(d, nullptr);
+        // Every verdict the damaged descriptor allows, the clean one
+        // already allowed.
+        EXPECT_TRUE(!d->read_ok || c->read_ok) << "ring " << unsigned(ring);
+        EXPECT_TRUE(!d->write_ok || c->write_ok) << "ring " << unsigned(ring);
+        EXPECT_TRUE(!d->execute_ok || c->execute_ok) << "ring " << unsigned(ring);
+        EXPECT_TRUE(!d->indirect_ok || c->indirect_ok) << "ring " << unsigned(ring);
+        // Addressing may only shrink, never grow or move.
+        EXPECT_EQ(d->base, c->base);
+        EXPECT_LE(d->bound, c->bound);
+      }
+    }
+  }
+  EXPECT_GT(corrupted, 0u);
+}
 
 }  // namespace
 }  // namespace rings

@@ -60,10 +60,12 @@ class BareMachine {
     return AddSegment(words, access);
   }
 
-  // Rewrites one word of a segment.
+  // Rewrites one word of a segment (behind the processor's back, so any
+  // cached decode of that word must go).
   void Poke(Segno segno, Wordno wordno, Word value) {
     const Sdw sdw = *dseg_->Fetch(segno);
     memory_.Write(sdw.base + wordno, value);
+    cpu_->FlushInsnCache();
   }
 
   Word Peek(Segno segno, Wordno wordno) {

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the ring-hardware simulator.
+
+The gate compares *simulated* per-operation costs — benchmark counters
+prefixed ``sim_`` (e.g. ``sim_cycles_per_call`` from bench_fig8_call,
+``sim_cycles_per_return`` from bench_fig9_return). These are deterministic
+properties of the simulated machine's cycle model, so they must match the
+committed baseline exactly (up to float formatting); any drift means the
+change altered the cost of a ring crossing and must either be fixed or
+acknowledged by regenerating the baseline. Host wall-clock (``real_time``)
+is recorded in the merged artifact for humans but is NOT gated — it varies
+by host.
+
+Usage:
+
+  # CI / local check: compare google-benchmark JSON outputs against the
+  # committed baseline, and merge them into one artifact for upload.
+  tools/bench_check.py check --baseline BENCH_baseline.json \
+      --merge-out BENCH_pr.json fig8.json fig9.json
+
+  # Regenerate the baseline after an *intentional* cycle-model change:
+  cd build
+  ./bench/bench_fig8_call --benchmark_out=fig8.json --benchmark_out_format=json
+  ./bench/bench_fig9_return --benchmark_out=fig9.json --benchmark_out_format=json
+  cd ..
+  tools/bench_check.py update --baseline BENCH_baseline.json \
+      build/fig8.json build/fig9.json
+
+Exit status: 0 on pass, 1 on drift or missing benchmarks, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+# Relative tolerance for comparing simulated costs. The values are
+# deterministic; the tolerance only absorbs double formatting round trips
+# through JSON.
+REL_TOLERANCE = 1e-9
+
+
+def load_results(paths):
+    """Merge google-benchmark JSON files into {name: {real_time, time_unit, sim}}."""
+    merged = {}
+    for path in paths:
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, ValueError) as e:
+            sys.exit(f"bench_check: cannot read {path}: {e}")
+        for bench in data.get("benchmarks", []):
+            # Skip mean/median/stddev rows from --benchmark_repetitions.
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench["name"]
+            sim = {k: v for k, v in bench.items() if k.startswith("sim_")}
+            merged[name] = {
+                "real_time": bench.get("real_time"),
+                "cpu_time": bench.get("cpu_time"),
+                "time_unit": bench.get("time_unit"),
+                "sim": sim,
+            }
+    return merged
+
+
+def drifted(baseline_value, pr_value):
+    scale = max(abs(baseline_value), abs(pr_value), 1.0)
+    return abs(baseline_value - pr_value) > REL_TOLERANCE * scale
+
+
+def cmd_check(args):
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["benchmarks"]
+    except (OSError, ValueError, KeyError) as e:
+        sys.exit(f"bench_check: cannot read baseline {args.baseline}: {e}")
+    results = load_results(args.results)
+
+    if args.merge_out:
+        with open(args.merge_out, "w") as f:
+            json.dump({"benchmarks": results}, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    failures = []
+    for name, expected in sorted(baseline.items()):
+        got = results.get(name)
+        if got is None:
+            failures.append(f"  {name}: benchmark missing from results")
+            continue
+        for counter, expected_value in sorted(expected.items()):
+            actual = got["sim"].get(counter)
+            if actual is None:
+                failures.append(f"  {name}: counter {counter} missing")
+            elif drifted(expected_value, actual):
+                failures.append(
+                    f"  {name}: {counter} drifted: baseline {expected_value!r}"
+                    f" vs result {actual!r}"
+                )
+            else:
+                print(f"ok: {name}: {counter} = {actual}")
+
+    if failures:
+        print("\nbench_check: simulated-cost drift detected:", file=sys.stderr)
+        for line in failures:
+            print(line, file=sys.stderr)
+        print(
+            "\nIf the drift is an intentional cycle-model change, regenerate the\n"
+            "baseline (see tools/bench_check.py --help) and commit it with the\n"
+            "change that explains it.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench_check: {len(baseline)} benchmark(s) match the baseline")
+    return 0
+
+
+def cmd_update(args):
+    results = load_results(args.results)
+    benchmarks = {
+        name: entry["sim"] for name, entry in sorted(results.items()) if entry["sim"]
+    }
+    if not benchmarks:
+        sys.exit("bench_check: no sim_* counters found; nothing to baseline")
+    payload = {
+        "comment": (
+            "Deterministic simulated-cost baseline for the CI bench gate. "
+            "Values are simulated cycles/instructions, not wall-clock. "
+            "Regenerate with tools/bench_check.py update (see its --help)."
+        ),
+        "benchmarks": benchmarks,
+    }
+    with open(args.baseline, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_check: wrote {args.baseline} with {len(benchmarks)} benchmark(s)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="compare results against the baseline")
+    check.add_argument("--baseline", required=True)
+    check.add_argument("--merge-out", help="write merged results (CI artifact)")
+    check.add_argument("results", nargs="+", help="google-benchmark JSON files")
+    check.set_defaults(func=cmd_check)
+
+    update = sub.add_parser("update", help="regenerate the baseline")
+    update.add_argument("--baseline", required=True)
+    update.add_argument("results", nargs="+", help="google-benchmark JSON files")
+    update.set_defaults(func=cmd_update)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

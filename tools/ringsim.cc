@@ -11,6 +11,9 @@
 //                    N parts per million per opportunity
 //   --fault-seed=N   fault-injection RNG seed (default 1); a (seed, rate)
 //                    pair replays exactly
+//   --no-fastpath    disable the host-side verdict/decoded-instruction
+//                    caches (simulated cycles are identical either way)
+//   --stats          print the processor's event counters after the run
 //
 // The program file carries its own manifest in `;;` directive lines
 // (ordinary `;` comments to the assembler):
@@ -156,8 +159,8 @@ Manifest ParseManifest(const std::string& source) {
   return manifest;
 }
 
-int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max_cycles,
-        const FaultConfig& fault) {
+int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_path, bool stats,
+        uint64_t max_cycles, const FaultConfig& fault) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "ringsim: cannot open %s\n", path.c_str());
@@ -189,6 +192,7 @@ int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max
 
   MachineConfig config;
   config.fault = fault;
+  config.fast_path = fast_path;
   Machine machine(config);
   if (!machine.ok()) {
     std::fprintf(stderr, "ringsim: machine construction failed\n");
@@ -248,6 +252,9 @@ int Run(const std::string& path, bool list, bool trace, bool audit, uint64_t max
       }
     }
   }
+  if (stats) {
+    std::printf("counters: %s\n", machine.cpu().counters().ToString().c_str());
+  }
   std::printf("%s\n", result.ToString().c_str());
   int exit_code = 0;
   for (const Process* p : processes) {
@@ -285,12 +292,14 @@ int main(int argc, char** argv) {
   bool list = false;
   bool trace = false;
   bool audit = false;
+  bool fast_path = true;
+  bool stats = false;
   uint64_t max_cycles = 100'000'000;
   uint64_t fault_seed = 1;
   uint32_t fault_rate = 0;
   std::string path;
   constexpr char kUsage[] =
-      "usage: ringsim [--list] [--trace] [--audit] [--max-cycles=N]\n"
+      "usage: ringsim [--list] [--trace] [--audit] [--stats] [--no-fastpath] [--max-cycles=N]\n"
       "               [--fault-rate=PPM] [--fault-seed=N] program.asm\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -300,6 +309,10 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--no-fastpath") {
+      fast_path = false;
+    } else if (arg == "--stats") {
+      stats = true;
     } else if (arg.rfind("--max-cycles=", 0) == 0) {
       if (!rings::ParseU64(arg.c_str() + 13, &max_cycles)) {
         std::fprintf(stderr, "ringsim: %s: not a number\n", arg.c_str());
@@ -332,5 +345,5 @@ int main(int argc, char** argv) {
     return 2;
   }
   const rings::FaultConfig fault = rings::FaultConfig::Uniform(fault_seed, fault_rate);
-  return rings::Run(path, list, trace, audit, max_cycles, fault);
+  return rings::Run(path, list, trace, audit, fast_path, stats, max_cycles, fault);
 }
