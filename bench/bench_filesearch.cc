@@ -184,12 +184,31 @@ struct SearchCost {
   int64_t result = 0;
 };
 
-SearchCost RunSearchHardware(const std::string& source, const char* svc_seg, int n) {
-  Machine machine;
+// A loaded, started (but not yet run) search machine. `paged` backs the
+// protected directory with a demand-paged segment (prefilled), so every
+// service-side probe takes a page-table walk — the workload the software
+// TLB memoizes.
+struct SearchRig {
+  std::unique_ptr<Machine> machine;
+  Process* process = nullptr;
+};
+
+SearchRig SetupSearchHardware(const std::string& source, const char* svc_seg, int n,
+                              bool paged = false, bool fast_path = true) {
+  MachineConfig config;
+  config.fast_path = fast_path;
+  SearchRig rig;
+  rig.machine = std::make_unique<Machine>(config);
+  Machine& machine = *rig.machine;
   // The directory must exist before the program so .its patches resolve.
-  machine.registry().CreateSegmentWithContents(
-      "directory", MakeDirectory(n), 0, 0,
-      AccessControlList::Public(MakeReadOnlyDataSegment(1)));  // rings 0..1 only
+  const AccessControlList dir_acl =
+      AccessControlList::Public(MakeReadOnlyDataSegment(1));  // rings 0..1 only
+  if (paged) {
+    machine.registry().CreatePagedSegment("directory", 2 * static_cast<uint64_t>(n), dir_acl,
+                                          /*populate=*/true, MakeDirectory(n));
+  } else {
+    machine.registry().CreateSegmentWithContents("directory", MakeDirectory(n), 0, 0, dir_acl);
+  }
   std::map<std::string, AccessControlList> acls;
   acls[svc_seg] = AccessControlList::Public(MakeProcedureSegment(1, 1, 5, 1));
   acls["svcdata"] = AccessControlList::Public(MakeDataSegment(1, 1));
@@ -200,18 +219,30 @@ SearchCost RunSearchHardware(const std::string& source, const char* svc_seg, int
     std::fprintf(stderr, "filesearch setup failed: %s\n", error.c_str());
     std::abort();
   }
-  Process* p = machine.Login("bench");
-  machine.supervisor().InitiateAll(p);
-  machine.Start(p, "main", "start", kUserRing);
-  machine.Run(1'000'000'000);
+  rig.process = machine.Login("bench");
+  machine.supervisor().InitiateAll(rig.process);
+  machine.Start(rig.process, "main", "start", kUserRing);
+  return rig;
+}
+
+SearchCost FinishSearch(SearchRig& rig) {
+  rig.machine->Run(1'000'000'000);
+  Process* p = rig.process;
   if (p->state != ProcessState::kExited) {
     std::fprintf(stderr, "filesearch killed: %s at %u|%u\n",
                  std::string(TrapCauseName(p->kill_cause)).c_str(), p->kill_pc.segno,
                  p->kill_pc.wordno);
     std::abort();
   }
-  return SearchCost{machine.cpu().cycles(), machine.cpu().counters().calls_downward,
-                    machine.cpu().counters().TotalTraps(), p->exit_code};
+  return SearchCost{rig.machine->cpu().cycles(),
+                    rig.machine->cpu().counters().calls_downward,
+                    rig.machine->cpu().counters().TotalTraps(), p->exit_code};
+}
+
+SearchCost RunSearchHardware(const std::string& source, const char* svc_seg, int n,
+                             bool paged = false, bool fast_path = true) {
+  SearchRig rig = SetupSearchHardware(source, svc_seg, n, paged, fast_path);
+  return FinishSearch(rig);
 }
 
 SearchCost RunSearch645(int n) {
@@ -274,12 +305,44 @@ void PrintReport() {
               "  privilege'.\n");
 }
 
-void BM_LibrarySearchHw(benchmark::State& state) {
+// Host-time cost of the library-structured search (one crossing per
+// probe), machine.Run() only; the paged variants put the directory
+// behind a page table, so they additionally measure the software TLB.
+// The sim_* counters are deterministic and gated by tools/bench_check.py.
+void LibrarySearchLoop(benchmark::State& state, bool paged, bool fast_path) {
+  constexpr int kEntries = 64;
+  const std::string source = LibrarySource(kEntries);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunSearchHardware(LibrarySource(64), "rdsvc", 64));
+    state.PauseTiming();
+    SearchRig rig = SetupSearchHardware(source, "rdsvc", kEntries, paged, fast_path);
+    state.ResumeTiming();
+    rig.machine->Run(1'000'000'000);
+    benchmark::DoNotOptimize(rig.machine->cpu().cycles());
+    state.PauseTiming();
+    if (rig.process->state != ProcessState::kExited) {
+      std::fprintf(stderr, "filesearch bench killed: %s\n",
+                   std::string(TrapCauseName(rig.process->kill_cause)).c_str());
+      std::abort();
+    }
+    rig.machine.reset();  // destruction stays untimed too
+    state.ResumeTiming();
   }
+  const SearchCost sim = RunSearchHardware(source, "rdsvc", kEntries, paged, fast_path);
+  state.counters["sim_cycles"] = static_cast<double>(sim.cycles);
+  state.counters["sim_crossings"] = static_cast<double>(sim.crossings);
+  state.counters["sim_traps"] = static_cast<double>(sim.traps);
+}
+
+void BM_LibrarySearchHw(benchmark::State& state) { LibrarySearchLoop(state, false, true); }
+void BM_LibrarySearchHwPagedDir(benchmark::State& state) {
+  LibrarySearchLoop(state, true, true);
+}
+void BM_LibrarySearchHwPagedDir_NoFastPath(benchmark::State& state) {
+  LibrarySearchLoop(state, true, false);
 }
 BENCHMARK(BM_LibrarySearchHw)->Iterations(5);
+BENCHMARK(BM_LibrarySearchHwPagedDir)->Iterations(5);
+BENCHMARK(BM_LibrarySearchHwPagedDir_NoFastPath)->Iterations(5);
 
 }  // namespace
 }  // namespace rings

@@ -3,6 +3,13 @@
 // story. Measures what the page-table walk costs per reference, and what
 // a demand-zero page fault costs end to end (trap + supervisor fill +
 // resumed instruction).
+//
+// The BM_Sum* wall-clock benchmarks additionally isolate what the
+// software TLB buys the host: machine construction and assembly stay
+// outside the timed region, so paged-vs-unpaged and fast-path-on-vs-off
+// compare machine.Run() alone. The attached sim_* counters are
+// deterministic and gated by tools/bench_check.py; the simulated cycle
+// counts are identical with the fast path on or off.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
@@ -11,9 +18,19 @@
 namespace rings {
 namespace {
 
-// The same summing workload over an unpaged vs paged data segment.
-RunCost RunSum(bool paged, bool populate) {
-  Machine machine;
+// The same summing workload over an unpaged vs paged data segment,
+// loaded and started but not yet run.
+struct SumRig {
+  std::unique_ptr<Machine> machine;
+  Process* process = nullptr;
+};
+
+SumRig SetupSum(bool paged, bool populate, bool fast_path) {
+  MachineConfig config;
+  config.fast_path = fast_path;
+  SumRig rig;
+  rig.machine = std::make_unique<Machine>(config);
+  Machine& machine = *rig.machine;
   std::map<std::string, AccessControlList> acls;
   acls["main"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
   acls["scratch"] = AccessControlList::Public(MakeDataSegment(4, 4));
@@ -46,19 +63,28 @@ dp:     .its  4, data, 0
     std::fprintf(stderr, "paging bench setup failed: %s\n", error.c_str());
     std::abort();
   }
-  Process* p = machine.Login("bench");
-  machine.supervisor().InitiateAll(p);
-  machine.Start(p, "main", "start", kUserRing);
+  rig.process = machine.Login("bench");
+  machine.supervisor().InitiateAll(rig.process);
+  machine.Start(rig.process, "main", "start", kUserRing);
   // PR2 -> data segment.
-  p->saved_regs.pr[2] =
+  rig.process->saved_regs.pr[2] =
       PointerRegister{kUserRing, machine.registry().Find("data")->segno, 0};
-  machine.Run(1'000'000'000);
-  if (p->state != ProcessState::kExited) {
+  return rig;
+}
+
+RunCost FinishSum(SumRig& rig) {
+  rig.machine->Run(1'000'000'000);
+  if (rig.process->state != ProcessState::kExited) {
     std::fprintf(stderr, "paging bench killed: %s\n",
-                 std::string(TrapCauseName(p->kill_cause)).c_str());
+                 std::string(TrapCauseName(rig.process->kill_cause)).c_str());
     std::abort();
   }
-  return RunCost{machine.cpu().cycles(), machine.cpu().counters()};
+  return RunCost{rig.machine->cpu().cycles(), rig.machine->cpu().counters()};
+}
+
+RunCost RunSum(bool paged, bool populate, bool fast_path = true) {
+  SumRig rig = SetupSum(paged, populate, fast_path);
+  return FinishSum(rig);
 }
 
 void PrintReport() {
@@ -101,12 +127,44 @@ void PrintReport() {
               static_cast<unsigned long long>(demand.counters.TotalChecks()));
 }
 
-void BM_PagedStore(benchmark::State& state) {
+// Host-time cost of one full summing run, machine.Run() only. The sim_*
+// counters come from one extra deterministic run of the same
+// configuration; tools/bench_check.py gates CI on them (and on the
+// invariant that sim_cycles does not depend on the fast path).
+void SumLoop(benchmark::State& state, bool paged, bool populate, bool fast_path) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunSum(state.range(0) != 0, true));
+    state.PauseTiming();
+    SumRig rig = SetupSum(paged, populate, fast_path);
+    state.ResumeTiming();
+    rig.machine->Run(1'000'000'000);
+    benchmark::DoNotOptimize(rig.machine->cpu().cycles());
+    state.PauseTiming();
+    if (rig.process->state != ProcessState::kExited) {
+      std::fprintf(stderr, "paging bench killed: %s\n",
+                   std::string(TrapCauseName(rig.process->kill_cause)).c_str());
+      std::abort();
+    }
+    rig.machine.reset();  // destruction stays untimed too
+    state.ResumeTiming();
   }
+  const RunCost sim = RunSum(paged, populate, fast_path);
+  state.counters["sim_cycles"] = static_cast<double>(sim.cycles);
+  state.counters["sim_page_walks"] = static_cast<double>(sim.counters.page_walks);
+  state.counters["sim_checks"] = static_cast<double>(sim.counters.TotalChecks());
+  state.counters["sim_pages_supplied"] = static_cast<double>(sim.counters.pages_supplied);
+  state.counters["sim_tlb_hits"] = static_cast<double>(sim.counters.tlb_hits);
 }
-BENCHMARK(BM_PagedStore)->Arg(0)->Arg(1)->Iterations(3);
+
+void BM_SumUnpaged(benchmark::State& state) { SumLoop(state, false, true, true); }
+void BM_SumUnpaged_NoFastPath(benchmark::State& state) { SumLoop(state, false, true, false); }
+void BM_SumPaged(benchmark::State& state) { SumLoop(state, true, true, true); }
+void BM_SumPaged_NoFastPath(benchmark::State& state) { SumLoop(state, true, true, false); }
+void BM_SumDemandZero(benchmark::State& state) { SumLoop(state, true, false, true); }
+BENCHMARK(BM_SumUnpaged)->Iterations(20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SumUnpaged_NoFastPath)->Iterations(20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SumPaged)->Iterations(20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SumPaged_NoFastPath)->Iterations(20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SumDemandZero)->Iterations(20)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace rings

@@ -49,9 +49,11 @@ bool B645Machine::LoadProgram(const Program& program,
   }
   if (!registry_.LoadProgram(program, acls, err)) {
     cpu_.FlushInsnCache();
+    cpu_.FlushTlb();
     return false;
   }
   cpu_.FlushInsnCache();
+  cpu_.FlushTlb();
   for (const AssembledSegment& seg : program.segments) {
     const RegisteredSegment* reg = registry_.Find(seg.name);
     SegmentAccess access = ring_specs.at(seg.name);
@@ -81,6 +83,7 @@ bool B645Machine::PokeWordForTest(const std::string& name, Wordno wordno, Word v
   }
   memory_.Write(seg->base + wordno, value);
   cpu_.FlushInsnCache();
+  cpu_.FlushTlb();
   return true;
 }
 

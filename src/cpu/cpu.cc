@@ -57,10 +57,11 @@ void Cpu::Rett(const RegisterFile& state) {
   cycles_ += cycle_model_.rett;
   if (dbr_changed) {
     // The flush bumps the SDW-cache epoch, retiring every verdict; the
-    // decoded-instruction cache must also go, since the same segment
-    // numbers may now name different segments.
+    // decoded-instruction cache and the TLB must also go, since the same
+    // segment numbers may now name different segments.
     sdw_cache_.Flush();
     insn_cache_.Flush();
+    tlb_.Flush();
   }
   if (trace_ != nullptr) {
     trace_->Record(TraceEvent{EventKind::kTrapReturn, cycles_, regs_.ipr.ring,
@@ -73,6 +74,7 @@ void Cpu::SetDbr(const DbrValue& dbr) {
   regs_.dbr = dbr;
   sdw_cache_.Flush();
   insn_cache_.Flush();
+  tlb_.Flush();
 }
 
 void Cpu::InjectTrap(TrapCause cause, int64_t code) {
@@ -108,7 +110,13 @@ bool Cpu::FetchSdw(Segno segno, Sdw* out) {
     // Injected bit damage lands in the fetched copy (and thus the cache),
     // never in the descriptor segment itself: the authoritative SDW stays
     // intact, so the supervisor can detect and recover from the mismatch.
-    fault_injector_->MaybeCorruptSdw(cycles_, segno, &sdw);
+    if (fault_injector_->MaybeCorruptSdw(cycles_, segno, &sdw)) {
+      // Translations memoized for this segment were derived through the
+      // clean descriptor; they must not survive alongside the damaged
+      // copy about to be cached.
+      tlb_.InvalidateSegment(segno);
+      ++counters_.tlb_invalidations;
+    }
   }
   // Whatever the insert evicts from this slot, the matching verdict slot
   // can no longer vouch for it (verdict validity implies SDW residency).
@@ -139,12 +147,34 @@ TrapCause Cpu::ResolveAddress(const Sdw& sdw, Segno segno, Wordno wordno, AbsAdd
     *out = sdw.base + wordno;
     return TrapCause::kNone;
   }
+  return WalkPageTable(sdw.base, segno, wordno, out);
+}
+
+TrapCause Cpu::WalkPageTable(AbsAddr table_base, Segno segno, Wordno wordno, AbsAddr* out) {
+  // The walk's simulated cost is charged unconditionally: whether the
+  // translation comes from the TLB or from the PTW read below, the
+  // simulated machine performed one page-table reference.
   ++counters_.page_walks;
   cycles_ += cycle_model_.memory_ref;
-  const Ptw ptw = DecodePtw(memory_->Read(sdw.base + (wordno >> kPageShift)));
+  const uint64_t pageno = wordno >> kPageShift;
+  if (TlbEnabled()) {
+    if (const Tlb::Entry* t = tlb_.Lookup(segno, pageno, table_base)) {
+      ++counters_.tlb_hits;
+      *out = t->frame + (wordno & kPageMask);
+      return TrapCause::kNone;
+    }
+    ++counters_.tlb_misses;
+  }
+  const Ptw ptw = DecodePtw(memory_->Read(table_base + pageno));
   if (!ptw.present) {
     pending_fault_addr_ = SegAddr{segno, wordno};
     return TrapCause::kMissingPage;
+  }
+  if (TlbEnabled()) {
+    // Only present pages are memoized, and only after the Read above
+    // succeeded — so a later TLB hit can never skip a read the slow path
+    // would have faulted on, and missing-page traps always re-walk.
+    tlb_.Fill(segno, pageno, table_base, ptw.frame);
   }
   *out = ptw.frame + (wordno & kPageMask);
   return TrapCause::kNone;
@@ -272,10 +302,15 @@ bool Cpu::Step() {
   if (fault_injector_ != nullptr) {
     size_t index = 0;
     if (fault_injector_->MaybeDropCacheEntry(cycles_, SdwCache::kEntries, &index)) {
+      // The dropped register's verdict goes with it, as do any TLB
+      // translations derived through the descriptor it held; the next
+      // reference takes the slow path and re-walks the descriptor
+      // segment, exactly as it would have without the fast path.
+      if (const auto dropped = sdw_cache_.SegnoAtIndex(index); dropped.has_value()) {
+        tlb_.InvalidateSegment(*dropped);
+        ++counters_.tlb_invalidations;
+      }
       sdw_cache_.InvalidateIndex(index);
-      // The dropped register's verdict goes with it; the next reference
-      // takes the slow path and re-walks the descriptor segment, exactly
-      // as it would have without the fast path.
       verdict_cache_.InvalidateSlot(index);
       ++counters_.verdict_invalidations;
     }
@@ -337,16 +372,32 @@ bool Cpu::FetchInstruction(Instruction* ins) {
 
   // Fast path: a current verdict proves the SDW cache holds this segment
   // unchanged and that execution is permitted; a cached decode whose fill
-  // address matches the verdict's base proves the word is the same one
-  // the slow path would fetch. Charge exactly what the slow path charges
-  // on an SDW-cache hit and skip the re-fetch and re-decode. Paged
-  // segments always take the slow path (the per-reference PTW walk is
-  // architectural).
+  // address matches the address the slow path would compute proves the
+  // word is the same one the slow path would fetch. For unpaged segments
+  // that address is verdict base + wordno; for paged segments the TLB
+  // supplies the frame (keyed on the verdict's base as the table base),
+  // and the architectural walk is charged exactly as the slow path
+  // charges it. Charge what the slow path charges on an SDW-cache hit
+  // and skip the re-fetch and re-decode.
   if (const VerdictCache::Entry* v = FastVerdict(regs_.ipr.segno, ring);
-      v != nullptr && (!checks_enabled_ || v->execute_ok) && !v->paged &&
-      regs_.ipr.wordno < v->bound) {
-    if (const InsnCache::Entry* cached = insn_cache_.Lookup(regs_.ipr.segno, regs_.ipr.wordno);
-        cached != nullptr && cached->addr == v->base + regs_.ipr.wordno) {
+      v != nullptr && (!checks_enabled_ || v->execute_ok) && regs_.ipr.wordno < v->bound) {
+    AbsAddr expected = 0;
+    bool have_addr = false;
+    bool paged_hit = false;
+    if (!v->paged) {
+      expected = v->base + regs_.ipr.wordno;
+      have_addr = true;
+    } else if (TlbEnabled()) {
+      if (const Tlb::Entry* t =
+              tlb_.Lookup(regs_.ipr.segno, regs_.ipr.wordno >> kPageShift, v->base)) {
+        expected = t->frame + (regs_.ipr.wordno & kPageMask);
+        have_addr = true;
+        paged_hit = true;
+      }
+    }
+    const InsnCache::Entry* cached =
+        have_addr ? insn_cache_.Lookup(regs_.ipr.segno, regs_.ipr.wordno) : nullptr;
+    if (cached != nullptr && cached->addr == expected) {
       ++counters_.verdict_hits;
       ++counters_.insn_cache_hits;
       ++counters_.sdw_cache_hits;
@@ -354,6 +405,12 @@ bool Cpu::FetchInstruction(Instruction* ins) {
       if (checks_enabled_) {
         ++counters_.checks_fetch;
         cycles_ += cycle_model_.access_check;
+      }
+      if (paged_hit) {
+        // The page-table walk the slow path would have performed.
+        ++counters_.page_walks;
+        cycles_ += cycle_model_.memory_ref;
+        ++counters_.tlb_hits;
       }
       ++counters_.memory_reads;
       cycles_ += cycle_model_.memory_ref;
@@ -389,7 +446,10 @@ bool Cpu::FetchInstruction(Instruction* ins) {
     RaiseTrap(TrapCause::kIllegalOpcode);
     return false;
   }
-  if (fast_path_enabled_ && sdw_cache_.enabled() && !sdw.paged) {
+  if (fast_path_enabled_ && sdw_cache_.enabled()) {
+    // Paged decodes are cacheable too: the fill address is an absolute
+    // frame address, and a later fast-path hit revalidates it against the
+    // TLB's current translation for the page.
     ++counters_.insn_cache_misses;
     insn_cache_.Put(regs_.ipr.segno, regs_.ipr.wordno, addr, *ins);
   }
@@ -623,16 +683,13 @@ bool Cpu::FastResolve(const VerdictCache::Entry& v, Segno segno, Wordno wordno, 
   }
   // Paged: the page-table walk is architectural, so it is performed (and
   // charged) exactly as in ResolveAddress — only the SDW fetch and the
-  // bracket comparison were skipped.
-  ++counters_.page_walks;
-  cycles_ += cycle_model_.memory_ref;
-  const Ptw ptw = DecodePtw(memory_->Read(v.base + (wordno >> kPageShift)));
-  if (!ptw.present) {
-    pending_fault_addr_ = SegAddr{segno, wordno};
-    RaiseTrap(TrapCause::kMissingPage);
+  // bracket comparison were skipped. The walk itself may be answered by
+  // the TLB; the verdict's base is the table base the walk is keyed on.
+  const TrapCause cause = WalkPageTable(v.base, segno, wordno, out);
+  if (cause != TrapCause::kNone) {
+    RaiseTrap(cause);
     return false;
   }
-  *out = ptw.frame + (wordno & kPageMask);
   return true;
 }
 
@@ -642,6 +699,11 @@ void Cpu::NoteStore(AbsAddr addr, bool target_executable, Segno segno) {
     // the segment so the next fetch re-reads the stored word.
     insn_cache_.InvalidateSegment(segno);
     ++counters_.insn_cache_invalidations;
+  }
+  // The store may have landed on a page-table word some TLB entry
+  // memoized; the snoop drops exactly those translations.
+  if (const size_t dropped = tlb_.NoteStore(addr); dropped != 0) {
+    counters_.tlb_invalidations += dropped;
   }
   // A store that lands inside the descriptor segment edits an SDW behind
   // the processor's associative registers; treat it exactly like a

@@ -17,6 +17,7 @@
 #include "src/cpu/registers.h"
 #include "src/fault/fault_injector.h"
 #include "src/cpu/sdw_cache.h"
+#include "src/cpu/tlb.h"
 #include "src/cpu/trap.h"
 #include "src/cpu/verdict_cache.h"
 #include "src/isa/indirect_word.h"
@@ -76,9 +77,11 @@ class Cpu {
     fast_path_enabled_ = enabled;
     verdict_cache_.Flush();
     insn_cache_.Flush();
+    tlb_.Flush();
   }
   const VerdictCache& verdict_cache() const { return verdict_cache_; }
   const InsnCache& insn_cache() const { return insn_cache_; }
+  const Tlb& tlb() const { return tlb_; }
 
   // Hardware fault injection (nullptr = disabled; the hooks are a single
   // pointer test when off). The injector is consulted at SDW fetch, at
@@ -117,14 +120,20 @@ class Cpu {
     sdw_cache_.Invalidate(segno);
     verdict_cache_.InvalidateSegment(segno);
     insn_cache_.InvalidateSegment(segno);
+    // The descriptor may have pointed the segment at a different page
+    // table; every translation derived through it is suspect.
+    tlb_.InvalidateSegment(segno);
     ++counters_.verdict_invalidations;
     ++counters_.insn_cache_invalidations;
+    ++counters_.tlb_invalidations;
   }
   void FlushSdwCache() {
     sdw_cache_.Flush();  // epoch bump retires every verdict
     insn_cache_.Flush();
+    tlb_.Flush();
     ++counters_.verdict_invalidations;
     ++counters_.insn_cache_invalidations;
+    ++counters_.tlb_invalidations;
   }
 
   // Must be called after memory is written behind the processor's back
@@ -133,6 +142,22 @@ class Cpu {
   void FlushInsnCache() {
     insn_cache_.Flush();
     ++counters_.insn_cache_invalidations;
+  }
+
+  // Companion to FlushInsnCache for the same behind-the-back stores: any
+  // written word may be a page-table word some cached translation was
+  // decoded from.
+  void FlushTlb() {
+    tlb_.Flush();
+    ++counters_.tlb_invalidations;
+  }
+
+  // Must be called when supervisor software stores a page-table word it
+  // can name precisely (demand fill, page-table edits); `ptw_addr` is the
+  // absolute address of the stored PTW. Cheaper than FlushTlb and exact.
+  void NotePtwStore(AbsAddr ptw_addr) {
+    tlb_.NoteStore(ptw_addr);
+    ++counters_.tlb_invalidations;
   }
 
   // Injects an asynchronous trap (timer runout, I/O completion) that will
@@ -197,6 +222,13 @@ class Cpu {
   TrapCause ResolveAddress(const Sdw& sdw, Segno segno, Wordno wordno, AbsAddr* out);
   // Trap-raising wrapper used on the instruction-cycle paths.
   bool ResolveOrFault(const Sdw& sdw, Segno segno, Wordno wordno, AbsAddr* out);
+  // The architectural page-table walk, shared by the slow path, the fast
+  // path, and the supervisor access paths: charges one memory reference
+  // and counts a page walk unconditionally, then answers from the TLB
+  // when it can and reads + decodes the PTW (memoizing the translation)
+  // when it cannot. Sets pending_fault_addr_ and returns kMissingPage for
+  // an absent page; never raises a trap itself.
+  TrapCause WalkPageTable(AbsAddr table_base, Segno segno, Wordno wordno, AbsAddr* out);
 
   // Operand access paths (Figure 6).
   bool ReadOperand(Word* out);
@@ -225,6 +257,9 @@ class Cpu {
   // ResolveOrFault against a verdict entry instead of an SDW; identical
   // charges, counters and missing-page behavior.
   bool FastResolve(const VerdictCache::Entry& v, Segno segno, Wordno wordno, AbsAddr* out);
+  // Whether the TLB may be consulted: same gating as the verdict cache,
+  // so the ablation benchmarks (SDW cache off) measure what they claim.
+  bool TlbEnabled() const { return fast_path_enabled_ && sdw_cache_.enabled(); }
   // Post-store bookkeeping shared by the guest and supervisor write
   // paths: invalidates cached decodes when the target is executable, and
   // snoops stores that land inside the descriptor segment (an SDW edit
@@ -271,6 +306,7 @@ class Cpu {
   bool fast_path_enabled_ = true;
   VerdictCache verdict_cache_;
   InsnCache insn_cache_;
+  Tlb tlb_;
   FaultInjector* fault_injector_ = nullptr;
   uint64_t cycles_ = 0;
   Counters counters_;

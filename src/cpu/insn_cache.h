@@ -4,13 +4,15 @@
 // plus a generation number; Flush() is a generation bump, so wholesale
 // invalidation (DBR reload, raw pokes into memory) is O(1).
 //
-// Only unpaged segments are cached: an unpaged entry is revalidated by the
-// verdict cache (which proves the SDW is unchanged) plus an absolute-
-// address comparison against the verdict's base, so a remapped or edited
-// descriptor can never revalidate a stale instruction. Paged fetches take
-// the slow path, keeping the per-reference page-table walk — and its
-// cycle charge and missing-page behavior — exactly as the paper requires.
-// Stores into executable segments invalidate by segment number.
+// An entry is revalidated by the verdict cache (which proves the SDW is
+// unchanged) plus an absolute-address comparison against the address the
+// slow path would compute — the verdict's base plus wordno for unpaged
+// segments, the TLB's current frame for paged ones — so a remapped or
+// edited descriptor, or a moved page, can never revalidate a stale
+// instruction. A paged fetch with no TLB translation takes the slow path;
+// either way the per-reference page-table walk's cycle charge and
+// missing-page behavior stay exactly as the paper requires. Stores into
+// executable segments invalidate by segment number.
 #ifndef SRC_CPU_INSN_CACHE_H_
 #define SRC_CPU_INSN_CACHE_H_
 

@@ -35,6 +35,13 @@ class SdwCache {
   // Invalidates by cache index rather than segment number (fault injection:
   // a dropped associative register, whatever it happened to hold).
   void InvalidateIndex(size_t index);
+  // The segment number held by the register at `index`, if any — lets the
+  // fault-drop site retire derived state (TLB translations) for whatever
+  // segment the dropped register happened to describe.
+  std::optional<Segno> SegnoAtIndex(size_t index) const {
+    const Entry& e = entries_[index % kEntries];
+    return e.valid ? std::optional<Segno>(e.segno) : std::nullopt;
+  }
   void Flush();
 
   uint64_t hits() const { return hits_; }

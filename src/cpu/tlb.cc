@@ -1,0 +1,78 @@
+#include "src/cpu/tlb.h"
+
+namespace rings {
+
+void Tlb::Fill(Segno segno, uint64_t pageno, AbsAddr table_base, AbsAddr frame) {
+  const size_t set = SetIndex(segno, pageno);
+  size_t slot = kWays;
+  for (size_t way = 0; way < kWays; ++way) {
+    Entry& e = entries_[set * kWays + way];
+    if (e.gen == gen_ && e.segno == segno && e.pageno == pageno &&
+        e.table_base == table_base) {
+      slot = way;  // refill in place (frame may have changed after a snoop)
+      break;
+    }
+    if (e.gen != gen_ && slot == kWays) {
+      slot = way;  // first free way
+    }
+  }
+  if (slot == kWays) {
+    slot = victim_[set];
+    victim_[set] = static_cast<uint8_t>((victim_[set] + 1) % kWays);
+  }
+  entries_[set * kWays + slot] = Entry{gen_, segno, pageno, table_base, frame};
+  FilterSet(table_base + pageno);
+}
+
+size_t Tlb::NoteStore(AbsAddr addr) {
+  if (!FilterTest(addr)) {
+    return 0;
+  }
+  // The filter admitted the address: scan, drop matches, and rebuild the
+  // filter from the survivors so repeated false positives do not pile up.
+  size_t dropped = 0;
+  filter_ = {};
+  for (Entry& e : entries_) {
+    if (e.gen != gen_) {
+      continue;
+    }
+    if (e.table_base + e.pageno == addr) {
+      e.gen = 0;
+      ++dropped;
+    } else {
+      FilterSet(e.table_base + e.pageno);
+    }
+  }
+  return dropped;
+}
+
+size_t Tlb::InvalidateSegment(Segno segno) {
+  size_t dropped = 0;
+  for (Entry& e : entries_) {
+    if (e.gen == gen_ && e.segno == segno) {
+      e.gen = 0;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+size_t Tlb::InvalidatePage(Segno segno, uint64_t pageno) {
+  const size_t set = SetIndex(segno, pageno);
+  size_t dropped = 0;
+  for (size_t way = 0; way < kWays; ++way) {
+    Entry& e = entries_[set * kWays + way];
+    if (e.gen == gen_ && e.segno == segno && e.pageno == pageno) {
+      e.gen = 0;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void Tlb::Flush() {
+  ++gen_;
+  filter_ = {};
+}
+
+}  // namespace rings

@@ -36,8 +36,10 @@ bool Machine::LoadProgram(const Program& program,
   std::string local_error;
   std::string* err = error != nullptr ? error : &local_error;
   const bool ok = registry_.LoadProgram(program, acls, err);
-  // Loading writes segment contents directly into the core store.
+  // Loading writes segment contents (and page tables) directly into the
+  // core store.
   cpu_.FlushInsnCache();
+  cpu_.FlushTlb();
   return ok;
 }
 
@@ -170,6 +172,7 @@ bool Machine::PokeSegment(const std::string& name, Wordno wordno, Word value) {
   }
   memory_.Write(*addr, value);
   cpu_.FlushInsnCache();
+  cpu_.FlushTlb();
   return true;
 }
 

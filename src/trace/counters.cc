@@ -44,6 +44,9 @@ Counters Counters::Since(const Counters& earlier) const {
   d.insn_cache_hits = insn_cache_hits - earlier.insn_cache_hits;
   d.insn_cache_misses = insn_cache_misses - earlier.insn_cache_misses;
   d.insn_cache_invalidations = insn_cache_invalidations - earlier.insn_cache_invalidations;
+  d.tlb_hits = tlb_hits - earlier.tlb_hits;
+  d.tlb_misses = tlb_misses - earlier.tlb_misses;
+  d.tlb_invalidations = tlb_invalidations - earlier.tlb_invalidations;
   d.sdw_recoveries = sdw_recoveries - earlier.sdw_recoveries;
   d.spurious_pages_ignored = spurious_pages_ignored - earlier.spurious_pages_ignored;
   d.machine_faults = machine_faults - earlier.machine_faults;
@@ -70,6 +73,11 @@ std::string Counters::ToString() const {
                      static_cast<unsigned long long>(verdict_misses),
                      static_cast<unsigned long long>(insn_cache_hits),
                      static_cast<unsigned long long>(insn_cache_misses));
+  }
+  if (tlb_hits + tlb_misses != 0) {
+    out += StrFormat(" tlb_hits=%llu tlb_misses=%llu",
+                     static_cast<unsigned long long>(tlb_hits),
+                     static_cast<unsigned long long>(tlb_misses));
   }
   for (size_t i = 0; i < traps.size(); ++i) {
     if (traps[i] != 0) {

@@ -55,6 +55,9 @@ struct Counters {
   uint64_t insn_cache_hits = 0;
   uint64_t insn_cache_misses = 0;       // slow-path fetch that cached its decode
   uint64_t insn_cache_invalidations = 0;
+  uint64_t tlb_hits = 0;                // page walks answered by the software TLB
+  uint64_t tlb_misses = 0;              // walks that read the PTW and filled the TLB
+  uint64_t tlb_invalidations = 0;       // invalidation events (stores, SDW edits, flushes)
 
   // Hardened trap paths (see DESIGN.md, "Fault model & recovery").
   uint64_t sdw_recoveries = 0;         // corrupted cached SDW detected, flushed, resumed

@@ -1,0 +1,120 @@
+// Unit tests for the software TLB: fills, probes, the PTW-store snoop,
+// the per-segment and per-page invalidations, the O(1) flush, and the
+// deterministic round-robin eviction within a set.
+#include "src/cpu/tlb.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/page_table.h"
+
+namespace rings {
+namespace {
+
+constexpr AbsAddr kTable = 0x1000;
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb;
+  EXPECT_EQ(tlb.Lookup(3, 7, kTable), nullptr);
+  tlb.Fill(3, 7, kTable, 0x4000);
+  const Tlb::Entry* e = tlb.Lookup(3, 7, kTable);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->frame, 0x4000u);
+}
+
+TEST(TlbTest, TableBaseIsPartOfTheKey) {
+  // A descriptor edit that moves the page table changes the base the
+  // caller probes with; the old translation must not answer.
+  Tlb tlb;
+  tlb.Fill(3, 7, kTable, 0x4000);
+  EXPECT_EQ(tlb.Lookup(3, 7, kTable + 0x100), nullptr);
+}
+
+TEST(TlbTest, DistinguishesSegments) {
+  Tlb tlb;
+  tlb.Fill(3, 7, kTable, 0x4000);
+  EXPECT_EQ(tlb.Lookup(4, 7, kTable), nullptr);
+}
+
+TEST(TlbTest, NoteStoreDropsExactlyTheStoredPtw) {
+  Tlb tlb;
+  tlb.Fill(3, 0, kTable, 0x4000);
+  tlb.Fill(3, 1, kTable, 0x4400);
+  EXPECT_EQ(tlb.NoteStore(kTable + 1), 1u);  // page 1's PTW
+  EXPECT_EQ(tlb.Lookup(3, 1, kTable), nullptr);
+  EXPECT_NE(tlb.Lookup(3, 0, kTable), nullptr);  // untouched survives
+}
+
+TEST(TlbTest, NoteStoreOnUnrelatedAddressDropsNothing) {
+  Tlb tlb;
+  tlb.Fill(3, 0, kTable, 0x4000);
+  EXPECT_EQ(tlb.NoteStore(0x9999), 0u);
+  EXPECT_NE(tlb.Lookup(3, 0, kTable), nullptr);
+}
+
+TEST(TlbTest, SnoopStillWorksAfterFilterRebuild) {
+  // The first snoop that scans rebuilds the membership filter from the
+  // survivors; those survivors must still be droppable afterwards.
+  Tlb tlb;
+  tlb.Fill(3, 0, kTable, 0x4000);
+  tlb.Fill(3, 1, kTable, 0x4400);
+  ASSERT_EQ(tlb.NoteStore(kTable + 0), 1u);
+  EXPECT_EQ(tlb.NoteStore(kTable + 1), 1u);
+  EXPECT_EQ(tlb.Lookup(3, 1, kTable), nullptr);
+}
+
+TEST(TlbTest, InvalidateSegmentDropsAllItsPages) {
+  Tlb tlb;
+  tlb.Fill(3, 0, kTable, 0x4000);
+  tlb.Fill(3, 1, kTable, 0x4400);
+  tlb.Fill(5, 0, 0x2000, 0x8000);
+  EXPECT_EQ(tlb.InvalidateSegment(3), 2u);
+  EXPECT_EQ(tlb.Lookup(3, 0, kTable), nullptr);
+  EXPECT_EQ(tlb.Lookup(3, 1, kTable), nullptr);
+  EXPECT_NE(tlb.Lookup(5, 0, 0x2000), nullptr);
+}
+
+TEST(TlbTest, InvalidatePageDropsOnePage) {
+  Tlb tlb;
+  tlb.Fill(3, 0, kTable, 0x4000);
+  tlb.Fill(3, 1, kTable, 0x4400);
+  EXPECT_EQ(tlb.InvalidatePage(3, 0), 1u);
+  EXPECT_EQ(tlb.Lookup(3, 0, kTable), nullptr);
+  EXPECT_NE(tlb.Lookup(3, 1, kTable), nullptr);
+}
+
+TEST(TlbTest, FlushDropsEverything) {
+  Tlb tlb;
+  tlb.Fill(3, 0, kTable, 0x4000);
+  tlb.Fill(5, 0, 0x2000, 0x8000);
+  tlb.Flush();
+  EXPECT_EQ(tlb.Lookup(3, 0, kTable), nullptr);
+  EXPECT_EQ(tlb.Lookup(5, 0, 0x2000), nullptr);
+}
+
+TEST(TlbTest, RefillUpdatesFrameInPlace) {
+  // After a snoop dropped a translation, the re-walk refills the same key
+  // with the page's new frame.
+  Tlb tlb;
+  tlb.Fill(3, 7, kTable, 0x4000);
+  tlb.Fill(3, 7, kTable, 0x7000);
+  const Tlb::Entry* e = tlb.Lookup(3, 7, kTable);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->frame, 0x7000u);
+}
+
+TEST(TlbTest, SetConflictEvictsDeterministically) {
+  // Pages p, p + kSets, p + 2*kSets, ... of one segment all land in the
+  // same set; the fifth fill must evict exactly the round-robin victim
+  // (way 0, holding the first fill) and leave the other three resident.
+  Tlb tlb;
+  for (uint64_t i = 0; i < Tlb::kWays + 1; ++i) {
+    tlb.Fill(3, i * Tlb::kSets, kTable, 0x4000 + i * kPageWords);
+  }
+  EXPECT_EQ(tlb.Lookup(3, 0, kTable), nullptr);  // evicted
+  for (uint64_t i = 1; i < Tlb::kWays + 1; ++i) {
+    EXPECT_NE(tlb.Lookup(3, i * Tlb::kSets, kTable), nullptr) << "fill " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rings

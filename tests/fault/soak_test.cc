@@ -156,6 +156,14 @@ void RunSoak(uint64_t seed) {
   EXPECT_GT(machine.cpu().counters().insn_cache_hits, 0u);
   EXPECT_GT(machine.cpu().counters().sdw_recoveries, 0u);
 
+  // The TLB engaged on the pager's paged references (hits), kept taking
+  // misses as injected descriptor-cache drops and SDW corruption retired
+  // its translations (invalidations), and recovered each time — the soak
+  // would not audit clean or reach the quantum target otherwise.
+  EXPECT_GT(machine.cpu().counters().tlb_hits, 0u);
+  EXPECT_GT(machine.cpu().counters().tlb_misses, 0u);
+  EXPECT_GT(machine.cpu().counters().tlb_invalidations, 0u);
+
   // ...every death is attributed (no process silently disappeared)...
   for (const auto& process : machine.supervisor().processes()) {
     if (process->state == ProcessState::kKilled) {

@@ -14,6 +14,8 @@
 
 #include "src/b645/b645_machine.h"
 #include "src/base/strings.h"
+#include "src/kasm/assembler.h"
+#include "src/mem/descriptor_segment.h"
 #include "src/mem/page_table.h"
 #include "src/sys/machine.h"
 
@@ -206,13 +208,17 @@ TEST(FastPathDifferential, FleetFaultSeedB) {
 }
 
 // The fast path must actually engage for the runs above to mean anything.
+// The fleet's pager pounds a paged segment, so the TLB must be taking
+// hits as well as the verdict and instruction caches.
 TEST(FastPathDifferential, FastPathEngages) {
   const Fingerprint on = RunFleet(true, 0, 0);
   EXPECT_GT(on.counters.verdict_hits, 0u);
   EXPECT_GT(on.counters.insn_cache_hits, 0u);
+  EXPECT_GT(on.counters.tlb_hits, 0u);
   const Fingerprint off = RunFleet(false, 0, 0);
   EXPECT_EQ(off.counters.verdict_hits, 0u);
   EXPECT_EQ(off.counters.insn_cache_hits, 0u);
+  EXPECT_EQ(off.counters.tlb_hits, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -262,6 +268,171 @@ patch:  ldai  99
 
 TEST(FastPathDifferential, SelfModifyingCode) {
   ExpectFingerprintsEqual(RunSelfModify(false), RunSelfModify(true));
+}
+
+// ---------------------------------------------------------------------------
+// Self-modifying PAGED code: the same patch-and-jump program, but the
+// procedure segment lives behind a page table, so instruction fetches run
+// through the TLB + decoded-instruction fast path. A stale decode (or a
+// stale translation revalidating one) would leave A at 1 instead of 99.
+// ---------------------------------------------------------------------------
+
+Fingerprint RunSelfModifyPaged(bool fast_path) {
+  MachineConfig config;
+  config.fast_path = fast_path;
+  Machine machine(config);
+  EXPECT_TRUE(machine.ok());
+  SegmentAccess access = MakeProcedureSegment(4, 4);
+  access.flags.write = true;
+  // The loader only creates unpaged segments, so assemble by hand and put
+  // the words into a paged segment (entry = word 0; all references are
+  // same-segment, so no .its patches are needed).
+  const Program program = AssembleOrDie(R"(
+        .segment pmain
+start:  ldq   patch
+        ldai  1
+target: ldai  1
+        stq   target
+        tra   target
+patch:  ldai  99
+)");
+  EXPECT_EQ(program.segments.size(), 1u);
+  EXPECT_TRUE(machine.registry()
+                  .CreatePagedSegment("pmain", kPageWords + 8,
+                                      AccessControlList::Public(access),
+                                      /*populate=*/true, program.segments[0].words)
+                  .has_value());
+  Process* p = machine.Login("selfmod-paged");
+  EXPECT_NE(p, nullptr);
+  machine.supervisor().InitiateAll(p);
+  EXPECT_TRUE(machine.Start(p, "pmain", "", kUserRing));
+  machine.trace().set_enabled(true);
+  machine.Run(50'000);
+
+  Fingerprint fp;
+  fp.cycles = machine.cpu().cycles();
+  fp.regs = machine.cpu().regs();
+  fp.counters = machine.cpu().counters();
+  fp.CaptureTraps(machine.trace());
+  EXPECT_EQ(fp.regs.a, 99u);
+  return fp;
+}
+
+TEST(FastPathDifferential, SelfModifyingPagedCode) {
+  ExpectFingerprintsEqual(RunSelfModifyPaged(false), RunSelfModifyPaged(true));
+}
+
+// ---------------------------------------------------------------------------
+// Page-table relocation and in-place PTW rewrites. A counter program
+// pounds a paged data segment while the "supervisor" (the test, between
+// run slices) first moves the whole page table to a new address — an SDW
+// edit, announced via InvalidateSdw — and then migrates one page to a new
+// frame — a PTW store, announced via NotePtwStore. The vacated table and
+// frame are poisoned, so any stale translation surviving either
+// announcement reads garbage and diverges from the slow-path run.
+// ---------------------------------------------------------------------------
+
+constexpr char kPagedCounterSource[] = R"(
+        .segment psum
+start:  lda   d0,*
+        adai  1
+        sta   d0,*
+        lda   d1,*
+        adai  1
+        sta   d1,*
+        lda   d0,*
+        ada   d1,*
+        sta   out,*
+        tra   start
+d0:     .its  4, pdata, 10
+d1:     .its  4, pdata, 1034
+out:    .its  4, pdata, 2058
+)";
+
+Fingerprint RunPageTableUpheaval(bool fast_path) {
+  MachineConfig config;
+  config.fast_path = fast_path;
+  Machine machine(config);
+  EXPECT_TRUE(machine.ok());
+  EXPECT_TRUE(machine.registry()
+                  .CreatePagedSegment("pdata", 3 * kPageWords,
+                                      AccessControlList::Public(MakeDataSegment(4, 4)),
+                                      /*populate=*/true)
+                  .has_value());
+  std::map<std::string, AccessControlList> acls;
+  acls["psum"] = AccessControlList::Public(MakeProcedureSegment(4, 4));
+  EXPECT_TRUE(machine.LoadProgramSource(kPagedCounterSource, acls));
+  Process* p = machine.Login("upheaval");
+  EXPECT_NE(p, nullptr);
+  machine.supervisor().InitiateAll(p);
+  EXPECT_TRUE(machine.Start(p, "psum", "start", kUserRing));
+  machine.trace().set_enabled(true);
+
+  machine.Run(50'000);  // warm the caches on the original table
+
+  // --- Relocate the whole page table (descriptor edit). ---
+  RegisteredSegment* seg = machine.registry().FindMutable("pdata");
+  EXPECT_NE(seg, nullptr);
+  const uint64_t pages = PageCount(seg->bound);
+  const auto new_table = machine.memory().Allocate(pages);
+  EXPECT_TRUE(new_table.has_value());
+  for (uint64_t page = 0; page < pages; ++page) {
+    machine.memory().Write(*new_table + page, machine.memory().Read(seg->base + page));
+    // Poison the vacated PTW: a walk that still trusts the old table
+    // faults on a page the new table maps.
+    machine.memory().Write(seg->base + page, EncodePtw(Ptw{}));
+  }
+  seg->base = *new_table;
+  DescriptorSegment dseg(&machine.memory(), p->dbr);
+  auto sdw = dseg.Fetch(seg->segno);
+  EXPECT_TRUE(sdw.has_value());
+  sdw->base = *new_table;
+  dseg.Store(seg->segno, *sdw);
+  machine.cpu().InvalidateSdw(seg->segno);
+
+  machine.Run(50'000);  // re-warm on the relocated table
+
+  // --- Migrate page 1 (the page holding word 1034) to a new frame. ---
+  const Ptw old_ptw = DecodePtw(machine.memory().Read(seg->base + 1));
+  EXPECT_TRUE(old_ptw.present);
+  const auto new_frame = machine.memory().Allocate(kPageWords);
+  EXPECT_TRUE(new_frame.has_value());
+  for (uint64_t i = 0; i < kPageWords; ++i) {
+    machine.memory().Write(*new_frame + i, machine.memory().Read(old_ptw.frame + i));
+    // Poison the vacated frame: a stale translation reads garbage counts.
+    machine.memory().Write(old_ptw.frame + i, 0xDEADBEEFu);
+  }
+  machine.memory().Write(seg->base + 1, EncodePtw(Ptw{true, *new_frame}));
+  machine.cpu().NotePtwStore(seg->base + 1);
+
+  machine.Run(50'000);
+
+  Fingerprint fp;
+  fp.cycles = machine.cpu().cycles();
+  fp.regs = machine.cpu().regs();
+  fp.counters = machine.cpu().counters();
+  fp.CaptureTraps(machine.trace());
+  fp.tty = machine.TtyOutput();
+  // The data pages themselves survived both moves: the counters kept
+  // counting, and the published sum is exactly d0 + d1.
+  const auto d0 = machine.PeekSegment("pdata", 10);
+  const auto d1 = machine.PeekSegment("pdata", 1034);
+  const auto out = machine.PeekSegment("pdata", 2058);
+  EXPECT_TRUE(d0.has_value() && d1.has_value() && out.has_value());
+  EXPECT_GT(*d0, 0u);
+  EXPECT_GT(*d1, 0u);
+  // The final slice can stop mid-iteration, after the increments but
+  // before the sum is republished, so `out` may trail by up to 2.
+  EXPECT_LE(*out, *d0 + *d1);
+  EXPECT_GE(*out + 2, *d0 + *d1);
+  fp.processes.push_back(
+      StrFormat("d0=%llu d1=%llu out=%llu", static_cast<unsigned long long>(*d0),
+                static_cast<unsigned long long>(*d1), static_cast<unsigned long long>(*out)));
+  return fp;
+}
+
+TEST(FastPathDifferential, PageTableRelocationAndFrameMove) {
+  ExpectFingerprintsEqual(RunPageTableUpheaval(false), RunPageTableUpheaval(true));
 }
 
 // ---------------------------------------------------------------------------

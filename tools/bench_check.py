@@ -3,13 +3,18 @@
 
 The gate compares *simulated* per-operation costs — benchmark counters
 prefixed ``sim_`` (e.g. ``sim_cycles_per_call`` from bench_fig8_call,
-``sim_cycles_per_return`` from bench_fig9_return). These are deterministic
-properties of the simulated machine's cycle model, so they must match the
-committed baseline exactly (up to float formatting); any drift means the
-change altered the cost of a ring crossing and must either be fixed or
-acknowledged by regenerating the baseline. Host wall-clock (``real_time``)
-is recorded in the merged artifact for humans but is NOT gated — it varies
-by host.
+``sim_cycles_per_return`` from bench_fig9_return, and ``sim_cycles`` /
+``sim_page_walks`` / ``sim_tlb_hits`` from the paged workloads in
+bench_paging and bench_filesearch). These are deterministic properties of
+the simulated machine's cycle model, so they must match the committed
+baseline exactly (up to float formatting); any drift means the change
+altered the cost of a ring crossing or a paged reference and must either
+be fixed or acknowledged by regenerating the baseline. Because the
+baseline stores fast-path and ``*_NoFastPath`` variants side by side with
+identical ``sim_cycles``, it also pins the invariant that the host-side
+fast path (verdict cache, decoded-instruction cache, software TLB) never
+changes simulated cost. Host wall-clock (``real_time``) is recorded in
+the merged artifact for humans but is NOT gated — it varies by host.
 
 Usage:
 
@@ -22,9 +27,11 @@ Usage:
   cd build
   ./bench/bench_fig8_call --benchmark_out=fig8.json --benchmark_out_format=json
   ./bench/bench_fig9_return --benchmark_out=fig9.json --benchmark_out_format=json
+  ./bench/bench_paging --benchmark_out=paging.json --benchmark_out_format=json
+  ./bench/bench_filesearch --benchmark_out=filesearch.json --benchmark_out_format=json
   cd ..
   tools/bench_check.py update --baseline BENCH_baseline.json \
-      build/fig8.json build/fig9.json
+      build/fig8.json build/fig9.json build/paging.json build/filesearch.json
 
 Exit status: 0 on pass, 1 on drift or missing benchmarks, 2 on bad input.
 """
