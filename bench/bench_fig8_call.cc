@@ -66,18 +66,23 @@ const PerCallCost& SimCost() {
 
 // Host-time throughput of simulated downward call round trips. Machine
 // construction, assembly, and login stay outside the timed region: the
-// measurement is machine.Run() alone, so the two variants isolate what
-// the address-formation fast path buys in host wall-clock.
-void DownwardCallRoundTrip(benchmark::State& state, bool fast_path) {
+// measurement is machine.Run() alone, so the variants isolate what the
+// address-formation fast path and the superblock engine buy in host
+// wall-clock (simulated cost is identical across all of them).
+void DownwardCallRoundTrip(benchmark::State& state, bool fast_path, bool block_engine) {
   const std::string source = HardwareCallSource(4, 0, true, kCrossingsPerRun);
   const SegmentAccess target = MakeProcedureSegment(1, 1, 7, 1);
   MachineConfig config;
   config.fast_path = fast_path;
+  config.block_engine = block_engine && BlockEngineEnvEnabled();
+  WallSampler wall;
   for (auto _ : state) {
     state.PauseTiming();
     HardwareRig rig = SetupHardware(source, 4, target, config);
     state.ResumeTiming();
+    wall.Begin();
     rig.machine->Run(2'000'000'000);
+    wall.End();
     benchmark::DoNotOptimize(rig.machine->cpu().cycles());
     state.PauseTiming();
     if (rig.process->state != ProcessState::kExited) {
@@ -93,14 +98,22 @@ void DownwardCallRoundTrip(benchmark::State& state, bool fast_path) {
   state.counters["sim_cycles_per_call"] = c.cycles;
   state.counters["sim_instructions_per_call"] = c.instructions;
   state.counters["sim_checks_per_call"] = c.checks;
+  state.counters["wall_min_ns"] = wall.MinNs();
+  state.counters["wall_median_ns"] = wall.MedianNs();
 }
 
-void BM_DownwardCallRoundTrip(benchmark::State& state) { DownwardCallRoundTrip(state, true); }
+void BM_DownwardCallRoundTrip(benchmark::State& state) {
+  DownwardCallRoundTrip(state, true, true);
+}
 void BM_DownwardCallRoundTrip_NoFastPath(benchmark::State& state) {
-  DownwardCallRoundTrip(state, false);
+  DownwardCallRoundTrip(state, false, false);
+}
+void BM_DownwardCallRoundTrip_NoBlockEngine(benchmark::State& state) {
+  DownwardCallRoundTrip(state, true, false);
 }
 BENCHMARK(BM_DownwardCallRoundTrip)->Iterations(20)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DownwardCallRoundTrip_NoFastPath)->Iterations(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DownwardCallRoundTrip_NoBlockEngine)->Iterations(20)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace rings

@@ -194,9 +194,11 @@ struct SearchRig {
 };
 
 SearchRig SetupSearchHardware(const std::string& source, const char* svc_seg, int n,
-                              bool paged = false, bool fast_path = true) {
+                              bool paged = false, bool fast_path = true,
+                              bool block_engine = true) {
   MachineConfig config;
   config.fast_path = fast_path;
+  config.block_engine = block_engine && BlockEngineEnvEnabled();
   SearchRig rig;
   rig.machine = std::make_unique<Machine>(config);
   Machine& machine = *rig.machine;
@@ -240,8 +242,9 @@ SearchCost FinishSearch(SearchRig& rig) {
 }
 
 SearchCost RunSearchHardware(const std::string& source, const char* svc_seg, int n,
-                             bool paged = false, bool fast_path = true) {
-  SearchRig rig = SetupSearchHardware(source, svc_seg, n, paged, fast_path);
+                             bool paged = false, bool fast_path = true,
+                             bool block_engine = true) {
+  SearchRig rig = SetupSearchHardware(source, svc_seg, n, paged, fast_path, block_engine);
   return FinishSearch(rig);
 }
 
@@ -309,14 +312,19 @@ void PrintReport() {
 // probe), machine.Run() only; the paged variants put the directory
 // behind a page table, so they additionally measure the software TLB.
 // The sim_* counters are deterministic and gated by tools/bench_check.py.
-void LibrarySearchLoop(benchmark::State& state, bool paged, bool fast_path) {
+void LibrarySearchLoop(benchmark::State& state, bool paged, bool fast_path,
+                       bool block_engine) {
   constexpr int kEntries = 64;
   const std::string source = LibrarySource(kEntries);
+  WallSampler wall;
   for (auto _ : state) {
     state.PauseTiming();
-    SearchRig rig = SetupSearchHardware(source, "rdsvc", kEntries, paged, fast_path);
+    SearchRig rig =
+        SetupSearchHardware(source, "rdsvc", kEntries, paged, fast_path, block_engine);
     state.ResumeTiming();
+    wall.Begin();
     rig.machine->Run(1'000'000'000);
+    wall.End();
     benchmark::DoNotOptimize(rig.machine->cpu().cycles());
     state.PauseTiming();
     if (rig.process->state != ProcessState::kExited) {
@@ -327,22 +335,35 @@ void LibrarySearchLoop(benchmark::State& state, bool paged, bool fast_path) {
     rig.machine.reset();  // destruction stays untimed too
     state.ResumeTiming();
   }
-  const SearchCost sim = RunSearchHardware(source, "rdsvc", kEntries, paged, fast_path);
+  const SearchCost sim =
+      RunSearchHardware(source, "rdsvc", kEntries, paged, fast_path, block_engine);
   state.counters["sim_cycles"] = static_cast<double>(sim.cycles);
   state.counters["sim_crossings"] = static_cast<double>(sim.crossings);
   state.counters["sim_traps"] = static_cast<double>(sim.traps);
+  state.counters["wall_min_ns"] = wall.MinNs();
+  state.counters["wall_median_ns"] = wall.MedianNs();
 }
 
-void BM_LibrarySearchHw(benchmark::State& state) { LibrarySearchLoop(state, false, true); }
+void BM_LibrarySearchHw(benchmark::State& state) {
+  LibrarySearchLoop(state, false, true, true);
+}
+void BM_LibrarySearchHw_NoBlockEngine(benchmark::State& state) {
+  LibrarySearchLoop(state, false, true, false);
+}
 void BM_LibrarySearchHwPagedDir(benchmark::State& state) {
-  LibrarySearchLoop(state, true, true);
+  LibrarySearchLoop(state, true, true, true);
 }
 void BM_LibrarySearchHwPagedDir_NoFastPath(benchmark::State& state) {
-  LibrarySearchLoop(state, true, false);
+  LibrarySearchLoop(state, true, false, false);
+}
+void BM_LibrarySearchHwPagedDir_NoBlockEngine(benchmark::State& state) {
+  LibrarySearchLoop(state, true, true, false);
 }
 BENCHMARK(BM_LibrarySearchHw)->Iterations(5);
+BENCHMARK(BM_LibrarySearchHw_NoBlockEngine)->Iterations(5);
 BENCHMARK(BM_LibrarySearchHwPagedDir)->Iterations(5);
 BENCHMARK(BM_LibrarySearchHwPagedDir_NoFastPath)->Iterations(5);
+BENCHMARK(BM_LibrarySearchHwPagedDir_NoBlockEngine)->Iterations(5);
 
 }  // namespace
 }  // namespace rings

@@ -25,9 +25,10 @@ struct SumRig {
   Process* process = nullptr;
 };
 
-SumRig SetupSum(bool paged, bool populate, bool fast_path) {
+SumRig SetupSum(bool paged, bool populate, bool fast_path, bool block_engine = true) {
   MachineConfig config;
   config.fast_path = fast_path;
+  config.block_engine = block_engine && BlockEngineEnvEnabled();
   SumRig rig;
   rig.machine = std::make_unique<Machine>(config);
   Machine& machine = *rig.machine;
@@ -82,8 +83,8 @@ RunCost FinishSum(SumRig& rig) {
   return RunCost{rig.machine->cpu().cycles(), rig.machine->cpu().counters()};
 }
 
-RunCost RunSum(bool paged, bool populate, bool fast_path = true) {
-  SumRig rig = SetupSum(paged, populate, fast_path);
+RunCost RunSum(bool paged, bool populate, bool fast_path = true, bool block_engine = true) {
+  SumRig rig = SetupSum(paged, populate, fast_path, block_engine);
   return FinishSum(rig);
 }
 
@@ -131,12 +132,16 @@ void PrintReport() {
 // counters come from one extra deterministic run of the same
 // configuration; tools/bench_check.py gates CI on them (and on the
 // invariant that sim_cycles does not depend on the fast path).
-void SumLoop(benchmark::State& state, bool paged, bool populate, bool fast_path) {
+void SumLoop(benchmark::State& state, bool paged, bool populate, bool fast_path,
+             bool block_engine) {
+  WallSampler wall;
   for (auto _ : state) {
     state.PauseTiming();
-    SumRig rig = SetupSum(paged, populate, fast_path);
+    SumRig rig = SetupSum(paged, populate, fast_path, block_engine);
     state.ResumeTiming();
+    wall.Begin();
     rig.machine->Run(1'000'000'000);
+    wall.End();
     benchmark::DoNotOptimize(rig.machine->cpu().cycles());
     state.PauseTiming();
     if (rig.process->state != ProcessState::kExited) {
@@ -147,23 +152,37 @@ void SumLoop(benchmark::State& state, bool paged, bool populate, bool fast_path)
     rig.machine.reset();  // destruction stays untimed too
     state.ResumeTiming();
   }
-  const RunCost sim = RunSum(paged, populate, fast_path);
+  const RunCost sim = RunSum(paged, populate, fast_path, block_engine);
   state.counters["sim_cycles"] = static_cast<double>(sim.cycles);
   state.counters["sim_page_walks"] = static_cast<double>(sim.counters.page_walks);
   state.counters["sim_checks"] = static_cast<double>(sim.counters.TotalChecks());
   state.counters["sim_pages_supplied"] = static_cast<double>(sim.counters.pages_supplied);
   state.counters["sim_tlb_hits"] = static_cast<double>(sim.counters.tlb_hits);
+  state.counters["wall_min_ns"] = wall.MinNs();
+  state.counters["wall_median_ns"] = wall.MedianNs();
 }
 
-void BM_SumUnpaged(benchmark::State& state) { SumLoop(state, false, true, true); }
-void BM_SumUnpaged_NoFastPath(benchmark::State& state) { SumLoop(state, false, true, false); }
-void BM_SumPaged(benchmark::State& state) { SumLoop(state, true, true, true); }
-void BM_SumPaged_NoFastPath(benchmark::State& state) { SumLoop(state, true, true, false); }
-void BM_SumDemandZero(benchmark::State& state) { SumLoop(state, true, false, true); }
+void BM_SumUnpaged(benchmark::State& state) { SumLoop(state, false, true, true, true); }
+void BM_SumUnpaged_NoFastPath(benchmark::State& state) {
+  SumLoop(state, false, true, false, false);
+}
+void BM_SumUnpaged_NoBlockEngine(benchmark::State& state) {
+  SumLoop(state, false, true, true, false);
+}
+void BM_SumPaged(benchmark::State& state) { SumLoop(state, true, true, true, true); }
+void BM_SumPaged_NoFastPath(benchmark::State& state) {
+  SumLoop(state, true, true, false, false);
+}
+void BM_SumPaged_NoBlockEngine(benchmark::State& state) {
+  SumLoop(state, true, true, true, false);
+}
+void BM_SumDemandZero(benchmark::State& state) { SumLoop(state, true, false, true, true); }
 BENCHMARK(BM_SumUnpaged)->Iterations(20)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SumUnpaged_NoFastPath)->Iterations(20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SumUnpaged_NoBlockEngine)->Iterations(20)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SumPaged)->Iterations(20)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SumPaged_NoFastPath)->Iterations(20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SumPaged_NoBlockEngine)->Iterations(20)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SumDemandZero)->Iterations(20)->Unit(benchmark::kMicrosecond);
 
 }  // namespace

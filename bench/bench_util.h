@@ -10,9 +10,13 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/b645/b645_machine.h"
 #include "src/base/strings.h"
@@ -21,6 +25,51 @@
 namespace rings {
 
 inline constexpr int kBenchIterations = 2000;
+
+// Minimum number of timed-region samples a benchmark must collect before
+// the min/median are meaningful; benchmarks register Iterations(N >= 5).
+inline constexpr int kMinWallSamples = 5;
+
+// Collects one wall-clock sample per timed region and reports the min and
+// median. The min is the noise-robust statistic tools/bench_check.py can
+// gate on (scheduling and frequency jitter only ever add time); the
+// median is reported alongside for humans.
+class WallSampler {
+ public:
+  void Begin() { start_ = std::chrono::steady_clock::now(); }
+  void End() {
+    samples_ns_.push_back(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+  double MinNs() const {
+    return samples_ns_.empty() ? 0.0
+                               : *std::min_element(samples_ns_.begin(), samples_ns_.end());
+  }
+  double MedianNs() const {
+    if (samples_ns_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = samples_ns_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() / 2];
+  }
+  size_t count() const { return samples_ns_.size(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::vector<double> samples_ns_;
+};
+
+// CI ablation hook: RINGS_BLOCK_ENGINE=0 forces the superblock engine off
+// for every benchmark in the process, so the whole suite can be run twice
+// (engine on and off) without a second set of binaries. Variant-specific
+// flags AND with this.
+inline bool BlockEngineEnvEnabled() {
+  const char* v = std::getenv("RINGS_BLOCK_ENGINE");
+  return v == nullptr || std::string(v) != "0";
+}
 
 struct PerCallCost {
   double cycles = 0;

@@ -23,6 +23,7 @@ B645Machine::B645Machine(MachineConfig config)
       registry_(&memory_) {
   cpu_.set_mode(ProtectionMode::kFlags645);
   cpu_.set_fast_path_enabled(config.fast_path);
+  cpu_.set_block_engine_enabled(config.block_engine);
   ok_ = true;
 }
 
@@ -334,7 +335,7 @@ RunResult B645Machine::Run(uint64_t max_cycles) {
       Kill(trap.cause);
       break;
     }
-    cpu_.Step();
+    cpu_.StepBlock(start_cycles + max_cycles);
   }
 
   result.idle = exited_ || killed_;

@@ -1,0 +1,102 @@
+// Superblock cache: the host-side memo of straight-line decoded runs. The
+// PR-3 fast path made each simulated instruction cheap; this cache makes
+// the *dispatch between* instructions cheap by chaining already-decoded
+// InsnCache entries into blocks that a single Cpu::StepBlock call executes
+// straight through, paying the fetch-probe and address revalidation once
+// per block instead of once per instruction.
+//
+// A block is a host artifact with no architectural footprint: every op
+// charges exactly the cycles and counters of the per-instruction path
+// taken with a verdict hit, the per-instruction boundary work (timer,
+// fault-injection hooks, trap capture state) runs before every op, and
+// any event that could make the recorded run diverge from what the
+// per-instruction path would do bails the remaining ops back to that
+// path. Correctness rests on the dispatch-time validation (the block's
+// segment has a current verdict with matching base/paging/ring/bound) and
+// on a monotonically increasing `version` that every invalidation bumps:
+// the inner loop re-reads it before each op, so a mid-block SDW eviction,
+// fault-injected cache drop, or store into code retires the rest of the
+// block. Paged blocks additionally revalidate each op's fetch address
+// through the live TLB, so a moved or snooped translation can never
+// replay a stale decode.
+#ifndef SRC_CPU_BLOCK_CACHE_H_
+#define SRC_CPU_BLOCK_CACHE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/ring.h"
+#include "src/isa/instruction.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+class BlockCache {
+ public:
+  static constexpr size_t kEntries = 256;  // direct-mapped by (segno, start)
+  static constexpr size_t kMaxOps = 32;
+
+  struct Op {
+    Instruction ins{};
+    Wordno wordno = 0;
+    AbsAddr addr = 0;  // absolute fetch address the decode was filled from
+    bool needs_ea = false;
+  };
+
+  struct Block {
+    uint64_t gen = 0;  // valid iff equal to the cache's current generation
+    Segno segno = 0;
+    Wordno start = 0;
+    uint16_t count = 0;
+    Ring ring = 0;        // IPR.RING the block was built under
+    bool checks = false;  // checks_enabled() at build time
+    bool paged = false;   // the verdict's paging shape at build time
+    AbsAddr base = 0;     // the verdict's base (page-table base if paged)
+    std::array<Op, kMaxOps> ops{};
+  };
+
+  const Block* Lookup(Segno segno, Wordno start) const {
+    const Block& b = blocks_[Index(segno, start)];
+    if (b.gen == gen_ && b.segno == segno && b.start == start) {
+      return &b;
+    }
+    return nullptr;
+  }
+
+  // The slot a block starting at (segno, start) builds into; the builder
+  // fills it in place and stamps `gen` with generation() to publish it.
+  Block* SlotFor(Segno segno, Wordno start) { return &blocks_[Index(segno, start)]; }
+
+  // Retires every block built from `segno` (its SDW was edited, dropped,
+  // or a store landed in its code). Returns blocks dropped; always bumps
+  // the version so an in-flight block bails.
+  size_t InvalidateSegment(Segno segno);
+
+  // O(1) whole-cache invalidation (generation bump); wired to every event
+  // that retires the verdict regime wholesale (DBR reloads, SDW-cache
+  // flushes, behind-the-back stores, engine/fast-path toggles).
+  void Flush() {
+    ++gen_;
+    ++version_;
+  }
+
+  // Signals that derived state changed under a possibly-running block
+  // without retiring any stored block (e.g. an SDW-cache insert evicting
+  // whatever a slot held); the inner loop bails and revalidates.
+  void BumpVersion() { ++version_; }
+  uint64_t version() const { return version_; }
+  uint64_t generation() const { return gen_; }
+
+ private:
+  static size_t Index(Segno segno, Wordno start) {
+    return (start ^ (static_cast<uint32_t>(segno) * 0x9E3779B1u)) & (kEntries - 1);
+  }
+
+  uint64_t gen_ = 1;  // blocks zero-initialize to gen 0 == invalid
+  uint64_t version_ = 0;
+  std::array<Block, kEntries> blocks_{};
+};
+
+}  // namespace rings
+
+#endif  // SRC_CPU_BLOCK_CACHE_H_

@@ -21,7 +21,16 @@ Cpu::Cpu(PhysicalMemory* memory, CycleModel cycle_model)
 void Cpu::RaiseTrap(TrapCause cause, int64_t code) {
   trap_pending_ = true;
   trap_state_.cause = cause;
-  trap_state_.regs = state_at_fetch_;  // IPR addresses the disrupted instruction
+  // The saved state must be the register file as of the instruction fetch,
+  // with the IPR addressing the disrupted instruction. Only the IPR can
+  // differ from the live registers at a trap-raising point (the wordno
+  // advance, or a transfer target): every handler validates and raises
+  // BEFORE it modifies any other architectural register, so the live file
+  // with the at-fetch IPR restored IS the at-fetch state. This keeps the
+  // per-instruction boundary down to a 3-word IPR capture instead of a
+  // full register-file copy.
+  trap_state_.regs = regs_;
+  trap_state_.regs.ipr = ipr_at_fetch_;
   trap_state_.tpr = tpr_;
   trap_state_.instruction = current_ins_;
   trap_state_.code = code;
@@ -29,9 +38,9 @@ void Cpu::RaiseTrap(TrapCause cause, int64_t code) {
   pending_fault_addr_ = SegAddr{};
   counters_.CountTrap(cause);
   cycles_ += cycle_model_.trap;
-  if (trace_ != nullptr) {
-    trace_->Record(TraceEvent{EventKind::kTrap, cycles_, state_at_fetch_.ipr.ring,
-                              SegAddr{state_at_fetch_.ipr.segno, state_at_fetch_.ipr.wordno},
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Record(TraceEvent{EventKind::kTrap, cycles_, ipr_at_fetch_.ring,
+                              SegAddr{ipr_at_fetch_.segno, ipr_at_fetch_.wordno},
                               cause, 0, {}});
   }
 }
@@ -39,10 +48,8 @@ void Cpu::RaiseTrap(TrapCause cause, int64_t code) {
 void Cpu::RaiseServiceTrap(TrapCause cause, int64_t code) {
   // The saved IPR must address the next instruction so that RETT resumes
   // after the service request, not at it.
-  RegisterFile after = regs_;
   RaiseTrap(cause, code);
-  trap_state_.regs = after;
-  trap_state_.regs.ipr.wordno = state_at_fetch_.ipr.wordno + 1;
+  trap_state_.regs.ipr.wordno = ipr_at_fetch_.wordno + 1;
 }
 
 TrapState Cpu::TakeTrap() {
@@ -57,13 +64,14 @@ void Cpu::Rett(const RegisterFile& state) {
   cycles_ += cycle_model_.rett;
   if (dbr_changed) {
     // The flush bumps the SDW-cache epoch, retiring every verdict; the
-    // decoded-instruction cache and the TLB must also go, since the same
-    // segment numbers may now name different segments.
+    // decoded-instruction cache, the TLB, and the block cache must also
+    // go, since the same segment numbers may now name different segments.
     sdw_cache_.Flush();
     insn_cache_.Flush();
     tlb_.Flush();
+    block_cache_.Flush();
   }
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && trace_->enabled()) {
     trace_->Record(TraceEvent{EventKind::kTrapReturn, cycles_, regs_.ipr.ring,
                               SegAddr{regs_.ipr.segno, regs_.ipr.wordno}, TrapCause::kNone, 0,
                               {}});
@@ -75,10 +83,11 @@ void Cpu::SetDbr(const DbrValue& dbr) {
   sdw_cache_.Flush();
   insn_cache_.Flush();
   tlb_.Flush();
+  block_cache_.Flush();
 }
 
 void Cpu::InjectTrap(TrapCause cause, int64_t code) {
-  state_at_fetch_ = regs_;
+  ipr_at_fetch_ = regs_.ipr;
   tpr_ = Tpr{};
   current_ins_ = Instruction{};
   RaiseTrap(cause, code);
@@ -121,6 +130,10 @@ bool Cpu::FetchSdw(Segno segno, Sdw* out) {
   // Whatever the insert evicts from this slot, the matching verdict slot
   // can no longer vouch for it (verdict validity implies SDW residency).
   verdict_cache_.InvalidateSlot(segno % SdwCache::kEntries);
+  // A running block's per-op charges assume its segment's SDW stays
+  // resident; this insert may have just evicted it (or cached a damaged
+  // copy), so any in-flight block must bail and revalidate.
+  block_cache_.BumpVersion();
   sdw_cache_.Insert(segno, sdw);
   if (!sdw.present) {
     RaiseTrap(TrapCause::kMissingSegment);
@@ -283,7 +296,14 @@ bool Cpu::Step() {
   if (trap_pending_) {
     return false;
   }
-  state_at_fetch_ = regs_;
+  if (!InstructionBoundary()) {
+    return false;
+  }
+  return StepBody();
+}
+
+bool Cpu::InstructionBoundary() {
+  ipr_at_fetch_ = regs_.ipr;
   tpr_ = Tpr{};
   current_ins_ = Instruction{};
 
@@ -303,12 +323,14 @@ bool Cpu::Step() {
     size_t index = 0;
     if (fault_injector_->MaybeDropCacheEntry(cycles_, SdwCache::kEntries, &index)) {
       // The dropped register's verdict goes with it, as do any TLB
-      // translations derived through the descriptor it held; the next
-      // reference takes the slow path and re-walks the descriptor
-      // segment, exactly as it would have without the fast path.
+      // translations and decoded blocks derived through the descriptor it
+      // held; the next reference takes the slow path and re-walks the
+      // descriptor segment, exactly as it would have without the fast
+      // path.
       if (const auto dropped = sdw_cache_.SegnoAtIndex(index); dropped.has_value()) {
         tlb_.InvalidateSegment(*dropped);
         ++counters_.tlb_invalidations;
+        counters_.block_invalidations += block_cache_.InvalidateSegment(*dropped);
       }
       sdw_cache_.InvalidateIndex(index);
       verdict_cache_.InvalidateSlot(index);
@@ -321,7 +343,10 @@ bool Cpu::Step() {
       return false;
     }
   }
+  return true;
+}
 
+bool Cpu::StepBody() {
   ++counters_.instructions;
   cycles_ += cycle_model_.instruction_base;
 
@@ -351,16 +376,223 @@ bool Cpu::Step() {
 
   // Advance the instruction counter before execution; transfers overwrite
   // it, and service traps save the advanced value.
-  regs_.ipr.wordno = state_at_fetch_.ipr.wordno + 1;
+  regs_.ipr.wordno = ipr_at_fetch_.wordno + 1;
 
   Execute(ins);
 
-  if (trace_ != nullptr && !trap_pending_) {
+  if (trace_ != nullptr && trace_->enabled() && !trap_pending_) {
     trace_->Record(TraceEvent{EventKind::kInstruction, cycles_, regs_.ipr.ring,
-                              SegAddr{state_at_fetch_.ipr.segno, state_at_fetch_.ipr.wordno},
+                              SegAddr{ipr_at_fetch_.segno, ipr_at_fetch_.wordno},
                               TrapCause::kNone, 0, {}});
   }
   return !trap_pending_;
+}
+
+// ---------------------------------------------------------------------------
+// Superblock engine
+// ---------------------------------------------------------------------------
+//
+// StepBlock is the run loops' entry point: it executes a whole decoded
+// straight-line block per dispatch instead of re-entering Step per
+// instruction. Each op runs the same instruction boundary (timer, fault
+// hooks, trap-capture state) and charges exactly what the per-instruction
+// path charges on a verdict + decode hit, which — by the verdict cache's
+// invariant — is exactly what the slow path charges with an SDW-cache
+// hit. Anything a block cannot vouch for bails to StepBody, the identical
+// per-instruction path, after the boundary it already consumed.
+
+bool Cpu::StepBlock(uint64_t cycle_bound) {
+  if (trap_pending_) {
+    return false;
+  }
+  if (!InstructionBoundary()) {
+    return false;
+  }
+  if (!block_engine_enabled_ || !fast_path_enabled_ || !sdw_cache_.enabled()) {
+    return StepBody();
+  }
+  const Ring ring = EffectiveRing(regs_.ipr.ring);
+  const VerdictCache::Entry* v = FastVerdict(regs_.ipr.segno, ring);
+  if (v == nullptr || (checks_enabled_ && !v->execute_ok)) {
+    return StepBody();
+  }
+  const BlockCache::Block* b = block_cache_.Lookup(regs_.ipr.segno, regs_.ipr.wordno);
+  if (b != nullptr && BlockCurrent(*b, *v)) {
+    ++counters_.block_hits;
+  } else {
+    // Miss or stale under the current verdict/mode: rebuild in place from
+    // whatever decodes the insn cache holds right now.
+    b = TryBuildBlock(*v);
+    if (b == nullptr) {
+      return StepBody();
+    }
+  }
+
+  const uint64_t version = block_cache_.version();
+  for (uint16_t i = 0; i < b->count; ++i) {
+    if (i != 0) {
+      // Boundary conditions the caller's run loop services between
+      // instructions: its cycle budget / due I/O (cycle_bound) and a
+      // latched physical-store fault. Stop *before* consuming this op's
+      // instruction boundary so no fault-injection opportunity is taken
+      // that the per-instruction loop would not have taken.
+      if (cycles_ >= cycle_bound || memory_->fault_pending()) {
+        return true;
+      }
+      if (!InstructionBoundary()) {
+        return false;
+      }
+      // Once the boundary ran we are committed to exactly one
+      // instruction; if an invalidation landed under the block (SDW
+      // eviction or drop, store into this code, descriptor edit), take
+      // it through the per-instruction path instead.
+      if (block_cache_.version() != version) {
+        ++counters_.block_bailouts;
+        return StepBody();
+      }
+    }
+    const BlockCache::Op& op = b->ops[i];
+    if (b->paged) {
+      // Paged fetches revalidate through the live TLB every op: a moved
+      // page, snooped PTW, or evicted translation makes the comparison
+      // fail and the op re-fetches on the slow path (which re-walks and,
+      // if the page vanished, takes the same missing-page trap the
+      // per-instruction path would take).
+      const Tlb::Entry* t = tlb_.Lookup(b->segno, op.wordno >> kPageShift, b->base);
+      if (t == nullptr || t->frame + (op.wordno & kPageMask) != op.addr) {
+        ++counters_.block_bailouts;
+        return StepBody();
+      }
+    }
+    // The fetch charges of the per-instruction fast path (identical to
+    // the slow path taken with an SDW-cache hit).
+    ++counters_.instructions;
+    cycles_ += cycle_model_.instruction_base;
+    ++counters_.block_ops;
+    ++counters_.verdict_hits;
+    ++counters_.insn_cache_hits;
+    ++counters_.sdw_cache_hits;
+    sdw_cache_.CountHit();
+    if (checks_enabled_) {
+      ++counters_.checks_fetch;
+      cycles_ += cycle_model_.access_check;
+    }
+    if (b->paged) {
+      // The page-table walk the slow path would have performed.
+      ++counters_.page_walks;
+      cycles_ += cycle_model_.memory_ref;
+      ++counters_.tlb_hits;
+    }
+    ++counters_.memory_reads;
+    cycles_ += cycle_model_.memory_ref;
+    current_ins_ = op.ins;
+    if (op.needs_ea && !FormEffectiveAddress(op.ins)) {
+      return false;
+    }
+    regs_.ipr.wordno = op.wordno + 1;
+    Execute(op.ins);
+    if (trap_pending_) {
+      return false;
+    }
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Record(TraceEvent{EventKind::kInstruction, cycles_, regs_.ipr.ring,
+                                SegAddr{ipr_at_fetch_.segno, ipr_at_fetch_.wordno},
+                                TrapCause::kNone, 0, {}});
+    }
+  }
+  return true;
+}
+
+// Block formation: chain consecutive cached decodes, stopping at the
+// segment bound, the gate-region boundary, the first missing or
+// unverifiable decode, an op the current ring may not execute (it must
+// trap on the per-instruction path), and — inclusively — any control
+// transfer or trap-raising/privileged terminator.
+const BlockCache::Block* Cpu::TryBuildBlock(const VerdictCache::Entry& v) {
+  const Segno segno = regs_.ipr.segno;
+  const Wordno start = regs_.ipr.wordno;
+  // The verdict's invariant guarantees the SDW is resident; its gate
+  // count marks the boundary a straight-line run may not cross.
+  const auto sdw = sdw_cache_.Peek(segno);
+  const uint32_t gate = sdw.has_value() ? sdw->access.gate_count : 0;
+
+  BlockCache::Block* b = block_cache_.SlotFor(segno, start);
+  b->gen = 0;  // unpublish whatever the slot held while we fill it
+  uint16_t count = 0;
+  while (count < BlockCache::kMaxOps) {
+    const Wordno w = start + count;
+    if (w >= v.bound) {
+      break;
+    }
+    if (count != 0 && start < gate && w >= gate) {
+      break;  // falling out of the gate region ends the block
+    }
+    const InsnCache::Entry* e = insn_cache_.Lookup(segno, w);
+    if (e == nullptr) {
+      break;
+    }
+    AbsAddr expected = 0;
+    if (!v.paged) {
+      expected = v.base + w;
+    } else {
+      const Tlb::Entry* t = tlb_.Lookup(segno, w >> kPageShift, v.base);
+      if (t == nullptr) {
+        break;
+      }
+      expected = t->frame + (w & kPageMask);
+    }
+    if (e->addr != expected) {
+      break;
+    }
+    const OpcodeInfo& info = GetOpcodeInfo(e->ins.opcode);
+    if (regs_.ipr.ring > info.max_ring) {
+      break;  // privileged violation; the slow path raises it
+    }
+    BlockCache::Op& op = b->ops[count];
+    op.ins = e->ins;
+    op.wordno = w;
+    op.addr = expected;
+    op.needs_ea =
+        info.operand != OperandKind::kNone && info.operand != OperandKind::kImmediate;
+    ++count;
+    if (EndsBlock(e->ins.opcode)) {
+      break;
+    }
+  }
+  if (count == 0) {
+    return nullptr;
+  }
+  b->segno = segno;
+  b->start = start;
+  b->count = count;
+  b->ring = regs_.ipr.ring;
+  b->checks = checks_enabled_;
+  b->paged = v.paged;
+  b->base = v.base;
+  b->gen = block_cache_.generation();
+  ++counters_.block_builds;
+  return b;
+}
+
+bool Cpu::EndsBlock(Opcode op) {
+  switch (op) {
+    case Opcode::kTra:
+    case Opcode::kTze:
+    case Opcode::kTnz:
+    case Opcode::kTmi:
+    case Opcode::kTpl:
+    case Opcode::kCall:
+    case Opcode::kRet:
+    case Opcode::kMme:
+    case Opcode::kSvc:
+    case Opcode::kLdbr:
+    case Opcode::kRett:
+    case Opcode::kSio:
+    case Opcode::kHlt:
+      return true;
+    default:
+      return false;
+  }
 }
 
 // Figure 4: "Retrieval of next instruction to be executed." At the point
@@ -696,8 +928,11 @@ bool Cpu::FastResolve(const VerdictCache::Entry& v, Segno segno, Wordno wordno, 
 void Cpu::NoteStore(AbsAddr addr, bool target_executable, Segno segno) {
   if (target_executable) {
     // Self-modifying (or link-snapped) code: drop any cached decodes for
-    // the segment so the next fetch re-reads the stored word.
+    // the segment so the next fetch re-reads the stored word. Blocks
+    // chained from those decodes retire with them — including the block
+    // this store may be executing from (the version bump bails it).
     insn_cache_.InvalidateSegment(segno);
+    counters_.block_invalidations += block_cache_.InvalidateSegment(segno);
     ++counters_.insn_cache_invalidations;
   }
   // The store may have landed on a page-table word some TLB entry
@@ -778,7 +1013,7 @@ void Cpu::ExecuteCall() {
   cycles_ += cycle_model_.access_check;
 
   const Ring old_ring = regs_.ipr.ring;
-  const bool same_segment = tpr_.segno == state_at_fetch_.ipr.segno;
+  const bool same_segment = tpr_.segno == ipr_at_fetch_.segno;
 
   TransferOutcome outcome = TransferOutcome::Enter(old_ring, false);
   if (checks_enabled_) {
@@ -809,10 +1044,10 @@ void Cpu::ExecuteCall() {
 
   // Return pointer (see DESIGN.md): the old ring/segno/wordno+1. Its ring
   // field is >= the new ring, preserving the PR-ring invariant.
-  regs_.pr[kPrReturn] = PointerRegister{old_ring, state_at_fetch_.ipr.segno,
-                                        state_at_fetch_.ipr.wordno + 1};
+  regs_.pr[kPrReturn] = PointerRegister{old_ring, ipr_at_fetch_.segno,
+                                        ipr_at_fetch_.wordno + 1};
 
-  if (outcome.ring_changed && trace_ != nullptr) {
+  if (outcome.ring_changed && trace_ != nullptr && trace_->enabled()) {
     trace_->Record(TraceEvent{EventKind::kRingSwitch, cycles_, old_ring,
                               SegAddr{tpr_.segno, tpr_.wordno}, TrapCause::kNone, new_ring, {}});
   }
@@ -856,7 +1091,7 @@ void Cpu::ExecuteReturn() {
     for (PointerRegister& pr : regs_.pr) {
       pr.ring = MaxRing(pr.ring, new_ring);
     }
-    if (trace_ != nullptr) {
+    if (trace_ != nullptr && trace_->enabled()) {
       trace_->Record(TraceEvent{EventKind::kRingSwitch, cycles_, old_ring,
                                 SegAddr{tpr_.segno, tpr_.wordno}, TrapCause::kNone, new_ring, {}});
     }
@@ -867,202 +1102,300 @@ void Cpu::ExecuteReturn() {
   regs_.ipr = Ipr{new_ring, tpr_.segno, tpr_.wordno};
 }
 
-void Cpu::Execute(const Instruction& ins) {
-  const auto signed_a = [this]() { return static_cast<int64_t>(regs_.a); };
+// Per-opcode execute handlers, dispatched through the Execute switch by
+// both the per-instruction path and the superblock inner loop.
+
+void Cpu::OpNop(const Instruction& ins) { (void)ins; }
+
+void Cpu::OpLda(const Instruction& ins) {
+  (void)ins;
   Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.a = value;
+  }
+}
+
+void Cpu::OpLdq(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.q = value;
+  }
+}
+
+void Cpu::OpLdx(const Instruction& ins) {
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.x[ins.reg] = static_cast<uint32_t>(value) & kIndexMask;
+  }
+}
+
+void Cpu::OpSta(const Instruction& ins) {
+  (void)ins;
+  WriteOperand(regs_.a);
+}
+
+void Cpu::OpStq(const Instruction& ins) {
+  (void)ins;
+  WriteOperand(regs_.q);
+}
+
+void Cpu::OpStx(const Instruction& ins) { WriteOperand(regs_.x[ins.reg]); }
+
+void Cpu::OpStz(const Instruction& ins) {
+  (void)ins;
+  WriteOperand(0);
+}
+
+void Cpu::OpLdai(const Instruction& ins) {
+  regs_.a = static_cast<Word>(static_cast<int64_t>(ins.offset));
+}
+
+void Cpu::OpLdqi(const Instruction& ins) {
+  regs_.q = static_cast<Word>(static_cast<int64_t>(ins.offset));
+}
+
+void Cpu::OpLdxi(const Instruction& ins) {
+  regs_.x[ins.reg] = static_cast<uint32_t>(ins.offset) & kIndexMask;
+}
+
+void Cpu::OpAdai(const Instruction& ins) {
+  regs_.a += static_cast<Word>(static_cast<int64_t>(ins.offset));
+}
+
+void Cpu::OpAda(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.a += value;
+  }
+}
+
+void Cpu::OpSba(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.a -= value;
+  }
+}
+
+void Cpu::OpMpy(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.a *= value;
+  }
+}
+
+void Cpu::OpAna(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.a &= value;
+  }
+}
+
+void Cpu::OpOra(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.a |= value;
+  }
+}
+
+void Cpu::OpEra(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    regs_.a ^= value;
+  }
+}
+
+void Cpu::OpAls(const Instruction& ins) {
+  regs_.a = ins.offset >= 64 ? 0 : regs_.a << (ins.offset & 63);
+}
+
+void Cpu::OpArs(const Instruction& ins) {
+  regs_.a = ins.offset >= 64 ? 0 : regs_.a >> (ins.offset & 63);
+}
+
+void Cpu::OpNega(const Instruction& ins) {
+  (void)ins;
+  regs_.a = ~regs_.a + 1;
+}
+
+void Cpu::OpXaq(const Instruction& ins) {
+  (void)ins;
+  std::swap(regs_.a, regs_.q);
+}
+
+void Cpu::OpAos(const Instruction& ins) {
+  (void)ins;
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    WriteOperand(value + 1);
+  }
+}
+
+void Cpu::OpEpp(const Instruction& ins) {
+  // EAP-type (Figure 7): "instructions which load the RING, SEGNO and
+  // WORDNO fields of PRn with the corresponding fields of TPR. The
+  // operand is not referenced, so no access validation is required."
+  regs_.pr[ins.reg] = PointerRegister{tpr_.ring, tpr_.segno, tpr_.wordno};
+}
+
+void Cpu::OpSpp(const Instruction& ins) {
+  // Store PRn as an indirect word. The stored RING field is the PR's
+  // ring, so an argument address saved to memory keeps its validation
+  // level ("If PR1 is then stored as an indirect word, this effective
+  // ring is put into the RING field of the indirect word").
+  const PointerRegister& pr = regs_.pr[ins.reg];
+  WriteOperand(EncodeIndirectWord(IndirectWord{pr.ring, false, pr.segno, pr.wordno}));
+}
+
+void Cpu::OpTra(const Instruction& ins) {
+  (void)ins;
+  ExecuteTransfer();
+}
+
+void Cpu::OpTze(const Instruction& ins) {
+  (void)ins;
+  if (regs_.a == 0) {
+    ExecuteTransfer();
+  }
+}
+
+void Cpu::OpTnz(const Instruction& ins) {
+  (void)ins;
+  if (regs_.a != 0) {
+    ExecuteTransfer();
+  }
+}
+
+void Cpu::OpTmi(const Instruction& ins) {
+  (void)ins;
+  if (static_cast<int64_t>(regs_.a) < 0) {
+    ExecuteTransfer();
+  }
+}
+
+void Cpu::OpTpl(const Instruction& ins) {
+  (void)ins;
+  if (static_cast<int64_t>(regs_.a) >= 0) {
+    ExecuteTransfer();
+  }
+}
+
+void Cpu::OpCall(const Instruction& ins) {
+  (void)ins;
+  ExecuteCall();
+}
+
+void Cpu::OpRet(const Instruction& ins) {
+  (void)ins;
+  ExecuteReturn();
+}
+
+void Cpu::OpMme(const Instruction& ins) {
+  RaiseServiceTrap(TrapCause::kMasterModeEntry, ins.offset);
+}
+
+void Cpu::OpSvc(const Instruction& ins) {
+  RaiseServiceTrap(TrapCause::kSupervisorService, ins.offset);
+}
+
+void Cpu::OpLdbr(const Instruction& ins) {
+  (void)ins;
+  // Privileged: load the DBR from the operand pair (base word and
+  // bound/stack word) and flush the descriptor cache.
+  Word w0 = 0;
+  Word w1 = 0;
+  if (!ReadOperand(&w0)) {
+    return;
+  }
+  ++tpr_.wordno;
+  if (!ReadOperand(&w1)) {
+    return;
+  }
+  DbrValue dbr;
+  dbr.base = ExtractBits(w0, 0, 40);
+  dbr.bound = static_cast<Segno>(ExtractBits(w1, 0, kSegnoBits));
+  dbr.stack_base = static_cast<Segno>(ExtractBits(w1, kSegnoBits, kSegnoBits));
+  SetDbr(dbr);
+}
+
+void Cpu::OpRett(const Instruction& ins) {
+  (void)ins;
+  // Guest-code RETT is not used in this reproduction (trap handling is
+  // dispatched to the C++ supervisor, which resumes via Cpu::Rett);
+  // executing it in guest ring-0 code is an error.
+  RaiseTrap(TrapCause::kIllegalOpcode);
+}
+
+void Cpu::OpSio(const Instruction& ins) {
+  Word value = 0;
+  if (ReadOperand(&value)) {
+    if (sio_handler_) {
+      sio_handler_(ins.reg, value);
+    }
+  }
+}
+
+void Cpu::OpHlt(const Instruction& ins) {
+  (void)ins;
+  RaiseServiceTrap(TrapCause::kHalt, 0);
+}
+
+void Cpu::OpIllegal(const Instruction& ins) {
+  (void)ins;
+  RaiseTrap(TrapCause::kIllegalOpcode);
+}
+
+// Both the per-instruction path and the block inner loop dispatch through
+// this switch: the handlers live in this translation unit, so the switch
+// lets the compiler inline the hot ones, which an indirect member-pointer
+// call could not.
+void Cpu::Execute(const Instruction& ins) {
   switch (ins.opcode) {
-    case Opcode::kNop:
-      break;
-
-    case Opcode::kLda:
-      if (ReadOperand(&value)) {
-        regs_.a = value;
-      }
-      break;
-    case Opcode::kLdq:
-      if (ReadOperand(&value)) {
-        regs_.q = value;
-      }
-      break;
-    case Opcode::kLdx:
-      if (ReadOperand(&value)) {
-        regs_.x[ins.reg] = static_cast<uint32_t>(value) & kIndexMask;
-      }
-      break;
-
-    case Opcode::kSta:
-      WriteOperand(regs_.a);
-      break;
-    case Opcode::kStq:
-      WriteOperand(regs_.q);
-      break;
-    case Opcode::kStx:
-      WriteOperand(regs_.x[ins.reg]);
-      break;
-    case Opcode::kStz:
-      WriteOperand(0);
-      break;
-
-    case Opcode::kLdai:
-      regs_.a = static_cast<Word>(static_cast<int64_t>(ins.offset));
-      break;
-    case Opcode::kLdqi:
-      regs_.q = static_cast<Word>(static_cast<int64_t>(ins.offset));
-      break;
-    case Opcode::kLdxi:
-      regs_.x[ins.reg] = static_cast<uint32_t>(ins.offset) & kIndexMask;
-      break;
-    case Opcode::kAdai:
-      regs_.a += static_cast<Word>(static_cast<int64_t>(ins.offset));
-      break;
-
-    case Opcode::kAda:
-      if (ReadOperand(&value)) {
-        regs_.a += value;
-      }
-      break;
-    case Opcode::kSba:
-      if (ReadOperand(&value)) {
-        regs_.a -= value;
-      }
-      break;
-    case Opcode::kMpy:
-      if (ReadOperand(&value)) {
-        regs_.a *= value;
-      }
-      break;
-    case Opcode::kAna:
-      if (ReadOperand(&value)) {
-        regs_.a &= value;
-      }
-      break;
-    case Opcode::kOra:
-      if (ReadOperand(&value)) {
-        regs_.a |= value;
-      }
-      break;
-    case Opcode::kEra:
-      if (ReadOperand(&value)) {
-        regs_.a ^= value;
-      }
-      break;
-
-    case Opcode::kAls:
-      regs_.a = ins.offset >= 64 ? 0 : regs_.a << (ins.offset & 63);
-      break;
-    case Opcode::kArs:
-      regs_.a = ins.offset >= 64 ? 0 : regs_.a >> (ins.offset & 63);
-      break;
-    case Opcode::kNega:
-      regs_.a = ~regs_.a + 1;
-      break;
-    case Opcode::kXaq:
-      std::swap(regs_.a, regs_.q);
-      break;
-
-    case Opcode::kAos:
-      if (ReadOperand(&value)) {
-        WriteOperand(value + 1);
-      }
-      break;
-
-    case Opcode::kEpp:
-      // EAP-type (Figure 7): "instructions which load the RING, SEGNO and
-      // WORDNO fields of PRn with the corresponding fields of TPR. The
-      // operand is not referenced, so no access validation is required."
-      regs_.pr[ins.reg] = PointerRegister{tpr_.ring, tpr_.segno, tpr_.wordno};
-      break;
-
-    case Opcode::kSpp: {
-      // Store PRn as an indirect word. The stored RING field is the PR's
-      // ring, so an argument address saved to memory keeps its validation
-      // level ("If PR1 is then stored as an indirect word, this effective
-      // ring is put into the RING field of the indirect word").
-      const PointerRegister& pr = regs_.pr[ins.reg];
-      WriteOperand(EncodeIndirectWord(IndirectWord{pr.ring, false, pr.segno, pr.wordno}));
-      break;
-    }
-
-    case Opcode::kTra:
-      ExecuteTransfer();
-      break;
-    case Opcode::kTze:
-      if (regs_.a == 0) {
-        ExecuteTransfer();
-      }
-      break;
-    case Opcode::kTnz:
-      if (regs_.a != 0) {
-        ExecuteTransfer();
-      }
-      break;
-    case Opcode::kTmi:
-      if (signed_a() < 0) {
-        ExecuteTransfer();
-      }
-      break;
-    case Opcode::kTpl:
-      if (signed_a() >= 0) {
-        ExecuteTransfer();
-      }
-      break;
-
-    case Opcode::kCall:
-      ExecuteCall();
-      break;
-    case Opcode::kRet:
-      ExecuteReturn();
-      break;
-
-    case Opcode::kMme:
-      RaiseServiceTrap(TrapCause::kMasterModeEntry, ins.offset);
-      break;
-    case Opcode::kSvc:
-      RaiseServiceTrap(TrapCause::kSupervisorService, ins.offset);
-      break;
-
-    case Opcode::kLdbr: {
-      // Privileged: load the DBR from the operand pair (base word and
-      // bound/stack word) and flush the descriptor cache.
-      Word w0 = 0;
-      Word w1 = 0;
-      if (!ReadOperand(&w0)) {
-        break;
-      }
-      ++tpr_.wordno;
-      if (!ReadOperand(&w1)) {
-        break;
-      }
-      DbrValue dbr;
-      dbr.base = ExtractBits(w0, 0, 40);
-      dbr.bound = static_cast<Segno>(ExtractBits(w1, 0, kSegnoBits));
-      dbr.stack_base = static_cast<Segno>(ExtractBits(w1, kSegnoBits, kSegnoBits));
-      SetDbr(dbr);
-      break;
-    }
-
-    case Opcode::kRett:
-      // Guest-code RETT is not used in this reproduction (trap handling is
-      // dispatched to the C++ supervisor, which resumes via Cpu::Rett);
-      // executing it in guest ring-0 code is an error.
-      RaiseTrap(TrapCause::kIllegalOpcode);
-      break;
-
-    case Opcode::kSio:
-      if (ReadOperand(&value)) {
-        if (sio_handler_) {
-          sio_handler_(ins.reg, value);
-        }
-      }
-      break;
-
-    case Opcode::kHlt:
-      RaiseServiceTrap(TrapCause::kHalt, 0);
-      break;
-
-    case Opcode::kNumOpcodes:
-      RaiseTrap(TrapCause::kIllegalOpcode);
-      break;
+    case Opcode::kNop: return OpNop(ins);
+    case Opcode::kLda: return OpLda(ins);
+    case Opcode::kLdq: return OpLdq(ins);
+    case Opcode::kLdx: return OpLdx(ins);
+    case Opcode::kSta: return OpSta(ins);
+    case Opcode::kStq: return OpStq(ins);
+    case Opcode::kStx: return OpStx(ins);
+    case Opcode::kStz: return OpStz(ins);
+    case Opcode::kLdai: return OpLdai(ins);
+    case Opcode::kLdqi: return OpLdqi(ins);
+    case Opcode::kLdxi: return OpLdxi(ins);
+    case Opcode::kAdai: return OpAdai(ins);
+    case Opcode::kAda: return OpAda(ins);
+    case Opcode::kSba: return OpSba(ins);
+    case Opcode::kMpy: return OpMpy(ins);
+    case Opcode::kAna: return OpAna(ins);
+    case Opcode::kOra: return OpOra(ins);
+    case Opcode::kEra: return OpEra(ins);
+    case Opcode::kAls: return OpAls(ins);
+    case Opcode::kArs: return OpArs(ins);
+    case Opcode::kNega: return OpNega(ins);
+    case Opcode::kXaq: return OpXaq(ins);
+    case Opcode::kAos: return OpAos(ins);
+    case Opcode::kEpp: return OpEpp(ins);
+    case Opcode::kSpp: return OpSpp(ins);
+    case Opcode::kTra: return OpTra(ins);
+    case Opcode::kTze: return OpTze(ins);
+    case Opcode::kTnz: return OpTnz(ins);
+    case Opcode::kTmi: return OpTmi(ins);
+    case Opcode::kTpl: return OpTpl(ins);
+    case Opcode::kCall: return OpCall(ins);
+    case Opcode::kRet: return OpRet(ins);
+    case Opcode::kMme: return OpMme(ins);
+    case Opcode::kSvc: return OpSvc(ins);
+    case Opcode::kLdbr: return OpLdbr(ins);
+    case Opcode::kRett: return OpRett(ins);
+    case Opcode::kSio: return OpSio(ins);
+    case Opcode::kHlt: return OpHlt(ins);
+    default: return OpIllegal(ins);
   }
 }
 

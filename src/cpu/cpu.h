@@ -13,6 +13,7 @@
 
 #include "src/core/access.h"
 #include "src/core/transfer.h"
+#include "src/cpu/block_cache.h"
 #include "src/cpu/insn_cache.h"
 #include "src/cpu/registers.h"
 #include "src/fault/fault_injector.h"
@@ -78,10 +79,23 @@ class Cpu {
     verdict_cache_.Flush();
     insn_cache_.Flush();
     tlb_.Flush();
+    block_cache_.Flush();
   }
   const VerdictCache& verdict_cache() const { return verdict_cache_; }
   const InsnCache& insn_cache() const { return insn_cache_; }
   const Tlb& tlb() const { return tlb_; }
+
+  // Superblock execution engine (see DESIGN.md): decoded straight-line
+  // blocks executed by StepBlock through a tight pre-decoded inner loop.
+  // Rides on the fast path (disengages while fast_path or the SDW cache
+  // is off); like the other host-side caches it never changes simulated
+  // cycles, counters, trap sequences, or the fault-injection stream.
+  bool block_engine_enabled() const { return block_engine_enabled_; }
+  void set_block_engine_enabled(bool enabled) {
+    block_engine_enabled_ = enabled;
+    block_cache_.Flush();
+  }
+  const BlockCache& block_cache() const { return block_cache_; }
 
   // Hardware fault injection (nullptr = disabled; the hooks are a single
   // pointer test when off). The injector is consulted at SDW fetch, at
@@ -94,6 +108,17 @@ class Cpu {
   // if an instruction was retired, false if the processor is frozen on a
   // trap.
   bool Step();
+
+  // Executes up to one straight-line block of instructions (at least one,
+  // like Step) and stops before any instruction whose boundary conditions
+  // the run loop must service: `cycle_bound` is the absolute cycle count
+  // at which the caller's loop would stop stepping (its cycle budget or
+  // the next due I/O completion), and a latched physical-store fault,
+  // timer runout, pending trap, or any cache invalidation under the block
+  // ends it early. Degrades to exactly Step() when the block engine or
+  // fast path is off. Returns what Step would have returned for the last
+  // instruction executed.
+  bool StepBlock(uint64_t cycle_bound);
 
   bool trap_pending() const { return trap_pending_; }
   const TrapState& trap_state() const { return trap_state_; }
@@ -123,6 +148,7 @@ class Cpu {
     // The descriptor may have pointed the segment at a different page
     // table; every translation derived through it is suspect.
     tlb_.InvalidateSegment(segno);
+    counters_.block_invalidations += block_cache_.InvalidateSegment(segno);
     ++counters_.verdict_invalidations;
     ++counters_.insn_cache_invalidations;
     ++counters_.tlb_invalidations;
@@ -131,9 +157,11 @@ class Cpu {
     sdw_cache_.Flush();  // epoch bump retires every verdict
     insn_cache_.Flush();
     tlb_.Flush();
+    block_cache_.Flush();
     ++counters_.verdict_invalidations;
     ++counters_.insn_cache_invalidations;
     ++counters_.tlb_invalidations;
+    ++counters_.block_invalidations;
   }
 
   // Must be called after memory is written behind the processor's back
@@ -141,7 +169,10 @@ class Cpu {
   // may be a cached decoded instruction.
   void FlushInsnCache() {
     insn_cache_.Flush();
+    // Blocks are chains of cached decodes; they go with them.
+    block_cache_.Flush();
     ++counters_.insn_cache_invalidations;
+    ++counters_.block_invalidations;
   }
 
   // Companion to FlushInsnCache for the same behind-the-back stores: any
@@ -207,9 +238,78 @@ class Cpu {
 
  private:
   // --- instruction-cycle phases (see cpu.cc for figure mapping) ---
+  // The per-instruction boundary work shared by Step and the block inner
+  // loop: trap-capture state reset, the quantum timer, and the
+  // fault-injection hooks. Runs exactly once before every instruction so
+  // the injector's RNG stream is identical with blocks on or off. Returns
+  // false when a boundary trap (timer runout, injected fault) was raised.
+  bool InstructionBoundary();
+  // Fetches, validates, and executes one instruction; the remainder of
+  // Step after InstructionBoundary. The block engine falls back to this
+  // (after its own boundary call) whenever a block cannot vouch for the
+  // next instruction.
+  bool StepBody();
   bool FetchInstruction(Instruction* ins);
   bool FormEffectiveAddress(const Instruction& ins);
   void Execute(const Instruction& ins);
+
+  // --- superblock engine (see DESIGN.md) ---
+  // Whether `block` still describes what the per-instruction path would
+  // do at (segno, start) under the current verdict `v`.
+  bool BlockCurrent(const BlockCache::Block& block, const VerdictCache::Entry& v) const {
+    return block.ring == regs_.ipr.ring && block.checks == checks_enabled_ &&
+           block.paged == v.paged && block.base == v.base &&
+           static_cast<uint64_t>(block.start) + block.count <= v.bound;
+  }
+  // Chains cached decodes starting at the current IPR into a block;
+  // returns nullptr when nothing is cacheable there yet.
+  const BlockCache::Block* TryBuildBlock(const VerdictCache::Entry& v);
+  // True for opcodes that must end a block: control transfers, trap
+  // raisers, and state-changing privileged instructions.
+  static bool EndsBlock(Opcode op);
+
+  // --- per-opcode execute handlers; both the per-instruction path and
+  // the block inner loop dispatch through the Execute switch so the
+  // compiler can inline the hot handlers ---
+  void OpNop(const Instruction& ins);
+  void OpLda(const Instruction& ins);
+  void OpLdq(const Instruction& ins);
+  void OpLdx(const Instruction& ins);
+  void OpSta(const Instruction& ins);
+  void OpStq(const Instruction& ins);
+  void OpStx(const Instruction& ins);
+  void OpStz(const Instruction& ins);
+  void OpLdai(const Instruction& ins);
+  void OpLdqi(const Instruction& ins);
+  void OpLdxi(const Instruction& ins);
+  void OpAdai(const Instruction& ins);
+  void OpAda(const Instruction& ins);
+  void OpSba(const Instruction& ins);
+  void OpMpy(const Instruction& ins);
+  void OpAna(const Instruction& ins);
+  void OpOra(const Instruction& ins);
+  void OpEra(const Instruction& ins);
+  void OpAls(const Instruction& ins);
+  void OpArs(const Instruction& ins);
+  void OpNega(const Instruction& ins);
+  void OpXaq(const Instruction& ins);
+  void OpAos(const Instruction& ins);
+  void OpEpp(const Instruction& ins);
+  void OpSpp(const Instruction& ins);
+  void OpTra(const Instruction& ins);
+  void OpTze(const Instruction& ins);
+  void OpTnz(const Instruction& ins);
+  void OpTmi(const Instruction& ins);
+  void OpTpl(const Instruction& ins);
+  void OpCall(const Instruction& ins);
+  void OpRet(const Instruction& ins);
+  void OpMme(const Instruction& ins);
+  void OpSvc(const Instruction& ins);
+  void OpLdbr(const Instruction& ins);
+  void OpRett(const Instruction& ins);
+  void OpSio(const Instruction& ins);
+  void OpHlt(const Instruction& ins);
+  void OpIllegal(const Instruction& ins);
 
   // SDW fetch with descriptor cache and missing-segment trap.
   bool FetchSdw(Segno segno, Sdw* out);
@@ -293,7 +393,11 @@ class Cpu {
   RegisterFile regs_;
   Tpr tpr_{};
   Instruction current_ins_{};
-  RegisterFile state_at_fetch_{};
+  // The IPR as of the current instruction's fetch. Trap capture rebuilds
+  // the full at-fetch register file from the live one plus this (see
+  // RaiseTrap): handlers raise before modifying any other register, so
+  // only the IPR needs saving at the (hot) instruction boundary.
+  Ipr ipr_at_fetch_{};
 
   bool trap_pending_ = false;
   TrapState trap_state_{};
@@ -307,6 +411,8 @@ class Cpu {
   VerdictCache verdict_cache_;
   InsnCache insn_cache_;
   Tlb tlb_;
+  bool block_engine_enabled_ = true;
+  BlockCache block_cache_;
   FaultInjector* fault_injector_ = nullptr;
   uint64_t cycles_ = 0;
   Counters counters_;

@@ -2,38 +2,6 @@
 
 namespace rings {
 
-std::optional<Sdw> SdwCache::Lookup(Segno segno) const {
-  if (!enabled_) {
-    ++misses_;
-    return std::nullopt;
-  }
-  const Entry& e = entries_[segno % kEntries];
-  if (e.valid && e.segno == segno) {
-    ++hits_;
-    return e.sdw;
-  }
-  ++misses_;
-  return std::nullopt;
-}
-
-std::optional<Sdw> SdwCache::Peek(Segno segno) const {
-  if (!enabled_) {
-    return std::nullopt;
-  }
-  const Entry& e = entries_[segno % kEntries];
-  if (e.valid && e.segno == segno) {
-    return e.sdw;
-  }
-  return std::nullopt;
-}
-
-void SdwCache::Insert(Segno segno, const Sdw& sdw) {
-  if (!enabled_) {
-    return;
-  }
-  entries_[segno % kEntries] = Entry{true, segno, sdw};
-}
-
 void SdwCache::Invalidate(Segno segno) {
   Entry& e = entries_[segno % kEntries];
   if (e.valid && e.segno == segno) {

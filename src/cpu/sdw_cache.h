@@ -25,12 +25,40 @@ class SdwCache {
     Flush();
   }
 
-  std::optional<Sdw> Lookup(Segno segno) const;
+  // Lookup/Peek/Insert sit on the per-reference path, so they live in the
+  // header and inline to an index, a tag compare, and a copy.
+  std::optional<Sdw> Lookup(Segno segno) const {
+    if (!enabled_) {
+      ++misses_;
+      return std::nullopt;
+    }
+    const Entry& e = entries_[segno % kEntries];
+    if (e.valid && e.segno == segno) {
+      ++hits_;
+      return e.sdw;
+    }
+    ++misses_;
+    return std::nullopt;
+  }
   // Like Lookup, but does not count a hit or miss: used by the supervisor's
   // fault-recovery path to inspect what the processor believes without
   // perturbing the cache statistics.
-  std::optional<Sdw> Peek(Segno segno) const;
-  void Insert(Segno segno, const Sdw& sdw);
+  std::optional<Sdw> Peek(Segno segno) const {
+    if (!enabled_) {
+      return std::nullopt;
+    }
+    const Entry& e = entries_[segno % kEntries];
+    if (e.valid && e.segno == segno) {
+      return e.sdw;
+    }
+    return std::nullopt;
+  }
+  void Insert(Segno segno, const Sdw& sdw) {
+    if (!enabled_) {
+      return;
+    }
+    entries_[segno % kEntries] = Entry{true, segno, sdw};
+  }
   void Invalidate(Segno segno);
   // Invalidates by cache index rather than segment number (fault injection:
   // a dropped associative register, whatever it happened to hold).

@@ -5,15 +5,7 @@
 
 namespace rings {
 
-namespace {
-
-constexpr unsigned kRingShift = 60;
-constexpr unsigned kIndirectShift = 59;
-constexpr unsigned kFaultShift = 58;
-constexpr unsigned kSegnoShift = 33;
-constexpr unsigned kWordnoShift = 0;
-
-}  // namespace
+namespace layout = indirect_word_layout;
 
 std::string IndirectWord::ToString() const {
   std::string out = StrFormat("%u|%u|%u", ring, segno, wordno);
@@ -28,22 +20,12 @@ std::string IndirectWord::ToString() const {
 
 Word EncodeIndirectWord(const IndirectWord& iw) {
   Word w = 0;
-  w = DepositBits(w, kRingShift, kRingBits, iw.ring);
-  w = DepositBits(w, kIndirectShift, 1, iw.indirect ? 1 : 0);
-  w = DepositBits(w, kFaultShift, 1, iw.fault ? 1 : 0);
-  w = DepositBits(w, kSegnoShift, kSegnoBits, iw.segno);
-  w = DepositBits(w, kWordnoShift, kWordnoBits, iw.wordno);
+  w = DepositBits(w, layout::kRingShift, kRingBits, iw.ring);
+  w = DepositBits(w, layout::kIndirectShift, 1, iw.indirect ? 1 : 0);
+  w = DepositBits(w, layout::kFaultShift, 1, iw.fault ? 1 : 0);
+  w = DepositBits(w, layout::kSegnoShift, kSegnoBits, iw.segno);
+  w = DepositBits(w, layout::kWordnoShift, kWordnoBits, iw.wordno);
   return w;
-}
-
-IndirectWord DecodeIndirectWord(Word word) {
-  IndirectWord iw;
-  iw.ring = static_cast<Ring>(ExtractBits(word, kRingShift, kRingBits));
-  iw.indirect = ExtractBits(word, kIndirectShift, 1) != 0;
-  iw.fault = ExtractBits(word, kFaultShift, 1) != 0;
-  iw.segno = static_cast<Segno>(ExtractBits(word, kSegnoShift, kSegnoBits));
-  iw.wordno = static_cast<Wordno>(ExtractBits(word, kWordnoShift, kWordnoBits));
-  return iw;
 }
 
 }  // namespace rings

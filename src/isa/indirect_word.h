@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "src/base/bitfield.h"
 #include "src/core/ring.h"
 #include "src/mem/word.h"
 
@@ -37,8 +38,28 @@ struct IndirectWord {
   std::string ToString() const;  // "ring|segno|wordno[,*][,F]"
 };
 
+namespace indirect_word_layout {
+inline constexpr unsigned kRingShift = 60;
+inline constexpr unsigned kIndirectShift = 59;
+inline constexpr unsigned kFaultShift = 58;
+inline constexpr unsigned kSegnoShift = 33;
+inline constexpr unsigned kWordnoShift = 0;
+}  // namespace indirect_word_layout
+
 Word EncodeIndirectWord(const IndirectWord& iw);
-IndirectWord DecodeIndirectWord(Word word);
+
+// Decoded during effective-address formation for every `,*` operand, so it
+// stays in the header and inlines to a few shifts and masks.
+inline IndirectWord DecodeIndirectWord(Word word) {
+  namespace layout = indirect_word_layout;
+  IndirectWord iw;
+  iw.ring = static_cast<Ring>(ExtractBits(word, layout::kRingShift, kRingBits));
+  iw.indirect = ExtractBits(word, layout::kIndirectShift, 1) != 0;
+  iw.fault = ExtractBits(word, layout::kFaultShift, 1) != 0;
+  iw.segno = static_cast<Segno>(ExtractBits(word, layout::kSegnoShift, kSegnoBits));
+  iw.wordno = static_cast<Wordno>(ExtractBits(word, layout::kWordnoShift, kWordnoBits));
+  return iw;
+}
 
 }  // namespace rings
 

@@ -20,22 +20,6 @@ void PhysicalMemory::LatchFault(AbsAddr addr, bool write) const {
   }
 }
 
-Word PhysicalMemory::Read(AbsAddr addr) const {
-  if (addr >= store_.size()) {
-    LatchFault(addr, /*write=*/false);
-    return 0;
-  }
-  return store_[addr];
-}
-
-void PhysicalMemory::Write(AbsAddr addr, Word value) {
-  if (addr >= store_.size()) {
-    LatchFault(addr, /*write=*/true);
-    return;
-  }
-  store_[addr] = value;
-}
-
 std::optional<AbsAddr> PhysicalMemory::Allocate(size_t words) {
   if (next_free_ + words > store_.size()) {
     return std::nullopt;

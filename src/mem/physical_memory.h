@@ -41,8 +41,24 @@ class PhysicalMemory {
   OutOfRangePolicy out_of_range_policy() const { return policy_; }
   void set_out_of_range_policy(OutOfRangePolicy policy) { policy_ = policy; }
 
-  Word Read(AbsAddr addr) const;
-  void Write(AbsAddr addr, Word value);
+  // Read/Write are the simulator's hottest calls (every simulated memory
+  // reference lands here); they stay in the header so the in-range path
+  // inlines to a bounds check plus a vector access. The out-of-range path
+  // is cold and stays out of line.
+  Word Read(AbsAddr addr) const {
+    if (addr >= store_.size()) {
+      LatchFault(addr, /*write=*/false);
+      return 0;
+    }
+    return store_[addr];
+  }
+  void Write(AbsAddr addr, Word value) {
+    if (addr >= store_.size()) {
+      LatchFault(addr, /*write=*/true);
+      return;
+    }
+    store_[addr] = value;
+  }
 
   // The oldest unconsumed out-of-range access, if any; consuming clears the
   // latch (later accesses re-arm it). fault_count() keeps the lifetime total.

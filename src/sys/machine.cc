@@ -21,6 +21,7 @@ Machine::Machine(MachineConfig config)
                   Supervisor::Options{.quantum = config.quantum, .verbose = false}) {
   cpu_.set_mode(config.mode);
   cpu_.set_fast_path_enabled(config.fast_path);
+  cpu_.set_block_engine_enabled(config.block_engine);
   cpu_.set_trace(&trace_);
   supervisor_.set_start_io([this](uint8_t device, Word detail) { StartIo(device, detail); });
   if (config_.fault.enabled) {
@@ -120,7 +121,14 @@ RunResult Machine::Run(uint64_t max_cycles) {
       cpu_.InjectTrap(TrapCause::kIoCompletion, event.device);
       continue;
     }
-    cpu_.Step();
+    // The superblock engine may run several instructions per dispatch;
+    // give it the nearest boundary this loop must regain control at (the
+    // cycle budget or the next due I/O completion).
+    uint64_t bound = start_cycles + max_cycles;
+    if (!pending_io_.empty() && pending_io_.front().due_cycle < bound) {
+      bound = pending_io_.front().due_cycle;
+    }
+    cpu_.StepBlock(bound);
   }
 
   result.cycles = cpu_.cycles() - start_cycles;

@@ -33,6 +33,10 @@ struct MachineConfig {
   // caches). Simulated cycles and counters are bit-identical either way;
   // off is useful for differential testing and host-cost ablation.
   bool fast_path = true;
+  // Superblock execution engine: chains cached decodes into straight-line
+  // blocks executed one dispatch at a time (see DESIGN.md §7). Host-side
+  // only, like the fast path; bit-identical simulation either way.
+  bool block_engine = true;
   // Deterministic fault injection (see DESIGN.md, "Fault model &
   // recovery"). Disabled by default; zero overhead when disabled.
   FaultConfig fault{};

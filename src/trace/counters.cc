@@ -47,6 +47,11 @@ Counters Counters::Since(const Counters& earlier) const {
   d.tlb_hits = tlb_hits - earlier.tlb_hits;
   d.tlb_misses = tlb_misses - earlier.tlb_misses;
   d.tlb_invalidations = tlb_invalidations - earlier.tlb_invalidations;
+  d.block_builds = block_builds - earlier.block_builds;
+  d.block_hits = block_hits - earlier.block_hits;
+  d.block_ops = block_ops - earlier.block_ops;
+  d.block_bailouts = block_bailouts - earlier.block_bailouts;
+  d.block_invalidations = block_invalidations - earlier.block_invalidations;
   d.sdw_recoveries = sdw_recoveries - earlier.sdw_recoveries;
   d.spurious_pages_ignored = spurious_pages_ignored - earlier.spurious_pages_ignored;
   d.machine_faults = machine_faults - earlier.machine_faults;
@@ -78,6 +83,13 @@ std::string Counters::ToString() const {
     out += StrFormat(" tlb_hits=%llu tlb_misses=%llu",
                      static_cast<unsigned long long>(tlb_hits),
                      static_cast<unsigned long long>(tlb_misses));
+  }
+  if (block_builds + block_hits + block_ops != 0) {
+    out += StrFormat(" block_builds=%llu block_hits=%llu block_ops=%llu block_bailouts=%llu",
+                     static_cast<unsigned long long>(block_builds),
+                     static_cast<unsigned long long>(block_hits),
+                     static_cast<unsigned long long>(block_ops),
+                     static_cast<unsigned long long>(block_bailouts));
   }
   for (size_t i = 0; i < traps.size(); ++i) {
     if (traps[i] != 0) {

@@ -58,6 +58,11 @@ struct Counters {
   uint64_t tlb_hits = 0;                // page walks answered by the software TLB
   uint64_t tlb_misses = 0;              // walks that read the PTW and filled the TLB
   uint64_t tlb_invalidations = 0;       // invalidation events (stores, SDW edits, flushes)
+  uint64_t block_builds = 0;            // superblocks formed from cached decodes
+  uint64_t block_hits = 0;              // dispatches served by a cached block
+  uint64_t block_ops = 0;               // instructions executed inside blocks
+  uint64_t block_bailouts = 0;          // mid-block exits to the per-instruction path
+  uint64_t block_invalidations = 0;     // blocks retired (stores, SDW edits, drops, flushes)
 
   // Hardened trap paths (see DESIGN.md, "Fault model & recovery").
   uint64_t sdw_recoveries = 0;         // corrupted cached SDW detected, flushed, resumed

@@ -1,0 +1,286 @@
+// Eviction-pressure tests for the host-side caches. Each cache is filled
+// past its capacity with keys chosen to collide in the index function, and
+// the tests pin down the two properties the fast path's correctness
+// argument leans on:
+//
+//   1. a displaced entry never answers for its old key (no stale hits
+//      after eviction), and
+//   2. a re-fill after displacement or an epoch/generation bump serves
+//      the *new* contents, not a resurrected old entry.
+//
+// The caches are purely derived state, so these are host-only unit tests:
+// nothing here touches a Machine or simulated cycles.
+#include <gtest/gtest.h>
+
+#include "src/cpu/block_cache.h"
+#include "src/cpu/insn_cache.h"
+#include "src/cpu/tlb.h"
+#include "src/cpu/verdict_cache.h"
+#include "src/mem/page_table.h"
+#include "tests/testutil.h"
+
+namespace rings {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VerdictCache: 16 direct-mapped slots, indexed segno % kEntries. Segments
+// segno and segno + kEntries collide.
+// ---------------------------------------------------------------------------
+
+Sdw PressureSdw(AbsAddr base, uint64_t bound = 32) {
+  Sdw sdw;
+  sdw.present = true;
+  sdw.base = base;
+  sdw.bound = bound;
+  sdw.access = MakeDataSegment(4, 4);
+  return sdw;
+}
+
+TEST(VerdictCachePressure, CollidingFillDisplacesAndNeverAliases) {
+  VerdictCache cache;
+  constexpr uint64_t kEpoch = 1;
+  // Fill every slot, then a full second wave that collides slot-for-slot.
+  for (Segno s = 0; s < VerdictCache::kEntries; ++s) {
+    cache.Fill(s, 4, kEpoch, PressureSdw(1000 + 100 * s));
+  }
+  for (Segno s = 0; s < VerdictCache::kEntries; ++s) {
+    const Segno hi = s + VerdictCache::kEntries;
+    cache.Fill(hi, 4, kEpoch, PressureSdw(5000 + 100 * s));
+  }
+  for (Segno s = 0; s < VerdictCache::kEntries; ++s) {
+    const Segno hi = s + VerdictCache::kEntries;
+    // The displaced first-wave segment must miss, not alias the winner.
+    EXPECT_EQ(cache.Lookup(s, 4, kEpoch), nullptr) << "stale hit for segno " << s;
+    const VerdictCache::Entry* e = cache.Lookup(hi, 4, kEpoch);
+    ASSERT_NE(e, nullptr) << "lost fill for segno " << hi;
+    EXPECT_EQ(e->base, 5000u + 100 * s);
+  }
+  // Re-fill of a displaced segment reclaims its slot with fresh contents.
+  cache.Fill(3, 4, kEpoch, PressureSdw(7777));
+  const VerdictCache::Entry* e = cache.Lookup(3, 4, kEpoch);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->base, 7777u);
+  EXPECT_EQ(cache.Lookup(3 + VerdictCache::kEntries, 4, kEpoch), nullptr);
+}
+
+TEST(VerdictCachePressure, EpochBumpRetiresEveryResidentVerdict) {
+  VerdictCache cache;
+  for (Segno s = 0; s < VerdictCache::kEntries; ++s) {
+    cache.Fill(s, 4, /*epoch=*/1, PressureSdw(1000 + s));
+  }
+  // The SDW cache flushed: every probe at the new epoch must miss even
+  // though the slots are still populated.
+  for (Segno s = 0; s < VerdictCache::kEntries; ++s) {
+    EXPECT_EQ(cache.Lookup(s, 4, /*epoch=*/2), nullptr) << "stale epoch hit, segno " << s;
+  }
+  // Refill at the new epoch supersedes the stale entry.
+  cache.Fill(5, 4, /*epoch=*/2, PressureSdw(4242));
+  const VerdictCache::Entry* e = cache.Lookup(5, 4, /*epoch=*/2);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->base, 4242u);
+  EXPECT_EQ(cache.Lookup(5, 4, /*epoch=*/1), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// InsnCache: 512 direct-mapped entries, index (wordno ^ segno*0x9E3779B1)
+// & 511. For a fixed segment, wordno and wordno + kEntries collide.
+// ---------------------------------------------------------------------------
+
+TEST(InsnCachePressure, CollidingWordsDisplaceWithoutAliasing) {
+  InsnCache cache;
+  constexpr Segno kSeg = 9;
+  // Two full waves over one segment: the second wave's wordno w + 512
+  // lands on the first wave's slot for w.
+  for (Wordno w = 0; w < InsnCache::kEntries; ++w) {
+    cache.Put(kSeg, w, 1000 + w, MakeIns(Opcode::kLda, static_cast<int32_t>(w)));
+  }
+  for (Wordno w = 0; w < InsnCache::kEntries; ++w) {
+    const Wordno hi = w + InsnCache::kEntries;
+    cache.Put(kSeg, hi, 1000 + hi, MakeIns(Opcode::kSta, static_cast<int32_t>(hi)));
+  }
+  for (Wordno w = 0; w < InsnCache::kEntries; ++w) {
+    const Wordno hi = w + InsnCache::kEntries;
+    EXPECT_EQ(cache.Lookup(kSeg, w), nullptr) << "stale hit for wordno " << w;
+    const InsnCache::Entry* e = cache.Lookup(kSeg, hi);
+    ASSERT_NE(e, nullptr) << "lost fill for wordno " << hi;
+    EXPECT_EQ(e->ins.opcode, Opcode::kSta);
+    EXPECT_EQ(e->ins.offset, static_cast<int32_t>(hi));
+    EXPECT_EQ(e->addr, 1000u + hi);
+  }
+  // Displaced word refills with current contents.
+  cache.Put(kSeg, 7, 2007, MakeIns(Opcode::kAda, 7));
+  const InsnCache::Entry* e = cache.Lookup(kSeg, 7);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ins.opcode, Opcode::kAda);
+  EXPECT_EQ(e->addr, 2007u);
+}
+
+TEST(InsnCachePressure, GenerationBumpRetiresAllThenRefills) {
+  InsnCache cache;
+  for (Wordno w = 0; w < InsnCache::kEntries; ++w) {
+    cache.Put(2, w, 5000 + w, MakeIns(Opcode::kNop));
+  }
+  cache.Flush();  // generation bump: O(1) wholesale invalidation
+  for (Wordno w = 0; w < InsnCache::kEntries; ++w) {
+    EXPECT_EQ(cache.Lookup(2, w), nullptr) << "stale post-flush hit, wordno " << w;
+  }
+  cache.Put(2, 11, 6011, MakeIns(Opcode::kLdq, 11));
+  const InsnCache::Entry* e = cache.Lookup(2, 11);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->ins.opcode, Opcode::kLdq);
+  EXPECT_EQ(e->addr, 6011u);
+}
+
+TEST(InsnCachePressure, SegmentInvalidationSurvivesPressure) {
+  InsnCache cache;
+  // Interleave two segments whose entries share slots, then drop one
+  // segment; the survivor's entries must be exactly the other segment's.
+  for (Wordno w = 0; w < InsnCache::kEntries / 2; ++w) {
+    cache.Put(1, w, 1000 + w, MakeIns(Opcode::kLda));
+    cache.Put(2, w, 9000 + w, MakeIns(Opcode::kLdq));
+  }
+  cache.InvalidateSegment(2);
+  for (Wordno w = 0; w < InsnCache::kEntries / 2; ++w) {
+    EXPECT_EQ(cache.Lookup(2, w), nullptr) << "stale hit after invalidation, wordno " << w;
+    const InsnCache::Entry* e = cache.Lookup(1, w);
+    if (e != nullptr) {  // entries displaced by segment 2's puts stay gone
+      EXPECT_EQ(e->ins.opcode, Opcode::kLda);
+      EXPECT_EQ(e->addr, 1000u + w);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tlb: 64 sets x 4 ways, set (pageno ^ segno*0x9E3779B1) % kSets. For a
+// fixed segment, pages p, p + kSets, ... share a set.
+// ---------------------------------------------------------------------------
+
+constexpr AbsAddr kTable = 0x1000;
+
+TEST(TlbPressure, OverfilledSetEvictsRoundRobinOnly) {
+  Tlb tlb;
+  // 2 * kWays colliding pages: the second wave evicts the first wave
+  // way-for-way, in fill order.
+  for (uint64_t i = 0; i < 2 * Tlb::kWays; ++i) {
+    tlb.Fill(6, i * Tlb::kSets, kTable, 0x4000 + i * kPageWords);
+  }
+  for (uint64_t i = 0; i < Tlb::kWays; ++i) {
+    EXPECT_EQ(tlb.Lookup(6, i * Tlb::kSets, kTable), nullptr) << "stale way, fill " << i;
+  }
+  for (uint64_t i = Tlb::kWays; i < 2 * Tlb::kWays; ++i) {
+    const Tlb::Entry* e = tlb.Lookup(6, i * Tlb::kSets, kTable);
+    ASSERT_NE(e, nullptr) << "lost fill " << i;
+    EXPECT_EQ(e->frame, 0x4000 + i * kPageWords);
+  }
+  // An evicted page re-walks and refills — with a *new* frame — and the
+  // hit must serve the new frame, not the evicted one.
+  tlb.Fill(6, 0, kTable, 0xF000);
+  const Tlb::Entry* e = tlb.Lookup(6, 0, kTable);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->frame, 0xF000u);
+}
+
+TEST(TlbPressure, FullCapacityFillThenFlushLeavesNoSurvivors) {
+  Tlb tlb;
+  // Fill well past total capacity (every set overflows), then flush.
+  const uint64_t kFills = 2 * Tlb::kEntries;
+  for (uint64_t i = 0; i < kFills; ++i) {
+    tlb.Fill(3, i, kTable, 0x10000 + i * kPageWords);
+  }
+  tlb.Flush();
+  for (uint64_t i = 0; i < kFills; ++i) {
+    EXPECT_EQ(tlb.Lookup(3, i, kTable), nullptr) << "stale post-flush hit, page " << i;
+  }
+  // Refill after the generation bump serves fresh translations.
+  tlb.Fill(3, 5, kTable, 0xABC00);
+  const Tlb::Entry* e = tlb.Lookup(3, 5, kTable);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->frame, 0xABC00u);
+}
+
+TEST(TlbPressure, SnoopUnderPressureDropsOnlyTheStoredPtw) {
+  Tlb tlb;
+  // Saturate one segment's sets, then snoop a single PTW store.
+  for (uint64_t i = 0; i < Tlb::kEntries; ++i) {
+    tlb.Fill(8, i, kTable, 0x20000 + i * kPageWords);
+  }
+  const size_t resident_before = [&] {
+    size_t n = 0;
+    for (uint64_t i = 0; i < Tlb::kEntries; ++i) {
+      n += tlb.Lookup(8, i, kTable) != nullptr;
+    }
+    return n;
+  }();
+  ASSERT_GT(resident_before, 0u);
+  // Pick a resident page and store to its PTW.
+  uint64_t victim = 0;
+  for (uint64_t i = 0; i < Tlb::kEntries; ++i) {
+    if (tlb.Lookup(8, i, kTable) != nullptr) {
+      victim = i;
+      break;
+    }
+  }
+  EXPECT_EQ(tlb.NoteStore(kTable + victim), 1u);
+  EXPECT_EQ(tlb.Lookup(8, victim, kTable), nullptr);
+  size_t resident_after = 0;
+  for (uint64_t i = 0; i < Tlb::kEntries; ++i) {
+    resident_after += tlb.Lookup(8, i, kTable) != nullptr;
+  }
+  EXPECT_EQ(resident_after, resident_before - 1);
+}
+
+// ---------------------------------------------------------------------------
+// BlockCache: 256 direct-mapped blocks, index (start ^ segno*0x9E3779B1)
+// & 255. For a fixed segment, starts s and s + kEntries collide.
+// ---------------------------------------------------------------------------
+
+BlockCache::Block* FillBlock(BlockCache& cache, Segno segno, Wordno start, uint16_t count) {
+  BlockCache::Block* b = cache.SlotFor(segno, start);
+  b->segno = segno;
+  b->start = start;
+  b->count = count;
+  b->ring = 4;
+  b->checks = false;
+  b->paged = false;
+  b->base = 0;
+  b->gen = cache.generation();
+  return b;
+}
+
+TEST(BlockCachePressure, CollidingStartsDisplaceWithoutAliasing) {
+  BlockCache cache;
+  constexpr Segno kSeg = 12;
+  for (Wordno s = 0; s < BlockCache::kEntries; ++s) {
+    FillBlock(cache, kSeg, s, 1);
+  }
+  for (Wordno s = 0; s < BlockCache::kEntries; ++s) {
+    FillBlock(cache, kSeg, s + BlockCache::kEntries, 2);
+  }
+  for (Wordno s = 0; s < BlockCache::kEntries; ++s) {
+    EXPECT_EQ(cache.Lookup(kSeg, s), nullptr) << "stale block at start " << s;
+    const BlockCache::Block* b = cache.Lookup(kSeg, s + BlockCache::kEntries);
+    ASSERT_NE(b, nullptr) << "lost block at start " << s + BlockCache::kEntries;
+    EXPECT_EQ(b->count, 2);
+  }
+}
+
+TEST(BlockCachePressure, FlushAndSegmentInvalidationRetireBlocks) {
+  BlockCache cache;
+  FillBlock(cache, 3, 10, 4);
+  FillBlock(cache, 5, 10, 4);
+  EXPECT_EQ(cache.InvalidateSegment(3), 1u);
+  EXPECT_EQ(cache.Lookup(3, 10), nullptr);
+  ASSERT_NE(cache.Lookup(5, 10), nullptr);
+  const uint64_t version_before = cache.version();
+  cache.Flush();  // generation bump retires everything, bumps version
+  EXPECT_EQ(cache.Lookup(5, 10), nullptr);
+  EXPECT_GT(cache.version(), version_before);
+  // Refill after the flush is served at the new generation.
+  FillBlock(cache, 5, 10, 7);
+  const BlockCache::Block* b = cache.Lookup(5, 10);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->count, 7);
+}
+
+}  // namespace
+}  // namespace rings

@@ -1,12 +1,14 @@
 // The fast-path identity: the host-side verdict and decoded-instruction
-// caches must change NOTHING the simulated machine can observe. Every
-// workload here runs twice — caches forced off, caches on — and the two
-// runs must agree bit-for-bit on architectural state (registers), the
-// simulated cycle count, every architectural event counter, the trap
-// sequence, and process outcomes. The workloads cover the tier-1 surface:
-// hot loops, indirection, demand paging, gate crossings, the supervisor
-// services, fault injection (whose RNG stream consumption must also be
-// identical), self-modifying code, and the 645-style baseline.
+// caches — and the superblock engine built on top of them — must change
+// NOTHING the simulated machine can observe. Every workload here runs
+// three times — caches forced off, caches on with the block engine off,
+// caches and block engine on — and all runs must agree bit-for-bit on
+// architectural state (registers), the simulated cycle count, every
+// architectural event counter, the trap sequence, and process outcomes.
+// The workloads cover the tier-1 surface: hot loops, indirection, demand
+// paging, gate crossings, the supervisor services, fault injection (whose
+// RNG stream consumption must also be identical), self-modifying code,
+// and the 645-style baseline.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -87,6 +89,31 @@ void ExpectFingerprintsEqual(const Fingerprint& off, const Fingerprint& on) {
   ExpectArchitecturalCountersEqual(off.counters, on.counters);
 }
 
+// The fast-path combinations every workload must agree across. Block
+// without fast path is not a combination: the engine chains fast-path
+// decodes, so it self-disables when the caches are off (asserted in
+// FastPathEngages below).
+struct PathConfig {
+  bool fast_path = true;
+  bool block_engine = true;
+};
+
+inline constexpr PathConfig kSlowPath{false, false};
+inline constexpr PathConfig kFastNoBlock{true, false};
+inline constexpr PathConfig kFastWithBlock{true, true};
+
+void ExpectAllFingerprintsEqual(const Fingerprint& slow, const Fingerprint& fast_no_block,
+                                const Fingerprint& fast_with_block) {
+  {
+    SCOPED_TRACE("slow vs fast(no block)");
+    ExpectFingerprintsEqual(slow, fast_no_block);
+  }
+  {
+    SCOPED_TRACE("fast(no block) vs fast(block)");
+    ExpectFingerprintsEqual(fast_no_block, fast_with_block);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Hardware machine: the soak fleet (hot spinner, demand pager touching all
 // four pages, gate-crossing chatterbox) with optional fault injection.
@@ -142,11 +169,12 @@ std::map<std::string, AccessControlList> FleetAcls() {
   return acls;
 }
 
-Fingerprint RunFleet(bool fast_path, uint64_t fault_seed, uint32_t fault_rate_ppm) {
+Fingerprint RunFleet(PathConfig path, uint64_t fault_seed, uint32_t fault_rate_ppm) {
   MachineConfig config;
   config.memory_words = size_t{1} << 24;
   config.quantum = 500;  // frequent dispatches
-  config.fast_path = fast_path;
+  config.fast_path = path.fast_path;
+  config.block_engine = path.block_engine;
   if (fault_rate_ppm != 0) {
     config.fault = FaultConfig::Uniform(fault_seed, fault_rate_ppm);
   }
@@ -192,7 +220,8 @@ Fingerprint RunFleet(bool fast_path, uint64_t fault_seed, uint32_t fault_rate_pp
 }
 
 TEST(FastPathDifferential, FleetNoFaults) {
-  ExpectFingerprintsEqual(RunFleet(false, 0, 0), RunFleet(true, 0, 0));
+  ExpectAllFingerprintsEqual(RunFleet(kSlowPath, 0, 0), RunFleet(kFastNoBlock, 0, 0),
+                             RunFleet(kFastWithBlock, 0, 0));
 }
 
 // With fault injection the identity is stronger: the injector's RNG
@@ -200,25 +229,36 @@ TEST(FastPathDifferential, FleetNoFaults) {
 // indirect-word retrievals, so any divergence in what the fast path
 // skips would desynchronize every subsequent injection.
 TEST(FastPathDifferential, FleetFaultSeedA) {
-  ExpectFingerprintsEqual(RunFleet(false, 0xA11CE, 2'000), RunFleet(true, 0xA11CE, 2'000));
+  ExpectAllFingerprintsEqual(RunFleet(kSlowPath, 0xA11CE, 2'000),
+                             RunFleet(kFastNoBlock, 0xA11CE, 2'000),
+                             RunFleet(kFastWithBlock, 0xA11CE, 2'000));
 }
 
 TEST(FastPathDifferential, FleetFaultSeedB) {
-  ExpectFingerprintsEqual(RunFleet(false, 0xB0B, 5'000), RunFleet(true, 0xB0B, 5'000));
+  ExpectAllFingerprintsEqual(RunFleet(kSlowPath, 0xB0B, 5'000),
+                             RunFleet(kFastNoBlock, 0xB0B, 5'000),
+                             RunFleet(kFastWithBlock, 0xB0B, 5'000));
 }
 
 // The fast path must actually engage for the runs above to mean anything.
 // The fleet's pager pounds a paged segment, so the TLB must be taking
 // hits as well as the verdict and instruction caches.
 TEST(FastPathDifferential, FastPathEngages) {
-  const Fingerprint on = RunFleet(true, 0, 0);
+  const Fingerprint on = RunFleet(kFastWithBlock, 0, 0);
   EXPECT_GT(on.counters.verdict_hits, 0u);
   EXPECT_GT(on.counters.insn_cache_hits, 0u);
   EXPECT_GT(on.counters.tlb_hits, 0u);
-  const Fingerprint off = RunFleet(false, 0, 0);
+  EXPECT_GT(on.counters.block_builds, 0u);
+  EXPECT_GT(on.counters.block_hits, 0u);
+  EXPECT_GT(on.counters.block_ops, 0u);
+  const Fingerprint no_block = RunFleet(kFastNoBlock, 0, 0);
+  EXPECT_GT(no_block.counters.verdict_hits, 0u);
+  EXPECT_EQ(no_block.counters.block_ops, 0u);
+  const Fingerprint off = RunFleet(kSlowPath, 0, 0);
   EXPECT_EQ(off.counters.verdict_hits, 0u);
   EXPECT_EQ(off.counters.insn_cache_hits, 0u);
   EXPECT_EQ(off.counters.tlb_hits, 0u);
+  EXPECT_EQ(off.counters.block_ops, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -227,9 +267,10 @@ TEST(FastPathDifferential, FastPathEngages) {
 // decode would leave A at 1 instead of 99.
 // ---------------------------------------------------------------------------
 
-Fingerprint RunSelfModify(bool fast_path) {
+Fingerprint RunSelfModify(PathConfig path) {
   MachineConfig config;
-  config.fast_path = fast_path;
+  config.fast_path = path.fast_path;
+  config.block_engine = path.block_engine;
   Machine machine(config);
   EXPECT_TRUE(machine.ok());
   // A procedure segment ring 4 may also write into: write bracket [0,4],
@@ -267,7 +308,8 @@ patch:  ldai  99
 }
 
 TEST(FastPathDifferential, SelfModifyingCode) {
-  ExpectFingerprintsEqual(RunSelfModify(false), RunSelfModify(true));
+  ExpectAllFingerprintsEqual(RunSelfModify(kSlowPath), RunSelfModify(kFastNoBlock),
+                             RunSelfModify(kFastWithBlock));
 }
 
 // ---------------------------------------------------------------------------
@@ -277,9 +319,10 @@ TEST(FastPathDifferential, SelfModifyingCode) {
 // stale translation revalidating one) would leave A at 1 instead of 99.
 // ---------------------------------------------------------------------------
 
-Fingerprint RunSelfModifyPaged(bool fast_path) {
+Fingerprint RunSelfModifyPaged(PathConfig path) {
   MachineConfig config;
-  config.fast_path = fast_path;
+  config.fast_path = path.fast_path;
+  config.block_engine = path.block_engine;
   Machine machine(config);
   EXPECT_TRUE(machine.ok());
   SegmentAccess access = MakeProcedureSegment(4, 4);
@@ -319,7 +362,8 @@ patch:  ldai  99
 }
 
 TEST(FastPathDifferential, SelfModifyingPagedCode) {
-  ExpectFingerprintsEqual(RunSelfModifyPaged(false), RunSelfModifyPaged(true));
+  ExpectAllFingerprintsEqual(RunSelfModifyPaged(kSlowPath), RunSelfModifyPaged(kFastNoBlock),
+                             RunSelfModifyPaged(kFastWithBlock));
 }
 
 // ---------------------------------------------------------------------------
@@ -349,9 +393,10 @@ d1:     .its  4, pdata, 1034
 out:    .its  4, pdata, 2058
 )";
 
-Fingerprint RunPageTableUpheaval(bool fast_path) {
+Fingerprint RunPageTableUpheaval(PathConfig path) {
   MachineConfig config;
-  config.fast_path = fast_path;
+  config.fast_path = path.fast_path;
+  config.block_engine = path.block_engine;
   Machine machine(config);
   EXPECT_TRUE(machine.ok());
   EXPECT_TRUE(machine.registry()
@@ -432,7 +477,9 @@ Fingerprint RunPageTableUpheaval(bool fast_path) {
 }
 
 TEST(FastPathDifferential, PageTableRelocationAndFrameMove) {
-  ExpectFingerprintsEqual(RunPageTableUpheaval(false), RunPageTableUpheaval(true));
+  ExpectAllFingerprintsEqual(RunPageTableUpheaval(kSlowPath),
+                             RunPageTableUpheaval(kFastNoBlock),
+                             RunPageTableUpheaval(kFastWithBlock));
 }
 
 // ---------------------------------------------------------------------------
@@ -440,9 +487,10 @@ TEST(FastPathDifferential, PageTableRelocationAndFrameMove) {
 // stressing the flush/epoch machinery.
 // ---------------------------------------------------------------------------
 
-Fingerprint RunB645(bool fast_path) {
+Fingerprint RunB645(PathConfig path) {
   MachineConfig config;
-  config.fast_path = fast_path;
+  config.fast_path = path.fast_path;
+  config.block_engine = path.block_engine;
   B645Machine machine(config);
   EXPECT_TRUE(machine.ok());
   std::map<std::string, SegmentAccess> specs;
@@ -501,7 +549,8 @@ wptr:   .its  0, data, 0
 }
 
 TEST(FastPathDifferential, B645Crossings) {
-  ExpectFingerprintsEqual(RunB645(false), RunB645(true));
+  ExpectAllFingerprintsEqual(RunB645(kSlowPath), RunB645(kFastNoBlock),
+                             RunB645(kFastWithBlock));
 }
 
 }  // namespace

@@ -12,9 +12,20 @@ altered the cost of a ring crossing or a paged reference and must either
 be fixed or acknowledged by regenerating the baseline. Because the
 baseline stores fast-path and ``*_NoFastPath`` variants side by side with
 identical ``sim_cycles``, it also pins the invariant that the host-side
-fast path (verdict cache, decoded-instruction cache, software TLB) never
-changes simulated cost. Host wall-clock (``real_time``) is recorded in
-the merged artifact for humans but is NOT gated — it varies by host.
+fast path (verdict cache, decoded-instruction cache, software TLB,
+superblock engine) never changes simulated cost. Host wall-clock
+(``real_time``, ``wall_median_ns``) is recorded in the merged artifact
+for humans but is NOT gated by default — it varies by host.
+
+Wall-clock CAN be gated opt-in, on the noise-robust statistic: each
+benchmark samples its timed region at least 5 times and reports the
+minimum as ``wall_min_ns`` (scheduling and frequency jitter only ever
+add time, so the min converges on the true cost). When a baseline entry
+contains ``wall_min_ns`` — produced by ``update --include-wall`` on the
+same host that will run the check — the gate fails if the measured min
+regresses by more than WALL_REL_TOLERANCE (one-sided: getting faster
+never fails). The committed ``BENCH_baseline.json`` stays sim-only
+because wall numbers do not transfer between hosts.
 
 Usage:
 
@@ -45,6 +56,12 @@ import sys
 # through JSON.
 REL_TOLERANCE = 1e-9
 
+# One-sided relative tolerance for the opt-in wall-clock gate: a
+# wall_min_ns regression beyond baseline * (1 + tolerance) fails. Generous
+# on purpose — even the min-of-N statistic moves with the host's thermal
+# and scheduling state.
+WALL_REL_TOLERANCE = 0.5
+
 
 def load_results(paths):
     """Merge google-benchmark JSON files into {name: {real_time, time_unit, sim}}."""
@@ -61,11 +78,13 @@ def load_results(paths):
                 continue
             name = bench["name"]
             sim = {k: v for k, v in bench.items() if k.startswith("sim_")}
+            wall = {k: v for k, v in bench.items() if k.startswith("wall_")}
             merged[name] = {
                 "real_time": bench.get("real_time"),
                 "cpu_time": bench.get("cpu_time"),
                 "time_unit": bench.get("time_unit"),
                 "sim": sim,
+                "wall": wall,
             }
     return merged
 
@@ -95,6 +114,21 @@ def cmd_check(args):
             failures.append(f"  {name}: benchmark missing from results")
             continue
         for counter, expected_value in sorted(expected.items()):
+            if counter.startswith("wall_"):
+                if counter != "wall_min_ns":
+                    continue  # medians and other wall stats are informational
+                actual = got["wall"].get(counter)
+                if actual is None:
+                    failures.append(f"  {name}: counter {counter} missing")
+                elif actual > expected_value * (1.0 + WALL_REL_TOLERANCE):
+                    failures.append(
+                        f"  {name}: {counter} regressed: baseline"
+                        f" {expected_value:.0f} ns vs result {actual:.0f} ns"
+                        f" (> {WALL_REL_TOLERANCE:.0%} slower)"
+                    )
+                else:
+                    print(f"ok: {name}: {counter} = {actual:.0f} ns (wall gate)")
+                continue
             actual = got["sim"].get(counter)
             if actual is None:
                 failures.append(f"  {name}: counter {counter} missing")
@@ -123,15 +157,22 @@ def cmd_check(args):
 
 def cmd_update(args):
     results = load_results(args.results)
-    benchmarks = {
-        name: entry["sim"] for name, entry in sorted(results.items()) if entry["sim"]
-    }
+    benchmarks = {}
+    for name, entry in sorted(results.items()):
+        if not entry["sim"]:
+            continue
+        counters = dict(entry["sim"])
+        if args.include_wall and "wall_min_ns" in entry["wall"]:
+            counters["wall_min_ns"] = entry["wall"]["wall_min_ns"]
+        benchmarks[name] = counters
     if not benchmarks:
         sys.exit("bench_check: no sim_* counters found; nothing to baseline")
     payload = {
         "comment": (
             "Deterministic simulated-cost baseline for the CI bench gate. "
-            "Values are simulated cycles/instructions, not wall-clock. "
+            "Values are simulated cycles/instructions, not wall-clock "
+            "(wall_min_ns appears only in same-host baselines made with "
+            "--include-wall). "
             "Regenerate with tools/bench_check.py update (see its --help)."
         ),
         "benchmarks": benchmarks,
@@ -155,6 +196,12 @@ def main():
 
     update = sub.add_parser("update", help="regenerate the baseline")
     update.add_argument("--baseline", required=True)
+    update.add_argument(
+        "--include-wall",
+        action="store_true",
+        help="also baseline wall_min_ns (same-host comparisons only; do not"
+        " commit a wall baseline)",
+    )
     update.add_argument("results", nargs="+", help="google-benchmark JSON files")
     update.set_defaults(func=cmd_update)
 

@@ -13,6 +13,8 @@
 //                    pair replays exactly
 //   --no-fastpath    disable the host-side verdict/decoded-instruction
 //                    caches (simulated cycles are identical either way)
+//   --no-block-engine disable the superblock execution engine while
+//                    keeping the caches (same guarantee: host-only)
 //   --stats          print the processor's event counters after the run
 //
 // The program file carries its own manifest in `;;` directive lines
@@ -159,8 +161,8 @@ Manifest ParseManifest(const std::string& source) {
   return manifest;
 }
 
-int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_path, bool stats,
-        uint64_t max_cycles, const FaultConfig& fault) {
+int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_path,
+        bool block_engine, bool stats, uint64_t max_cycles, const FaultConfig& fault) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "ringsim: cannot open %s\n", path.c_str());
@@ -193,6 +195,7 @@ int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_pa
   MachineConfig config;
   config.fault = fault;
   config.fast_path = fast_path;
+  config.block_engine = block_engine;
   Machine machine(config);
   if (!machine.ok()) {
     std::fprintf(stderr, "ringsim: machine construction failed\n");
@@ -293,14 +296,16 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool audit = false;
   bool fast_path = true;
+  bool block_engine = true;
   bool stats = false;
   uint64_t max_cycles = 100'000'000;
   uint64_t fault_seed = 1;
   uint32_t fault_rate = 0;
   std::string path;
   constexpr char kUsage[] =
-      "usage: ringsim [--list] [--trace] [--audit] [--stats] [--no-fastpath] [--max-cycles=N]\n"
-      "               [--fault-rate=PPM] [--fault-seed=N] program.asm\n";
+      "usage: ringsim [--list] [--trace] [--audit] [--stats] [--no-fastpath]\n"
+      "               [--no-block-engine] [--max-cycles=N] [--fault-rate=PPM]\n"
+      "               [--fault-seed=N] program.asm\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -311,6 +316,8 @@ int main(int argc, char** argv) {
       audit = true;
     } else if (arg == "--no-fastpath") {
       fast_path = false;
+    } else if (arg == "--no-block-engine") {
+      block_engine = false;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg.rfind("--max-cycles=", 0) == 0) {
@@ -345,5 +352,6 @@ int main(int argc, char** argv) {
     return 2;
   }
   const rings::FaultConfig fault = rings::FaultConfig::Uniform(fault_seed, fault_rate);
-  return rings::Run(path, list, trace, audit, fast_path, stats, max_cycles, fault);
+  return rings::Run(path, list, trace, audit, fast_path, block_engine, stats, max_cycles,
+                    fault);
 }
