@@ -1,12 +1,20 @@
 #include "src/base/log.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace rings {
 
 namespace {
 
-LogLevel g_level = LogLevel::kNone;
+std::atomic<LogLevel> g_level{LogLevel::kNone};
+
+// Guards the sink pointer and every emission through it (or stderr).
+// Holding the lock across the sink call is deliberate: the sink owns
+// captured state (test buffers) that a concurrent SetLogSink would
+// otherwise free mid-invocation, and serialized emission keeps lines
+// from concurrent fleet workers whole.
+std::mutex g_sink_mu;
 std::function<void(LogLevel, const std::string&)> g_sink;
 
 const char* LevelName(LogLevel level) {
@@ -27,18 +35,20 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void SetLogSink(std::function<void(LogLevel, const std::string&)> sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
   g_sink = std::move(sink);
 }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (level < g_level) {
+  if (level < GetLogLevel()) {
     return;
   }
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, message);
     return;

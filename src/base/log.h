@@ -3,6 +3,7 @@
 #ifndef SRC_BASE_LOG_H_
 #define SRC_BASE_LOG_H_
 
+#include <atomic>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -17,8 +18,12 @@ enum class LogLevel {
   kNone = 4,
 };
 
-// Global log configuration. Not thread-safe by design: the simulator is
-// single-threaded (one simulated processor per Machine).
+// Global log configuration, shared by every Machine in the process and
+// safe to use from concurrent fleet workers: the level is an atomic (so
+// the RINGS_LOG fast path stays a single relaxed load) and the sink is
+// read, replaced, and *invoked* under one mutex, which both keeps a
+// concurrent SetLogSink from destroying a sink mid-call and serializes
+// sink output so interleaved machines never shear a line.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 void SetLogSink(std::function<void(LogLevel, const std::string&)> sink);

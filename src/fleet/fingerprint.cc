@@ -1,0 +1,85 @@
+#include "src/fleet/fingerprint.h"
+
+#include "src/base/strings.h"
+
+namespace rings {
+
+namespace {
+
+void MixPointerRegister(FingerprintBuilder* fp, const PointerRegister& pr) {
+  fp->Mix(static_cast<uint64_t>(pr.ring));
+  fp->Mix(static_cast<uint64_t>(pr.segno));
+  fp->Mix(static_cast<uint64_t>(pr.wordno));
+}
+
+void MixRegisters(FingerprintBuilder* fp, const RegisterFile& regs) {
+  fp->Mix(regs.a);
+  fp->Mix(regs.q);
+  for (const uint32_t x : regs.x) {
+    fp->Mix(static_cast<uint64_t>(x));
+  }
+  for (const PointerRegister& pr : regs.pr) {
+    MixPointerRegister(fp, pr);
+  }
+  MixPointerRegister(fp, regs.ipr);
+  fp->Mix(static_cast<uint64_t>(regs.dbr.base));
+  fp->Mix(static_cast<uint64_t>(regs.dbr.bound));
+  fp->Mix(static_cast<uint64_t>(regs.dbr.stack_base));
+}
+
+void MixCounters(FingerprintBuilder* fp, const Counters& counters) {
+  Counters::ForEachField(
+      [fp, &counters](const char*, uint64_t Counters::* member, bool host_only) {
+        if (!host_only) {
+          fp->Mix(counters.*member);
+        }
+      });
+  for (const uint64_t n : counters.traps) {
+    fp->Mix(n);
+  }
+}
+
+}  // namespace
+
+std::string ProcessStatusLine(const Process& process) {
+  switch (process.state) {
+    case ProcessState::kExited:
+      return StrFormat("pid=%d user=%s state=exited code=%lld", process.pid,
+                       process.user.c_str(), static_cast<long long>(process.exit_code));
+    case ProcessState::kKilled:
+      return StrFormat("pid=%d user=%s state=killed cause=%s at %u|%u", process.pid,
+                       process.user.c_str(),
+                       std::string(TrapCauseName(process.kill_cause)).c_str(),
+                       process.kill_pc.segno, process.kill_pc.wordno);
+    default:
+      return StrFormat("pid=%d user=%s state=%d", process.pid, process.user.c_str(),
+                       static_cast<int>(process.state));
+  }
+}
+
+uint64_t FingerprintCounters(const Counters& counters) {
+  FingerprintBuilder fp;
+  MixCounters(&fp, counters);
+  return fp.digest();
+}
+
+uint64_t FingerprintMachine(const Machine& machine) {
+  FingerprintBuilder fp;
+  fp.Mix(machine.cpu().cycles());
+  MixRegisters(&fp, machine.cpu().regs());
+  MixCounters(&fp, machine.cpu().counters());
+  if (machine.trace().enabled()) {
+    for (const TraceEvent& e : machine.trace().events()) {
+      if (e.kind == EventKind::kTrap || e.kind == EventKind::kRingSwitch) {
+        fp.Mix(e.ToString());
+      }
+    }
+  }
+  for (const auto& process : machine.supervisor().processes()) {
+    fp.Mix(ProcessStatusLine(*process));
+  }
+  fp.Mix(machine.TtyOutput());
+  return fp.digest();
+}
+
+}  // namespace rings

@@ -1,0 +1,270 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "src/base/strings.h"
+#include "src/fleet/fingerprint.h"
+
+namespace rings {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+}  // namespace
+
+std::string_view MachineOutcomeName(MachineOutcome outcome) {
+  switch (outcome) {
+    case MachineOutcome::kCompleted:
+      return "completed";
+    case MachineOutcome::kFailed:
+      return "FAILED";
+    case MachineOutcome::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "?";
+}
+
+std::string MachineResult::ToString() const {
+  std::string out = StrFormat(
+      "machine %zu '%s': %s exit=%d cycles=%llu instructions=%llu fingerprint=%016llx "
+      "quanta=%llu",
+      index, name.c_str(), std::string(MachineOutcomeName(outcome)).c_str(), exit_code,
+      static_cast<unsigned long long>(cycles), static_cast<unsigned long long>(instructions),
+      static_cast<unsigned long long>(fingerprint), static_cast<unsigned long long>(quanta));
+  if (!failure.empty()) {
+    out += StrFormat(" (%s)", failure.c_str());
+  }
+  return out;
+}
+
+std::string FleetStats::ToString() const {
+  std::string out = StrFormat(
+      "fleet: %zu machine(s): %zu completed, %zu failed, %zu budget-exhausted | "
+      "sim instructions=%llu cycles=%llu | host %.3fs, %.2fM sim-insn/s",
+      machines, completed, failed, budget_exhausted,
+      static_cast<unsigned long long>(total_instructions),
+      static_cast<unsigned long long>(total_cycles), wall_seconds,
+      instructions_per_second / 1e6);
+  for (size_t w = 0; w < workers.size(); ++w) {
+    const double utilization =
+        wall_seconds > 0 ? 100.0 * workers[w].busy_seconds / wall_seconds : 0.0;
+    out += StrFormat("\n  thread %zu: %5.1f%% busy, %llu quanta (%llu stolen)", w, utilization,
+                     static_cast<unsigned long long>(workers[w].quanta),
+                     static_cast<unsigned long long>(workers[w].steals));
+  }
+  return out;
+}
+
+Fleet::Fleet(FleetConfig config) : config_(config) {
+  if (config_.threads < 1) {
+    config_.threads = 1;
+  }
+  if (config_.slice_cycles == 0) {
+    config_.slice_cycles = 1;
+  }
+}
+
+size_t Fleet::Add(FleetJob job) {
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+void Fleet::Retire(size_t index, MachineOutcome outcome, std::string host_failure) {
+  Slot& slot = slots_[index];
+  MachineResult& result = results_[index];
+  result.index = index;
+  result.name = jobs_[index].name;
+  result.outcome = outcome;
+  result.failure = std::move(host_failure);
+  result.quanta = slot.quanta;
+  if (slot.machine != nullptr) {
+    const Machine& machine = *slot.machine;
+    result.fingerprint = FingerprintMachine(machine);
+    result.cycles = machine.cpu().cycles();
+    result.instructions = machine.cpu().counters().instructions;
+    result.counters = machine.cpu().counters();
+    result.tty = machine.TtyOutput();
+    int exit_code = 0;
+    for (const auto& process : machine.supervisor().processes()) {
+      result.process_status.push_back(ProcessStatusLine(*process));
+      if (process->state == ProcessState::kExited) {
+        exit_code = std::max(exit_code, static_cast<int>(process->exit_code & 0xFF));
+      } else {
+        exit_code = 111;
+        if (result.outcome == MachineOutcome::kCompleted) {
+          result.outcome = MachineOutcome::kFailed;
+        }
+        if (result.failure.empty()) {
+          result.failure = result.process_status.back();
+        }
+      }
+    }
+    result.exit_code = exit_code;
+  } else if (result.exit_code == 0) {
+    result.exit_code = 111;
+  }
+  if (result.outcome == MachineOutcome::kBudgetExhausted && result.exit_code == 0) {
+    result.exit_code = 111;
+  }
+  slot.machine.reset();  // bound peak memory: one retired fleet member at a time
+}
+
+bool Fleet::RunQuantum(size_t index) {
+  Slot& slot = slots_[index];
+  const FleetJob& job = jobs_[index];
+#if defined(__cpp_exceptions)
+  try {
+#endif
+    if (slot.machine == nullptr) {
+      ++slot.quanta;
+      slot.machine = job.factory != nullptr ? job.factory() : nullptr;
+      if (slot.machine == nullptr || !slot.machine->ok()) {
+        slot.machine.reset();
+        Retire(index, MachineOutcome::kFailed, "machine construction failed");
+        return true;
+      }
+      return false;  // construction was this quantum's work
+    }
+    const uint64_t remaining = job.max_cycles - slot.consumed_cycles;
+    const RunResult run = slot.machine->Run(std::min(config_.slice_cycles, remaining));
+    ++slot.quanta;
+    slot.consumed_cycles += run.cycles;
+    if (run.idle) {
+      Retire(index, MachineOutcome::kCompleted, "");
+      return true;
+    }
+    if (slot.consumed_cycles >= job.max_cycles) {
+      Retire(index, MachineOutcome::kBudgetExhausted, "cycle budget exhausted");
+      return true;
+    }
+    return false;
+#if defined(__cpp_exceptions)
+  } catch (const std::exception& e) {
+    // Host-side failure isolation: this machine retires, siblings drain.
+    slot.machine.reset();
+    Retire(index, MachineOutcome::kFailed, StrFormat("host exception: %s", e.what()));
+    return true;
+  }
+#endif
+}
+
+std::optional<size_t> Fleet::Dequeue(size_t worker) {
+  Worker& own = *workers_[worker];
+  {
+    const std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.queue.empty()) {
+      const size_t index = own.queue.back();
+      own.queue.pop_back();
+      return index;
+    }
+  }
+  // Steal from the front of a sibling's queue (the machine its owner
+  // would touch last), scanning from the next worker around the ring.
+  for (size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(worker + k) % workers_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.queue.empty()) {
+      const size_t index = victim.queue.front();
+      victim.queue.pop_front();
+      ++own.stats.steals;
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
+void Fleet::WorkerLoop(size_t worker) {
+  Worker& own = *workers_[worker];
+  while (live_.load(std::memory_order_acquire) > 0) {
+    const std::optional<size_t> index = Dequeue(worker);
+    if (!index.has_value()) {
+      // Every live machine is in some worker's hands; nothing to do but
+      // let them finish (or requeue, when their quantum ends).
+      std::this_thread::yield();
+      continue;
+    }
+    const Clock::time_point start = Clock::now();
+    const bool retired = RunQuantum(*index);
+    own.stats.busy_seconds += Seconds(Clock::now() - start);
+    ++own.stats.quanta;
+    if (retired) {
+      live_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      const std::lock_guard<std::mutex> lock(own.mu);
+      own.queue.push_back(*index);
+    }
+  }
+}
+
+FleetStats Fleet::Run() {
+  const size_t n = jobs_.size();
+  results_.assign(n, MachineResult{});
+  slots_.clear();
+  slots_.resize(n);
+  const size_t threads = static_cast<size_t>(config_.threads);
+  workers_.clear();
+  for (size_t w = 0; w < threads; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Initial distribution: round-robin, so every worker starts with work
+  // and stealing only happens once queues drain unevenly.
+  for (size_t i = 0; i < n; ++i) {
+    workers_[i % threads]->queue.push_back(i);
+  }
+  live_.store(n, std::memory_order_release);
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  const double wall = Seconds(Clock::now() - start);
+
+  FleetStats stats;
+  stats.machines = n;
+  stats.wall_seconds = wall;
+  for (const MachineResult& result : results_) {
+    switch (result.outcome) {
+      case MachineOutcome::kCompleted:
+        ++stats.completed;
+        break;
+      case MachineOutcome::kFailed:
+        ++stats.failed;
+        break;
+      case MachineOutcome::kBudgetExhausted:
+        ++stats.budget_exhausted;
+        break;
+    }
+    stats.total_instructions += result.instructions;
+    stats.total_cycles += result.cycles;
+    stats.aggregate.Accumulate(result.counters);
+  }
+  stats.instructions_per_second =
+      wall > 0 ? static_cast<double>(stats.total_instructions) / wall : 0.0;
+  for (const auto& worker : workers_) {
+    stats.workers.push_back(worker->stats);
+  }
+  return stats;
+}
+
+int Fleet::ExitCode() const {
+  int exit_code = 0;
+  for (const MachineResult& result : results_) {
+    exit_code = std::max(exit_code, result.exit_code);
+  }
+  return exit_code;
+}
+
+}  // namespace rings

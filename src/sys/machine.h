@@ -66,10 +66,15 @@ class Machine {
   bool ok() const { return ok_; }
 
   PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
   Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
   Supervisor& supervisor() { return supervisor_; }
+  const Supervisor& supervisor() const { return supervisor_; }
   SegmentRegistry& registry() { return registry_; }
+  const SegmentRegistry& registry() const { return registry_; }
   EventTrace& trace() { return trace_; }
+  const EventTrace& trace() const { return trace_; }
 
   // Null unless MachineConfig::fault.enabled.
   FaultInjector* fault_injector() { return fault_injector_.get(); }

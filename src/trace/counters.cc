@@ -63,6 +63,15 @@ Counters Counters::Since(const Counters& earlier) const {
   return d;
 }
 
+void Counters::Accumulate(const Counters& other) {
+  ForEachField([this, &other](const char*, uint64_t Counters::* member, bool) {
+    this->*member += other.*member;
+  });
+  for (size_t i = 0; i < traps.size(); ++i) {
+    traps[i] += other.traps[i];
+  }
+}
+
 std::string Counters::ToString() const {
   std::string out = StrFormat(
       "instructions=%llu reads=%llu writes=%llu sdw_fetches=%llu sdw_hits=%llu checks=%llu "
@@ -71,7 +80,8 @@ std::string Counters::ToString() const {
       static_cast<unsigned long long>(memory_writes),
       static_cast<unsigned long long>(sdw_fetches),
       static_cast<unsigned long long>(sdw_cache_hits),
-      static_cast<unsigned long long>(TotalChecks()), static_cast<unsigned long long>(TotalTraps()));
+      static_cast<unsigned long long>(TotalChecks()),
+      static_cast<unsigned long long>(TotalTraps()));
   if (verdict_hits + verdict_misses + insn_cache_hits + insn_cache_misses != 0) {
     out += StrFormat(" verdict_hits=%llu verdict_misses=%llu insn_hits=%llu insn_misses=%llu",
                      static_cast<unsigned long long>(verdict_hits),

@@ -85,6 +85,70 @@ struct Counters {
   // region of execution.
   Counters Since(const Counters& earlier) const;
 
+  // Adds every counter (including the traps array) of `other` into this
+  // one. This is the fleet-level merge: summing each machine's counters
+  // gives the aggregate simulated work of the whole fleet.
+  void Accumulate(const Counters& other);
+
+  // Visits every scalar counter as fn(name, member_pointer, host_only).
+  // host_only marks the host-side fast-path statistics (verdict_* /
+  // insn_cache_* / tlb_* / block_*): they describe host work saved, not
+  // simulated events, and are the only counters excluded from
+  // differential fingerprints. The traps array is architectural and is
+  // visited by callers directly.
+  template <typename Fn>
+  static void ForEachField(Fn&& fn) {
+    auto arch = [&fn](const char* name, uint64_t Counters::* member) {
+      fn(name, member, /*host_only=*/false);
+    };
+    auto host = [&fn](const char* name, uint64_t Counters::* member) {
+      fn(name, member, /*host_only=*/true);
+    };
+    arch("instructions", &Counters::instructions);
+    arch("memory_reads", &Counters::memory_reads);
+    arch("memory_writes", &Counters::memory_writes);
+    arch("sdw_fetches", &Counters::sdw_fetches);
+    arch("sdw_cache_hits", &Counters::sdw_cache_hits);
+    arch("indirect_words", &Counters::indirect_words);
+    arch("page_walks", &Counters::page_walks);
+    arch("pages_supplied", &Counters::pages_supplied);
+    arch("links_snapped", &Counters::links_snapped);
+    arch("checks_fetch", &Counters::checks_fetch);
+    arch("checks_read", &Counters::checks_read);
+    arch("checks_write", &Counters::checks_write);
+    arch("checks_indirect", &Counters::checks_indirect);
+    arch("checks_transfer", &Counters::checks_transfer);
+    arch("checks_call", &Counters::checks_call);
+    arch("checks_return", &Counters::checks_return);
+    arch("calls_same_ring", &Counters::calls_same_ring);
+    arch("calls_downward", &Counters::calls_downward);
+    arch("returns_same_ring", &Counters::returns_same_ring);
+    arch("returns_upward", &Counters::returns_upward);
+    arch("supervisor_steps", &Counters::supervisor_steps);
+    arch("upward_calls_emulated", &Counters::upward_calls_emulated);
+    arch("downward_returns_emulated", &Counters::downward_returns_emulated);
+    arch("argument_words_copied", &Counters::argument_words_copied);
+    host("verdict_hits", &Counters::verdict_hits);
+    host("verdict_misses", &Counters::verdict_misses);
+    host("verdict_invalidations", &Counters::verdict_invalidations);
+    host("insn_cache_hits", &Counters::insn_cache_hits);
+    host("insn_cache_misses", &Counters::insn_cache_misses);
+    host("insn_cache_invalidations", &Counters::insn_cache_invalidations);
+    host("tlb_hits", &Counters::tlb_hits);
+    host("tlb_misses", &Counters::tlb_misses);
+    host("tlb_invalidations", &Counters::tlb_invalidations);
+    host("block_builds", &Counters::block_builds);
+    host("block_hits", &Counters::block_hits);
+    host("block_ops", &Counters::block_ops);
+    host("block_bailouts", &Counters::block_bailouts);
+    host("block_invalidations", &Counters::block_invalidations);
+    arch("sdw_recoveries", &Counters::sdw_recoveries);
+    arch("spurious_pages_ignored", &Counters::spurious_pages_ignored);
+    arch("machine_faults", &Counters::machine_faults);
+    arch("trap_storm_kills", &Counters::trap_storm_kills);
+    arch("double_faults", &Counters::double_faults);
+  }
+
   std::string ToString() const;
 };
 

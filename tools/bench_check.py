@@ -17,6 +17,13 @@ superblock engine) never changes simulated cost. Host wall-clock
 (``real_time``, ``wall_median_ns``) is recorded in the merged artifact
 for humans but is NOT gated by default — it varies by host.
 
+Benchmarks whose names differ only in a ``threads:N`` argument (the
+fleet-engine scaling variants from bench_fleet) must report identical
+``sim_*`` counters: the fleet determinism contract says thread count may
+change host throughput but never any simulated result. The gate enforces
+this invariance across every loaded result, independent of the baseline,
+so a determinism break fails CI even before the baseline is consulted.
+
 Wall-clock CAN be gated opt-in, on the noise-robust statistic: each
 benchmark samples its timed region at least 5 times and reports the
 minimum as ``wall_min_ns`` (scheduling and frequency jitter only ever
@@ -49,6 +56,7 @@ Exit status: 0 on pass, 1 on drift or missing benchmarks, 2 on bad input.
 
 import argparse
 import json
+import re
 import sys
 
 # Relative tolerance for comparing simulated costs. The values are
@@ -94,6 +102,43 @@ def drifted(baseline_value, pr_value):
     return abs(baseline_value - pr_value) > REL_TOLERANCE * scale
 
 
+def check_thread_invariance(results):
+    """sim_* counters must be identical across thread-count variants.
+
+    Groups benchmarks whose names differ only in a ``threads:N`` argument
+    and reports any sim_* counter that varies within a group. Returns a
+    list of failure lines (empty when the invariant holds).
+    """
+    groups = {}
+    for name, entry in sorted(results.items()):
+        key = re.sub(r"threads:\d+", "threads:*", name)
+        if key != name:
+            groups.setdefault(key, []).append((name, entry["sim"]))
+    failures = []
+    for key, members in sorted(groups.items()):
+        if len(members) < 2:
+            continue
+        ref_name, ref_sim = members[0]
+        counters = set(ref_sim)
+        for name, sim in members[1:]:
+            counters |= set(sim)
+        for counter in sorted(counters):
+            values = {name: sim.get(counter) for name, sim in members}
+            distinct = set(values.values())
+            if len(distinct) == 1:
+                continue
+            detail = ", ".join(f"{n}={v!r}" for n, v in sorted(values.items()))
+            failures.append(
+                f"  {key}: {counter} varies with thread count ({detail})"
+            )
+        if not any(key in f for f in failures):
+            print(
+                f"ok: {key}: {len(counters)} sim counter(s) invariant across"
+                f" {len(members)} thread variant(s)"
+            )
+    return failures
+
+
 def cmd_check(args):
     try:
         with open(args.baseline) as f:
@@ -107,7 +152,7 @@ def cmd_check(args):
             json.dump({"benchmarks": results}, f, indent=2, sort_keys=True)
             f.write("\n")
 
-    failures = []
+    failures = check_thread_invariance(results)
     for name, expected in sorted(baseline.items()):
         got = results.get(name)
         if got is None:

@@ -16,6 +16,14 @@
 //   --no-block-engine disable the superblock execution engine while
 //                    keeping the caches (same guarantee: host-only)
 //   --stats          print the processor's event counters after the run
+//   --fleet=N        run N independent machines, each loaded with the
+//                    same program, across a worker-thread pool; prints a
+//                    per-machine status line and a fleet summary, and
+//                    exits nonzero if any machine does. With
+//                    --fault-rate, machine i is seeded fault-seed+i.
+//   --threads=T      fleet worker threads (default 1); per-machine
+//                    results are bit-identical for every T
+//   --slice-cycles=N simulated cycles per fleet scheduling quantum
 //
 // The program file carries its own manifest in `;;` directive lines
 // (ordinary `;` comments to the assembler):
@@ -39,6 +47,7 @@
 #include <vector>
 
 #include "src/base/strings.h"
+#include "src/fleet/fleet.h"
 #include "src/kasm/assembler.h"
 #include "src/kasm/disassembler.h"
 #include "src/sup/audit.h"
@@ -161,28 +170,50 @@ Manifest ParseManifest(const std::string& source) {
   return manifest;
 }
 
-int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_path,
-        bool block_engine, bool stats, uint64_t max_cycles, const FaultConfig& fault) {
+// Everything a run needs from the program file: the raw source, the `;;`
+// manifest, and the assembled segments. ok=false means the error was
+// already reported.
+struct LoadedSource {
+  std::string source;
+  Manifest manifest;
+  AssembleResult assembled;
+  bool ok = false;
+};
+
+LoadedSource LoadSource(const std::string& path) {
+  LoadedSource loaded;
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "ringsim: cannot open %s\n", path.c_str());
-    return 2;
+    return loaded;
   }
   std::stringstream buffer;
   buffer << file.rdbuf();
-  const std::string source = buffer.str();
+  loaded.source = buffer.str();
 
-  const Manifest manifest = ParseManifest(source);
-  if (!manifest.ok()) {
-    std::fprintf(stderr, "ringsim: manifest: %s\n", manifest.error.c_str());
-    return 2;
+  loaded.manifest = ParseManifest(loaded.source);
+  if (!loaded.manifest.ok()) {
+    std::fprintf(stderr, "ringsim: manifest: %s\n", loaded.manifest.error.c_str());
+    return loaded;
   }
-  const AssembleResult assembled = Assemble(source);
-  if (!assembled.ok) {
+  loaded.assembled = Assemble(loaded.source);
+  if (!loaded.assembled.ok) {
     std::fprintf(stderr, "ringsim: %s: %s\n", path.c_str(),
-                 assembled.error.ToString().c_str());
+                 loaded.assembled.error.ToString().c_str());
+    return loaded;
+  }
+  loaded.ok = true;
+  return loaded;
+}
+
+int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_path,
+        bool block_engine, bool stats, uint64_t max_cycles, const FaultConfig& fault) {
+  const LoadedSource loaded = LoadSource(path);
+  if (!loaded.ok) {
     return 2;
   }
+  const Manifest& manifest = loaded.manifest;
+  const AssembleResult& assembled = loaded.assembled;
 
   if (list) {
     for (const AssembledSegment& seg : assembled.program.segments) {
@@ -276,6 +307,75 @@ int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_pa
   return exit_code;
 }
 
+// Fleet mode: N machines, each loaded with the same program, scheduled
+// across a worker-thread pool. Per-machine results (and the process exit
+// status) are bit-identical at any --threads value; only the host
+// throughput and per-thread utilization in the summary vary.
+int RunFleet(const std::string& path, uint64_t fleet_size, int threads, uint64_t slice_cycles,
+             bool fast_path, bool block_engine, bool stats, uint64_t max_cycles,
+             uint64_t fault_seed, uint32_t fault_rate) {
+  const LoadedSource loaded = LoadSource(path);
+  if (!loaded.ok) {
+    return 2;
+  }
+
+  FleetConfig fleet_config;
+  fleet_config.threads = threads;
+  if (slice_cycles > 0) {
+    fleet_config.slice_cycles = slice_cycles;
+  }
+  Fleet fleet(fleet_config);
+  for (uint64_t i = 0; i < fleet_size; ++i) {
+    // The factory runs on a worker thread; `loaded` outlives fleet.Run(),
+    // which blocks until every machine retires.
+    const auto factory = [&loaded, fast_path, block_engine, fault_seed, fault_rate,
+                          i]() -> std::unique_ptr<Machine> {
+      MachineConfig config;
+      config.fast_path = fast_path;
+      config.block_engine = block_engine;
+      if (fault_rate > 0) {
+        // Derived seed: every machine gets its own reproducible stream.
+        config.fault = FaultConfig::Uniform(fault_seed + i, fault_rate);
+      }
+      auto machine = std::make_unique<Machine>(config);
+      if (!machine->ok() ||
+          !machine->LoadProgram(loaded.assembled.program, loaded.manifest.acls)) {
+        return nullptr;
+      }
+      machine->TtyFeedInput(loaded.manifest.tty_input);
+      for (const StartSpec& spec : loaded.manifest.starts) {
+        Process* p = machine->Login(spec.user);
+        if (p == nullptr) {
+          return nullptr;
+        }
+        machine->supervisor().InitiateAll(p);
+        if (!machine->Start(p, spec.segment, spec.entry, spec.ring)) {
+          return nullptr;
+        }
+      }
+      return machine;
+    };
+    fleet.Add(StrFormat("machine-%llu", static_cast<unsigned long long>(i)), factory,
+              max_cycles);
+  }
+
+  const FleetStats fleet_stats = fleet.Run();
+  for (const MachineResult& result : fleet.results()) {
+    std::printf("%s\n", result.ToString().c_str());
+    for (const std::string& line : result.process_status) {
+      std::printf("  %s\n", line.c_str());
+    }
+    if (!result.tty.empty()) {
+      std::printf("  tty: %s\n", result.tty.c_str());
+    }
+  }
+  if (stats) {
+    std::printf("aggregate counters: %s\n", fleet_stats.aggregate.ToString().c_str());
+  }
+  std::printf("%s\n", fleet_stats.ToString().c_str());
+  return fleet.ExitCode();
+}
+
 // Strict decimal parse: the whole string must be digits. strtoul alone
 // would turn a typo'd value into 0 and silently disable the feature.
 bool ParseU64(const char* s, uint64_t* out) {
@@ -301,11 +401,15 @@ int main(int argc, char** argv) {
   uint64_t max_cycles = 100'000'000;
   uint64_t fault_seed = 1;
   uint32_t fault_rate = 0;
+  uint64_t fleet_size = 0;
+  uint64_t threads = 1;
+  uint64_t slice_cycles = 0;
   std::string path;
   constexpr char kUsage[] =
       "usage: ringsim [--list] [--trace] [--audit] [--stats] [--no-fastpath]\n"
       "               [--no-block-engine] [--max-cycles=N] [--fault-rate=PPM]\n"
-      "               [--fault-seed=N] program.asm\n";
+      "               [--fault-seed=N] [--fleet=N [--threads=T] [--slice-cycles=N]]\n"
+      "               program.asm\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -337,6 +441,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       fault_rate = static_cast<uint32_t>(ppm);
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 8, &fleet_size) || fleet_size == 0) {
+        std::fprintf(stderr, "ringsim: %s: expected a machine count >= 1\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 10, &threads) || threads == 0 || threads > 1024) {
+        std::fprintf(stderr, "ringsim: %s: expected a thread count in 1..1024\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--slice-cycles=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 15, &slice_cycles) || slice_cycles == 0) {
+        std::fprintf(stderr, "ringsim: %s: expected a cycle count >= 1\n", arg.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("%s", kUsage);
       return 0;
@@ -350,6 +469,10 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
+  }
+  if (fleet_size > 0) {
+    return rings::RunFleet(path, fleet_size, static_cast<int>(threads), slice_cycles,
+                           fast_path, block_engine, stats, max_cycles, fault_seed, fault_rate);
   }
   const rings::FaultConfig fault = rings::FaultConfig::Uniform(fault_seed, fault_rate);
   return rings::Run(path, list, trace, audit, fast_path, block_engine, stats, max_cycles,
