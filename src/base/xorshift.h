@@ -39,6 +39,15 @@ class Xorshift {
   // Bernoulli trial with probability num/den.
   bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
 
+  // Raw generator state, for checkpointing a stream mid-run (snapshot
+  // images capture the fault injector's RNG so a restored machine draws
+  // the exact sequence the live one would have).
+  uint64_t state(int i) const { return state_[i]; }
+  void set_state(uint64_t s0, uint64_t s1) {
+    state_[0] = s0;
+    state_[1] = s1;
+  }
+
  private:
   uint64_t state_[2];
 };

@@ -203,6 +203,26 @@ class Cpu {
     timer_enabled_ = instructions > 0;
   }
   int64_t timer() const { return timer_; }
+  bool timer_enabled() const { return timer_enabled_; }
+
+  // --- snapshot support (src/snapshot) ----------------------------------
+  // Exact state restore, used only by the snapshot reader after it has
+  // flushed every derived cache. Unlike Rett/SetDbr/SetTimer these charge
+  // nothing and flush nothing: the image already carries the exact cycle
+  // count, counters, and descriptor-cache contents to reinstate.
+  void RestoreExecutionState(const RegisterFile& regs, const Tpr& tpr, uint64_t cycles) {
+    regs_ = regs;
+    tpr_ = tpr;
+    cycles_ = cycles;
+  }
+  void RestoreTrapState(bool pending, const TrapState& state) {
+    trap_pending_ = pending;
+    trap_state_ = state;
+  }
+  void RestoreTimer(bool enabled, int64_t value) {
+    timer_enabled_ = enabled;
+    timer_ = value;
+  }
 
   // Privileged SIO instructions are routed here (device = reg field,
   // operand = the IOCB word read from memory).

@@ -16,6 +16,10 @@ std::string_view FaultSiteName(FaultSite site) {
       return "spurious_missing_page";
     case FaultSite::kIoDelay:
       return "io_delay";
+    case FaultSite::kSnapshotWrite:
+      return "snapshot_write";
+    case FaultSite::kSnapshotRead:
+      return "snapshot_read";
     case FaultSite::kNumSites:
       break;
   }
@@ -29,7 +33,13 @@ std::string FaultEvent::ToString() const {
                    std::string(FaultSiteName(site)).c_str(), segno, wordno, detail.c_str());
 }
 
-FaultInjector::FaultInjector(FaultConfig config) : config_(config), rng_(config.seed) {}
+// Salt for the snapshot-site stream ("SNAPSHOT" in ASCII): derived from
+// the same seed for reproducibility, but decoupled from the architectural
+// stream so checkpoint writes never advance the guest-visible sequence.
+constexpr uint64_t kSnapshotStreamSalt = 0x534E415053484F54ull;
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed), snapshot_rng_(config.seed ^ kSnapshotStreamSalt) {}
 
 bool FaultInjector::Roll(FaultSite site) {
   const uint32_t ppm = config_.rate(site);
@@ -126,6 +136,34 @@ uint64_t FaultInjector::MaybeIoDelay(uint64_t cycle) {
   Record(FaultSite::kIoDelay, cycle, 0, 0,
          StrFormat("completion delayed %llu cycles", static_cast<unsigned long long>(delay)));
   return delay;
+}
+
+bool FaultInjector::MaybeCorruptSnapshotByte(FaultSite site, uint64_t cycle, size_t image_bytes,
+                                             size_t* byte_index, uint8_t* xor_mask) {
+  const uint32_t ppm = config_.rate(site);
+  if (image_bytes == 0 || !config_.enabled || ppm == 0 ||
+      !snapshot_rng_.Chance(ppm, 1'000'000)) {
+    return false;
+  }
+  *byte_index = snapshot_rng_.Below(image_bytes);
+  // A single-bit flip is the classic storage fault; the mask is always
+  // nonzero so every injection actually damages the image.
+  *xor_mask = static_cast<uint8_t>(1u << snapshot_rng_.Below(8));
+  Record(site, cycle, 0, 0,
+         StrFormat("image byte %zu xor 0x%02x", *byte_index, unsigned(*xor_mask)));
+  return true;
+}
+
+bool FaultInjector::MaybeCorruptSnapshotWrite(uint64_t cycle, size_t image_bytes,
+                                              size_t* byte_index, uint8_t* xor_mask) {
+  return MaybeCorruptSnapshotByte(FaultSite::kSnapshotWrite, cycle, image_bytes, byte_index,
+                                  xor_mask);
+}
+
+bool FaultInjector::MaybeCorruptSnapshotRead(uint64_t cycle, size_t image_bytes,
+                                             size_t* byte_index, uint8_t* xor_mask) {
+  return MaybeCorruptSnapshotByte(FaultSite::kSnapshotRead, cycle, image_bytes, byte_index,
+                                  xor_mask);
 }
 
 uint64_t FaultInjector::total_injected() const {

@@ -41,6 +41,8 @@ enum class FaultSite {
   kIndirectRingCorruption, // ring field of an indirect word raised
   kSpuriousMissingPage,    // missing-page trap with nothing actually wrong
   kIoDelay,                // extra latency on an I/O completion
+  kSnapshotWrite,          // a snapshot image byte damaged on its way to stable storage
+  kSnapshotRead,           // a snapshot image byte damaged on its way back
   kNumSites,
 };
 
@@ -114,6 +116,18 @@ class FaultInjector {
   // Extra cycles to add to an I/O completion (0 = no fault).
   uint64_t MaybeIoDelay(uint64_t cycle);
 
+  // Snapshot-path faults: a byte of an image damaged on its way to stable
+  // storage (kSnapshotWrite) or back (kSnapshotRead). On injection fills
+  // the byte index and a nonzero XOR mask; the snapshot layer applies the
+  // damage and its CRCs detect it (tests pin the structured rejection).
+  // These sites draw from a dedicated stream, never the architectural
+  // one: checkpointing frequency must not perturb the guest-visible fault
+  // sequence (crash-consistent checkpointing is observation-free).
+  bool MaybeCorruptSnapshotWrite(uint64_t cycle, size_t image_bytes, size_t* byte_index,
+                                 uint8_t* xor_mask);
+  bool MaybeCorruptSnapshotRead(uint64_t cycle, size_t image_bytes, size_t* byte_index,
+                                uint8_t* xor_mask);
+
   // --- accounting --------------------------------------------------------
 
   const std::vector<FaultEvent>& events() const { return events_; }
@@ -123,12 +137,40 @@ class FaultInjector {
   uint64_t total_injected() const;
   std::string Summary() const;
 
+  // --- snapshot support (src/snapshot) -----------------------------------
+  // The injector's stream is machine state: a restored machine must draw
+  // the exact fault sequence the live one would have drawn.
+  const Xorshift& rng() const { return rng_; }
+  const Xorshift& snapshot_rng() const { return snapshot_rng_; }
+  uint64_t sequence() const { return sequence_; }
+  const std::array<uint64_t, kNumFaultSites>& counts() const { return counts_; }
+  void RestoreStream(uint64_t rng_state0, uint64_t rng_state1, uint64_t snapshot_state0,
+                     uint64_t snapshot_state1,
+                     const std::array<uint64_t, kNumFaultSites>& counts, uint64_t sequence,
+                     std::vector<FaultEvent> events) {
+    rng_.set_state(rng_state0, rng_state1);
+    snapshot_rng_.set_state(snapshot_state0, snapshot_state1);
+    counts_ = counts;
+    sequence_ = sequence;
+    events_ = std::move(events);
+  }
+
+  // Fleet self-healing: a machine restarted from a checkpoint would
+  // otherwise replay the exact injected fault that killed it. Disarming
+  // models the transient hardware fault having been repaired; recovery
+  // stays deterministic because the decision depends only on the
+  // machine's own trajectory.
+  void Disarm() { config_.enabled = false; }
+
  private:
   bool Roll(FaultSite site);
+  bool MaybeCorruptSnapshotByte(FaultSite site, uint64_t cycle, size_t image_bytes,
+                                size_t* byte_index, uint8_t* xor_mask);
   void Record(FaultSite site, uint64_t cycle, Segno segno, Wordno wordno, std::string detail);
 
   FaultConfig config_;
-  Xorshift rng_;
+  Xorshift rng_;            // architectural sites: guest-visible stream
+  Xorshift snapshot_rng_;   // kSnapshotWrite/kSnapshotRead only
   std::vector<FaultEvent> events_;
   std::array<uint64_t, kNumFaultSites> counts_{};
   uint64_t sequence_ = 0;

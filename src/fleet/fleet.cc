@@ -5,8 +5,10 @@
 #include <exception>
 #include <thread>
 
+#include "src/base/log.h"
 #include "src/base/strings.h"
 #include "src/fleet/fingerprint.h"
+#include "src/snapshot/snapshot.h"
 
 namespace rings {
 
@@ -39,6 +41,9 @@ std::string MachineResult::ToString() const {
       index, name.c_str(), std::string(MachineOutcomeName(outcome)).c_str(), exit_code,
       static_cast<unsigned long long>(cycles), static_cast<unsigned long long>(instructions),
       static_cast<unsigned long long>(fingerprint), static_cast<unsigned long long>(quanta));
+  if (restarts > 0) {
+    out += StrFormat(" restarts=%d%s", restarts, recovered ? " (recovered)" : "");
+  }
   if (!failure.empty()) {
     out += StrFormat(" (%s)", failure.c_str());
   }
@@ -53,6 +58,10 @@ std::string FleetStats::ToString() const {
       static_cast<unsigned long long>(total_instructions),
       static_cast<unsigned long long>(total_cycles), wall_seconds,
       instructions_per_second / 1e6);
+  if (restarts > 0) {
+    out += StrFormat("\n  self-healing: %zu restart(s), %zu machine(s) recovered", restarts,
+                     recovered);
+  }
   for (size_t w = 0; w < workers.size(); ++w) {
     const double utilization =
         wall_seconds > 0 ? 100.0 * workers[w].busy_seconds / wall_seconds : 0.0;
@@ -85,6 +94,7 @@ void Fleet::Retire(size_t index, MachineOutcome outcome, std::string host_failur
   result.outcome = outcome;
   result.failure = std::move(host_failure);
   result.quanta = slot.quanta;
+  result.restarts = slot.restarts;
   if (slot.machine != nullptr) {
     const Machine& machine = *slot.machine;
     result.fingerprint = FingerprintMachine(machine);
@@ -114,7 +124,57 @@ void Fleet::Retire(size_t index, MachineOutcome outcome, std::string host_failur
   if (result.outcome == MachineOutcome::kBudgetExhausted && result.exit_code == 0) {
     result.exit_code = 111;
   }
+  result.recovered = result.restarts > 0 && result.outcome == MachineOutcome::kCompleted;
   slot.machine.reset();  // bound peak memory: one retired fleet member at a time
+}
+
+void Fleet::MaybeCheckpoint(size_t index) {
+  Slot& slot = slots_[index];
+  std::vector<uint8_t> image;
+  std::string error;
+  // The machine's own injector is the write injector: a kSnapshotWrite
+  // fault damages the image in flight, the verification pass below
+  // rejects it, and the slot keeps its previous good checkpoint.
+  if (!SaveSnapshot(*slot.machine, &image, &error, slot.machine->fault_injector())) {
+    RINGS_LOG(kWarning) << "fleet machine " << index << ": checkpoint save failed: " << error;
+    return;
+  }
+  if (!VerifySnapshot(image, &error)) {
+    RINGS_LOG(kWarning) << "fleet machine " << index
+                        << ": checkpoint failed verification, keeping previous: " << error;
+    return;
+  }
+  slot.checkpoint = std::move(image);
+  slot.checkpoint_cycles = slot.consumed_cycles;
+}
+
+bool Fleet::TryRestart(size_t index, const std::string& why) {
+  Slot& slot = slots_[index];
+  if (slot.restarts >= config_.max_restarts || slot.checkpoint.empty()) {
+    return false;
+  }
+  const FleetJob& job = jobs_[index];
+  std::unique_ptr<Machine> fresh = job.factory != nullptr ? job.factory() : nullptr;
+  if (fresh == nullptr || !fresh->ok()) {
+    return false;
+  }
+  std::string error;
+  if (!RestoreSnapshot(slot.checkpoint, fresh.get(), &error)) {
+    RINGS_LOG(kWarning) << "fleet machine " << index << ": checkpoint restore failed: " << error;
+    return false;
+  }
+  // The fault that brought the machine down was a transient injected one;
+  // the restarted machine runs on repaired hardware. (Re-arming the
+  // injector would deterministically replay the same fatal fault.)
+  if (fresh->fault_injector() != nullptr) {
+    fresh->fault_injector()->Disarm();
+  }
+  slot.machine = std::move(fresh);
+  slot.consumed_cycles = slot.checkpoint_cycles;
+  ++slot.restarts;
+  RINGS_LOG(kInfo) << "fleet machine " << index << ": restarted from checkpoint (attempt "
+                   << slot.restarts << "): " << why;
+  return true;
 }
 
 bool Fleet::RunQuantum(size_t index) {
@@ -131,6 +191,9 @@ bool Fleet::RunQuantum(size_t index) {
         Retire(index, MachineOutcome::kFailed, "machine construction failed");
         return true;
       }
+      if (config_.checkpoint_every_quanta > 0) {
+        MaybeCheckpoint(index);  // baseline image: loaded, nothing run yet
+      }
       return false;  // construction was this quantum's work
     }
     const uint64_t remaining = job.max_cycles - slot.consumed_cycles;
@@ -138,6 +201,16 @@ bool Fleet::RunQuantum(size_t index) {
     ++slot.quanta;
     slot.consumed_cycles += run.cycles;
     if (run.idle) {
+      bool clean = true;
+      for (const auto& process : slot.machine->supervisor().processes()) {
+        if (process->state != ProcessState::kExited) {
+          clean = false;
+          break;
+        }
+      }
+      if (!clean && TryRestart(index, "machine went down with a non-exited process")) {
+        return false;
+      }
       Retire(index, MachineOutcome::kCompleted, "");
       return true;
     }
@@ -145,12 +218,20 @@ bool Fleet::RunQuantum(size_t index) {
       Retire(index, MachineOutcome::kBudgetExhausted, "cycle budget exhausted");
       return true;
     }
+    if (config_.checkpoint_every_quanta > 0 &&
+        slot.quanta % config_.checkpoint_every_quanta == 0) {
+      MaybeCheckpoint(index);
+    }
     return false;
 #if defined(__cpp_exceptions)
   } catch (const std::exception& e) {
     // Host-side failure isolation: this machine retires, siblings drain.
+    const std::string what = StrFormat("host exception: %s", e.what());
     slot.machine.reset();
-    Retire(index, MachineOutcome::kFailed, StrFormat("host exception: %s", e.what()));
+    if (TryRestart(index, what)) {
+      return false;
+    }
+    Retire(index, MachineOutcome::kFailed, what);
     return true;
   }
 #endif
@@ -249,6 +330,10 @@ FleetStats Fleet::Run() {
     }
     stats.total_instructions += result.instructions;
     stats.total_cycles += result.cycles;
+    stats.restarts += static_cast<size_t>(result.restarts);
+    if (result.recovered) {
+      ++stats.recovered;
+    }
     stats.aggregate.Accumulate(result.counters);
   }
   stats.instructions_per_second =

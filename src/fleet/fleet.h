@@ -46,6 +46,16 @@ struct FleetConfig {
   // stuck behind one machine); the value never affects any machine's
   // final state, only host scheduling granularity.
   uint64_t slice_cycles = 250'000;
+  // Crash-consistent checkpointing: every N quanta a machine's state is
+  // serialized (src/snapshot) and verified; the last good image is kept
+  // in the machine's slot. 0 disables checkpointing.
+  uint64_t checkpoint_every_quanta = 0;
+  // Self-healing: a machine that fails (killed process, machine fault,
+  // trap storm, host exception) is restarted from its last verified
+  // checkpoint up to this many times, with its fault injector disarmed
+  // (the model: the transient hardware fault was repaired). 0 means
+  // failures retire the machine immediately.
+  int max_restarts = 0;
 };
 
 // One machine's place in the fleet. The factory runs on a worker thread
@@ -96,6 +106,12 @@ struct MachineResult {
   // Host-side bookkeeping (legitimately varies across runs).
   uint64_t quanta = 0;
 
+  // Self-healing bookkeeping: how many times this machine was restarted
+  // from a checkpoint, and whether a restarted machine went on to
+  // complete cleanly.
+  int restarts = 0;
+  bool recovered = false;
+
   bool ok() const { return outcome == MachineOutcome::kCompleted; }
   std::string ToString() const;
 };
@@ -112,6 +128,10 @@ struct FleetStats {
   size_t completed = 0;
   size_t failed = 0;
   size_t budget_exhausted = 0;
+  // Self-healing: total checkpoint restarts across the fleet, and how
+  // many machines completed after at least one restart.
+  size_t restarts = 0;
+  size_t recovered = 0;
 
   // Aggregate simulated work: per-machine counters merged with
   // Counters::Accumulate. Thread-count invariant.
@@ -160,6 +180,11 @@ class Fleet {
     std::unique_ptr<Machine> machine;
     uint64_t consumed_cycles = 0;
     uint64_t quanta = 0;
+    // Last verified checkpoint image (empty when checkpointing is off or
+    // no good image exists yet) and the consumed-cycle mark it captures.
+    std::vector<uint8_t> checkpoint;
+    uint64_t checkpoint_cycles = 0;
+    int restarts = 0;
   };
 
   struct Worker {
@@ -171,6 +196,13 @@ class Fleet {
   // Runs one quantum of machine `index`; returns true when the machine
   // retired (result recorded, machine destroyed).
   bool RunQuantum(size_t index);
+  // Serializes and verifies the machine's state into its slot's
+  // checkpoint (keeping the previous image if this one fails to verify).
+  void MaybeCheckpoint(size_t index);
+  // Attempts a restart from the slot's last verified checkpoint; false
+  // when restarts are exhausted, no checkpoint exists, or restore fails
+  // (the caller retires the machine as it would have without healing).
+  bool TryRestart(size_t index, const std::string& why);
   void Retire(size_t index, MachineOutcome outcome, std::string host_failure);
   std::optional<size_t> Dequeue(size_t worker);
   void WorkerLoop(size_t worker);

@@ -77,6 +77,18 @@ class PhysicalMemory {
   // Words handed out so far (for diagnostics and memory-usage reports).
   AbsAddr allocated() const { return next_free_; }
 
+  // --- snapshot support (src/snapshot) -----------------------------------
+  // The raw store, for image serialization.
+  const std::vector<Word>& contents() const { return store_; }
+  // Replaces the store wholesale. `store` must already be size() words
+  // (the snapshot reader rejects size mismatches before calling this).
+  void RestoreContents(std::vector<Word> store) { store_ = std::move(store); }
+  void RestoreAllocator(AbsAddr next_free) { next_free_ = next_free; }
+  void RestoreFaultLatch(std::optional<MemoryFault> fault, uint64_t fault_count) {
+    latched_fault_ = fault;
+    fault_count_ = fault_count;
+  }
+
  private:
   void LatchFault(AbsAddr addr, bool write) const;
 

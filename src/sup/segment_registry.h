@@ -92,6 +92,18 @@ class SegmentRegistry {
   Segno next_segno() const { return next_segno_; }
   const std::vector<RegisteredSegment>& segments() const { return segments_; }
 
+  // Snapshot support: replaces the registry wholesale (segment storage
+  // itself lives in PhysicalMemory and is restored with the core image);
+  // the by-name index is rebuilt from the restored table.
+  void RestoreState(Segno next_segno, std::vector<RegisteredSegment> segments) {
+    next_segno_ = next_segno;
+    segments_ = std::move(segments);
+    by_name_.clear();
+    for (size_t i = 0; i < segments_.size(); ++i) {
+      by_name_[segments_[i].name] = i;
+    }
+  }
+
  private:
   PhysicalMemory* memory_;
   Segno next_segno_ = 8;  // kFirstSharedSegno

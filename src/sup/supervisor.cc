@@ -979,4 +979,60 @@ void Supervisor::ReleaseStackArea(Ring ring, uint64_t words) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot support
+// ---------------------------------------------------------------------------
+
+Supervisor::SchedulerSnapshot Supervisor::SnapshotScheduler() const {
+  SchedulerSnapshot sched;
+  sched.ready_pids.reserve(ready_.size());
+  for (const Process* p : ready_) {
+    sched.ready_pids.push_back(p->pid);
+  }
+  sched.current_pid = current_ != nullptr ? current_->pid : 0;
+  sched.handling_trap = handling_trap_;
+  sched.next_pid = next_pid_;
+  sched.anonymous_segments = anonymous_segments_;
+  return sched;
+}
+
+bool Supervisor::RestoreProcesses(std::vector<std::unique_ptr<Process>> processes,
+                                  const SchedulerSnapshot& sched, std::string* error) {
+  processes_ = std::move(processes);
+  ready_.clear();
+  current_ = nullptr;
+  handling_trap_ = sched.handling_trap;
+  next_pid_ = sched.next_pid;
+  anonymous_segments_ = sched.anonymous_segments;
+
+  auto find_pid = [this](int pid) -> Process* {
+    for (const auto& p : processes_) {
+      if (p->pid == pid) {
+        return p.get();
+      }
+    }
+    return nullptr;
+  };
+  for (const int pid : sched.ready_pids) {
+    Process* p = find_pid(pid);
+    if (p == nullptr) {
+      if (error != nullptr) {
+        *error = StrFormat("scheduler names unknown ready pid %d", pid);
+      }
+      return false;
+    }
+    ready_.push_back(p);
+  }
+  if (sched.current_pid != 0) {
+    current_ = find_pid(sched.current_pid);
+    if (current_ == nullptr) {
+      if (error != nullptr) {
+        *error = StrFormat("scheduler names unknown current pid %d", sched.current_pid);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace rings

@@ -109,6 +109,35 @@ class Supervisor {
 
   const Options& options() const { return options_; }
   void set_quantum(int64_t quantum) { options_.quantum = quantum; }
+  void set_trap_storm_limit(int64_t limit) { options_.trap_storm_limit = limit; }
+
+  // --- snapshot support (src/snapshot) ------------------------------------
+
+  // Scheduler state by pid (processes are identified by pid in the image;
+  // pointers are rebuilt on restore). current_pid 0 = no current process.
+  struct SchedulerSnapshot {
+    std::vector<int> ready_pids;
+    int current_pid = 0;
+    bool handling_trap = false;
+    int next_pid = 1;
+    int anonymous_segments = 0;
+  };
+  SchedulerSnapshot SnapshotScheduler() const;
+
+  // Replaces the process table and scheduler state. Every pid named by
+  // `sched` must exist in `processes`; returns false (with *error filled)
+  // otherwise, leaving the supervisor unusable — callers treat that as a
+  // failed restore and discard the machine.
+  bool RestoreProcesses(std::vector<std::unique_ptr<Process>> processes,
+                        const SchedulerSnapshot& sched, std::string* error);
+
+  void RestoreTty(std::string output, std::string input) {
+    tty_output_ = std::move(output);
+    tty_input_ = std::move(input);
+  }
+  void RestoreRegisteredUsers(std::vector<std::string> users) {
+    registered_users_ = std::move(users);
+  }
 
  private:
   // Charges `steps` logical supervisor steps to the cycle account.

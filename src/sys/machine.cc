@@ -59,6 +59,19 @@ bool Machine::LoadProgramSource(std::string_view source,
   return LoadProgram(result.program, acls, error);
 }
 
+FaultInjector* Machine::EnsureFaultInjector(const FaultConfig& config) {
+  config_.fault = config;
+  fault_injector_ = std::make_unique<FaultInjector>(config);
+  cpu_.set_fault_injector(fault_injector_.get());
+  return fault_injector_.get();
+}
+
+void Machine::ClearFaultInjector() {
+  fault_injector_.reset();
+  cpu_.set_fault_injector(nullptr);
+  config_.fault = FaultConfig{};
+}
+
 void Machine::StartIo(uint8_t device, Word detail) {
   (void)detail;
   ++tty_operations_;

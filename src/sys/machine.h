@@ -59,6 +59,12 @@ struct RunResult {
 
 class Machine {
  public:
+  // A scheduled I/O completion on the simulated channel.
+  struct IoEvent {
+    uint64_t due_cycle = 0;
+    uint8_t device = 0;
+  };
+
   explicit Machine(MachineConfig config = MachineConfig{});
 
   // False if construction failed (resource exhaustion during supervisor
@@ -119,12 +125,21 @@ class Machine {
   std::optional<Word> PeekSegment(const std::string& name, Wordno wordno) const;
   bool PokeSegment(const std::string& name, Wordno wordno, Word value);
 
- private:
-  struct IoEvent {
-    uint64_t due_cycle = 0;
-    uint8_t device = 0;
-  };
+  // --- snapshot support (src/snapshot) ------------------------------------
+  const MachineConfig& config() const { return config_; }
+  const std::deque<IoEvent>& pending_io() const { return pending_io_; }
+  void RestorePendingIo(std::deque<IoEvent> io) { pending_io_ = std::move(io); }
+  void RestoreDeviceCounters(uint64_t tty_operations, uint64_t audit_runs) {
+    tty_operations_ = tty_operations;
+    audit_runs_ = audit_runs;
+  }
+  // Installs (or reconfigures) the fault injector so an image's injector
+  // stream can be reinstated on a machine built without one; returns the
+  // live injector. ClearFaultInjector removes it (image had none).
+  FaultInjector* EnsureFaultInjector(const FaultConfig& config);
+  void ClearFaultInjector();
 
+ private:
   void StartIo(uint8_t device, Word detail);
 
   // Runs the protection auditor once and accumulates findings.

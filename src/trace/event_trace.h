@@ -56,6 +56,21 @@ class EventTrace {
 
   std::string Dump() const;
 
+  size_t capacity() const { return capacity_; }
+
+  // Snapshot support: replaces the buffered events and the enable flag
+  // (the event sequence feeds the machine fingerprint when enabled, so a
+  // restored machine must resume with the identical buffer). Events past
+  // this trace's capacity are trimmed from the front, matching what
+  // Record would have retained.
+  void Restore(bool enabled, std::deque<TraceEvent> events) {
+    enabled_ = enabled;
+    events_ = std::move(events);
+    while (events_.size() > capacity_) {
+      events_.pop_front();
+    }
+  }
+
  private:
   size_t capacity_;
   bool enabled_ = false;

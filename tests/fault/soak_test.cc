@@ -7,11 +7,15 @@
 // aborts, every killed process carrying a cause.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/cpu/verdict_cache.h"
 #include "src/fault/fault_injector.h"
+#include "src/fleet/fingerprint.h"
 #include "src/mem/page_table.h"
+#include "src/snapshot/snapshot.h"
 #include "src/sup/audit.h"
 #include "src/sys/machine.h"
 
@@ -188,6 +192,77 @@ void RunSoak(uint64_t seed) {
 TEST(FaultSoak, SeedA) { ASSERT_NO_FATAL_FAILURE(RunSoak(0xA11CE)); }
 TEST(FaultSoak, SeedB) { ASSERT_NO_FATAL_FAILURE(RunSoak(0xB0B)); }
 TEST(FaultSoak, SeedC) { ASSERT_NO_FATAL_FAILURE(RunSoak(0xCAFE)); }
+
+// A snapshot taken mid-soak — injector stream live, pages half-filled,
+// processes possibly already killed by injected faults — restores into a
+// fresh machine whose continued trajectory is fingerprint-identical to
+// the uninterrupted run, audits and all.
+TEST(FaultSoak, MidSoakSnapshotRestoreIsFingerprintIdentical) {
+  MachineConfig config;
+  config.memory_words = size_t{1} << 22;
+  config.quantum = 200;
+  config.audit_every_quantum = true;
+  config.fault.seed = 0xA11CE;
+  config.fault.set_rate(FaultSite::kSdwCorruption, 2'000);
+  config.fault.set_rate(FaultSite::kSdwCacheDrop, 1'000);
+  config.fault.set_rate(FaultSite::kIndirectRingCorruption, 50);
+  config.fault.set_rate(FaultSite::kSpuriousMissingPage, 300);
+  config.fault.set_rate(FaultSite::kIoDelay, 200'000);
+
+  const auto make = [&config]() -> std::unique_ptr<Machine> {
+    auto machine = std::make_unique<Machine>(config);
+    if (!machine->ok() ||
+        !machine->registry()
+             .CreatePagedSegment("bigdata", 4 * kPageWords,
+                                 AccessControlList::Public(MakeDataSegment(4, 4)),
+                                 /*populate=*/false)
+             .has_value() ||
+        !machine->LoadProgramSource(kWorkloadSource, WorkloadAcls())) {
+      return nullptr;
+    }
+    if (SpawnFleet(*machine, 0) != 3) {
+      return nullptr;
+    }
+    return machine;
+  };
+
+  // Both sides run the same sequence of bounded slices; the cut lands
+  // between slices kCut-1 and kCut.
+  constexpr int kSlices = 6;
+  constexpr int kCut = 3;
+  constexpr uint64_t kSliceCycles = 500'000;
+
+  const std::unique_ptr<Machine> uninterrupted = make();
+  ASSERT_NE(uninterrupted, nullptr);
+  for (int i = 0; i < kSlices; ++i) {
+    uninterrupted->Run(kSliceCycles);
+  }
+
+  const std::unique_ptr<Machine> live = make();
+  ASSERT_NE(live, nullptr);
+  for (int i = 0; i < kCut; ++i) {
+    live->Run(kSliceCycles);
+  }
+  std::vector<uint8_t> image;
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(*live, &image, &error)) << error;
+  ASSERT_TRUE(VerifySnapshot(image, &error)) << error;
+
+  Machine restored(config);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(RestoreSnapshot(image, &restored, &error)) << error;
+  for (int i = kCut; i < kSlices; ++i) {
+    restored.Run(kSliceCycles);
+  }
+
+  EXPECT_EQ(FingerprintMachine(restored), FingerprintMachine(*uninterrupted));
+  EXPECT_EQ(restored.cpu().cycles(), uninterrupted->cpu().cycles());
+  ASSERT_NE(restored.fault_injector(), nullptr);
+  ASSERT_NE(uninterrupted->fault_injector(), nullptr);
+  EXPECT_EQ(restored.fault_injector()->sequence(),
+            uninterrupted->fault_injector()->sequence());
+  EXPECT_TRUE(AuditClean(restored.audit_findings()));
+}
 
 // The injector's restriction-only guarantee, pinned against the verdict
 // cache: a verdict filled from a corrupted SDW may only DENY accesses the

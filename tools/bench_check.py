@@ -80,11 +80,18 @@ def load_results(paths):
                 data = json.load(f)
         except (OSError, ValueError) as e:
             sys.exit(f"bench_check: cannot read {path}: {e}")
-        for bench in data.get("benchmarks", []):
+        benches = data.get("benchmarks", [])
+        if not isinstance(benches, list):
+            sys.exit(f'bench_check: {path}: "benchmarks" is not a list')
+        for i, bench in enumerate(benches):
+            if not isinstance(bench, dict):
+                sys.exit(f"bench_check: {path}: benchmark entry #{i} is not an object")
             # Skip mean/median/stddev rows from --benchmark_repetitions.
             if bench.get("run_type") == "aggregate":
                 continue
-            name = bench["name"]
+            name = bench.get("name")
+            if not isinstance(name, str):
+                sys.exit(f'bench_check: {path}: benchmark entry #{i} has no "name" key')
             sim = {k: v for k, v in bench.items() if k.startswith("sim_")}
             wall = {k: v for k, v in bench.items() if k.startswith("wall_")}
             merged[name] = {
@@ -145,6 +152,24 @@ def cmd_check(args):
             baseline = json.load(f)["benchmarks"]
     except (OSError, ValueError, KeyError) as e:
         sys.exit(f"bench_check: cannot read baseline {args.baseline}: {e}")
+    if not isinstance(baseline, dict):
+        sys.exit(
+            f'bench_check: baseline {args.baseline}: "benchmarks" must map'
+            " benchmark names to counter objects"
+        )
+    for name, expected in sorted(baseline.items()):
+        if not isinstance(expected, dict):
+            sys.exit(
+                f'bench_check: baseline {args.baseline}: entry "{name}" must be'
+                " an object of counters (regenerate with"
+                " tools/bench_check.py update)"
+            )
+        for counter, value in sorted(expected.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                sys.exit(
+                    f'bench_check: baseline {args.baseline}: "{name}" counter'
+                    f' "{counter}" is not a number (got {value!r})'
+                )
     results = load_results(args.results)
 
     if args.merge_out:

@@ -24,6 +24,16 @@
 //   --threads=T      fleet worker threads (default 1); per-machine
 //                    results are bit-identical for every T
 //   --slice-cycles=N simulated cycles per fleet scheduling quantum
+//   --checkpoint-every=N  (fleet) checkpoint each machine every N quanta
+//                    and restart failed machines from their last verified
+//                    checkpoint (see --max-restarts)
+//   --max-restarts=R (fleet) restart a failed machine from its checkpoint
+//                    up to R times (default 0: failures retire)
+//   --snapshot-out=F serialize the machine's complete architectural state
+//                    to F after the run (combine with --max-cycles to
+//                    capture a mid-program image)
+//   --restore=F      restore a machine from image F (instead of loading a
+//                    program) and run it to completion
 //
 // The program file carries its own manifest in `;;` directive lines
 // (ordinary `;` comments to the assembler):
@@ -50,6 +60,7 @@
 #include "src/fleet/fleet.h"
 #include "src/kasm/assembler.h"
 #include "src/kasm/disassembler.h"
+#include "src/snapshot/snapshot.h"
 #include "src/sup/audit.h"
 #include "src/sys/machine.h"
 
@@ -206,8 +217,52 @@ LoadedSource LoadSource(const std::string& path) {
   return loaded;
 }
 
+// Post-run reporting shared by program and restore modes: trace events,
+// tty output, fault summary, counters, per-process status; returns the
+// process-derived exit code (max exited code, 111 for any unfinished).
+int ReportRun(const Machine& machine, const RunResult& result, bool trace, bool stats) {
+  if (trace) {
+    for (const TraceEvent& e : machine.trace().events()) {
+      if (e.kind == EventKind::kRingSwitch || e.kind == EventKind::kTrap) {
+        std::printf("%s\n", e.ToString().c_str());
+      }
+    }
+  }
+  if (!machine.TtyOutput().empty()) {
+    std::printf("tty: %s\n", machine.TtyOutput().c_str());
+  }
+  if (machine.fault_injector() != nullptr) {
+    std::printf("%s\n", machine.fault_injector()->Summary().c_str());
+    if (trace) {
+      for (const FaultEvent& e : machine.fault_injector()->events()) {
+        std::printf("fault: %s\n", e.ToString().c_str());
+      }
+    }
+  }
+  if (stats) {
+    std::printf("counters: %s\n", machine.cpu().counters().ToString().c_str());
+  }
+  std::printf("%s\n", result.ToString().c_str());
+  int exit_code = 0;
+  for (const auto& p : machine.supervisor().processes()) {
+    if (p->state == ProcessState::kExited) {
+      std::printf("process %d ('%s'): exited with %lld\n", p->pid, p->user.c_str(),
+                  static_cast<long long>(p->exit_code));
+      exit_code = std::max(exit_code, static_cast<int>(p->exit_code & 0xFF));
+    } else {
+      std::printf("process %d ('%s'): %s (%s at %u|%u)\n", p->pid, p->user.c_str(),
+                  p->state == ProcessState::kKilled ? "KILLED" : "did not finish",
+                  std::string(TrapCauseName(p->kill_cause)).c_str(), p->kill_pc.segno,
+                  p->kill_pc.wordno);
+      exit_code = 111;
+    }
+  }
+  return exit_code;
+}
+
 int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_path,
-        bool block_engine, bool stats, uint64_t max_cycles, const FaultConfig& fault) {
+        bool block_engine, bool stats, uint64_t max_cycles, const FaultConfig& fault,
+        const std::string& snapshot_out) {
   const LoadedSource loaded = LoadSource(path);
   if (!loaded.ok) {
     return 2;
@@ -268,43 +323,62 @@ int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_pa
 
   const RunResult result = machine.Run(max_cycles);
 
-  if (trace) {
-    for (const TraceEvent& e : machine.trace().events()) {
-      if (e.kind == EventKind::kRingSwitch || e.kind == EventKind::kTrap) {
-        std::printf("%s\n", e.ToString().c_str());
-      }
+  if (!snapshot_out.empty()) {
+    std::string snap_error;
+    if (!SaveSnapshotFile(machine, snapshot_out, &snap_error, machine.fault_injector())) {
+      std::fprintf(stderr, "ringsim: snapshot: %s\n", snap_error.c_str());
+      return 2;
     }
+    std::printf("snapshot: wrote %s\n", snapshot_out.c_str());
   }
-  if (!machine.TtyOutput().empty()) {
-    std::printf("tty: %s\n", machine.TtyOutput().c_str());
+  return ReportRun(machine, result, trace, stats);
+}
+
+// Restore mode: rebuild a machine from a snapshot image and run it to
+// completion. The machine shape (memory size, cycle model, mode,
+// quantum) comes from the image's meta section; a corrupted, truncated,
+// or incompatible image is rejected with a structured error and exit 2.
+int RunRestore(const std::string& restore_path, const std::string& snapshot_out, bool trace,
+               bool fast_path, bool block_engine, bool stats, uint64_t max_cycles) {
+  std::vector<uint8_t> image;
+  std::string error;
+  if (!ReadSnapshotFile(restore_path, &image, &error)) {
+    std::fprintf(stderr, "ringsim: restore: %s\n", error.c_str());
+    return 2;
   }
-  if (machine.fault_injector() != nullptr) {
-    std::printf("%s\n", machine.fault_injector()->Summary().c_str());
-    if (trace) {
-      for (const FaultEvent& e : machine.fault_injector()->events()) {
-        std::printf("fault: %s\n", e.ToString().c_str());
-      }
+  SnapshotMeta meta;
+  if (!PeekSnapshotMeta(image, &meta, &error)) {
+    std::fprintf(stderr, "ringsim: restore: %s: %s\n", restore_path.c_str(), error.c_str());
+    return 2;
+  }
+  MachineConfig config;
+  config.memory_words = meta.memory_words;
+  config.cycle_model = meta.cycle_model;
+  config.quantum = meta.quantum;
+  config.mode = meta.mode;
+  config.fast_path = fast_path;
+  config.block_engine = block_engine;
+  Machine machine(config);
+  if (!machine.ok()) {
+    std::fprintf(stderr, "ringsim: machine construction failed\n");
+    return 2;
+  }
+  if (!RestoreSnapshot(image, &machine, &error)) {
+    std::fprintf(stderr, "ringsim: restore: %s: %s\n", restore_path.c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("restored %s (cycles=%llu)\n", restore_path.c_str(),
+              static_cast<unsigned long long>(machine.cpu().cycles()));
+  const RunResult result = machine.Run(max_cycles);
+  if (!snapshot_out.empty()) {
+    std::string snap_error;
+    if (!SaveSnapshotFile(machine, snapshot_out, &snap_error, machine.fault_injector())) {
+      std::fprintf(stderr, "ringsim: snapshot: %s\n", snap_error.c_str());
+      return 2;
     }
+    std::printf("snapshot: wrote %s\n", snapshot_out.c_str());
   }
-  if (stats) {
-    std::printf("counters: %s\n", machine.cpu().counters().ToString().c_str());
-  }
-  std::printf("%s\n", result.ToString().c_str());
-  int exit_code = 0;
-  for (const Process* p : processes) {
-    if (p->state == ProcessState::kExited) {
-      std::printf("process %d ('%s'): exited with %lld\n", p->pid, p->user.c_str(),
-                  static_cast<long long>(p->exit_code));
-      exit_code = std::max(exit_code, static_cast<int>(p->exit_code & 0xFF));
-    } else {
-      std::printf("process %d ('%s'): %s (%s at %u|%u)\n", p->pid, p->user.c_str(),
-                  p->state == ProcessState::kKilled ? "KILLED" : "did not finish",
-                  std::string(TrapCauseName(p->kill_cause)).c_str(), p->kill_pc.segno,
-                  p->kill_pc.wordno);
-      exit_code = 111;
-    }
-  }
-  return exit_code;
+  return ReportRun(machine, result, trace, stats);
 }
 
 // Fleet mode: N machines, each loaded with the same program, scheduled
@@ -312,8 +386,8 @@ int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_pa
 // status) are bit-identical at any --threads value; only the host
 // throughput and per-thread utilization in the summary vary.
 int RunFleet(const std::string& path, uint64_t fleet_size, int threads, uint64_t slice_cycles,
-             bool fast_path, bool block_engine, bool stats, uint64_t max_cycles,
-             uint64_t fault_seed, uint32_t fault_rate) {
+             uint64_t checkpoint_every, int max_restarts, bool fast_path, bool block_engine,
+             bool stats, uint64_t max_cycles, uint64_t fault_seed, uint32_t fault_rate) {
   const LoadedSource loaded = LoadSource(path);
   if (!loaded.ok) {
     return 2;
@@ -324,6 +398,8 @@ int RunFleet(const std::string& path, uint64_t fleet_size, int threads, uint64_t
   if (slice_cycles > 0) {
     fleet_config.slice_cycles = slice_cycles;
   }
+  fleet_config.checkpoint_every_quanta = checkpoint_every;
+  fleet_config.max_restarts = max_restarts;
   Fleet fleet(fleet_config);
   for (uint64_t i = 0; i < fleet_size; ++i) {
     // The factory runs on a worker thread; `loaded` outlives fleet.Run(),
@@ -404,12 +480,22 @@ int main(int argc, char** argv) {
   uint64_t fleet_size = 0;
   uint64_t threads = 1;
   uint64_t slice_cycles = 0;
+  uint64_t checkpoint_every = 0;
+  uint64_t max_restarts = 0;
+  bool saw_fleet_only_flag = false;
+  std::string fleet_only_flag;
   std::string path;
+  std::string snapshot_out;
+  std::string restore_path;
   constexpr char kUsage[] =
       "usage: ringsim [--list] [--trace] [--audit] [--stats] [--no-fastpath]\n"
       "               [--no-block-engine] [--max-cycles=N] [--fault-rate=PPM]\n"
-      "               [--fault-seed=N] [--fleet=N [--threads=T] [--slice-cycles=N]]\n"
-      "               program.asm\n";
+      "               [--fault-seed=N] [--snapshot-out=FILE]\n"
+      "               [--fleet=N [--threads=T] [--slice-cycles=N]\n"
+      "                [--checkpoint-every=N] [--max-restarts=R]]\n"
+      "               program.asm\n"
+      "       ringsim --restore=FILE [--trace] [--stats] [--max-cycles=N]\n"
+      "               [--no-fastpath] [--no-block-engine] [--snapshot-out=FILE]\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -451,30 +537,87 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ringsim: %s: expected a thread count in 1..1024\n", arg.c_str());
         return 2;
       }
+      saw_fleet_only_flag = true;
+      fleet_only_flag = "--threads";
     } else if (arg.rfind("--slice-cycles=", 0) == 0) {
       if (!rings::ParseU64(arg.c_str() + 15, &slice_cycles) || slice_cycles == 0) {
         std::fprintf(stderr, "ringsim: %s: expected a cycle count >= 1\n", arg.c_str());
+        return 2;
+      }
+      saw_fleet_only_flag = true;
+      fleet_only_flag = "--slice-cycles";
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 19, &checkpoint_every) || checkpoint_every == 0) {
+        std::fprintf(stderr, "ringsim: %s: expected a quantum count >= 1\n", arg.c_str());
+        return 2;
+      }
+      saw_fleet_only_flag = true;
+      fleet_only_flag = "--checkpoint-every";
+    } else if (arg.rfind("--max-restarts=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 15, &max_restarts) || max_restarts > 1000) {
+        std::fprintf(stderr, "ringsim: %s: expected a restart count in 0..1000\n", arg.c_str());
+        return 2;
+      }
+      saw_fleet_only_flag = true;
+      fleet_only_flag = "--max-restarts";
+    } else if (arg.rfind("--snapshot-out=", 0) == 0) {
+      snapshot_out = arg.substr(15);
+      if (snapshot_out.empty()) {
+        std::fprintf(stderr, "ringsim: %s: expected a file path\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--restore=", 0) == 0) {
+      restore_path = arg.substr(10);
+      if (restore_path.empty()) {
+        std::fprintf(stderr, "ringsim: %s: expected a file path\n", arg.c_str());
         return 2;
       }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("%s", kUsage);
       return 0;
     } else if (!arg.empty() && arg[0] != '-') {
+      if (!path.empty()) {
+        std::fprintf(stderr, "ringsim: unexpected extra argument '%s' ('%s' already given)\n",
+                     arg.c_str(), path.c_str());
+        return 2;
+      }
       path = arg;
     } else {
       std::fprintf(stderr, "ringsim: unknown option %s (try --help)\n", arg.c_str());
       return 2;
     }
   }
+  if (fleet_size == 0 && saw_fleet_only_flag) {
+    std::fprintf(stderr, "ringsim: %s is only valid with --fleet=N\n", fleet_only_flag.c_str());
+    return 2;
+  }
+  if (!restore_path.empty()) {
+    if (!path.empty()) {
+      std::fprintf(stderr, "ringsim: --restore takes no program file (got '%s')\n",
+                   path.c_str());
+      return 2;
+    }
+    if (fleet_size > 0) {
+      std::fprintf(stderr, "ringsim: --restore cannot be combined with --fleet\n");
+      return 2;
+    }
+    return rings::RunRestore(restore_path, snapshot_out, trace, fast_path, block_engine, stats,
+                             max_cycles);
+  }
   if (path.empty()) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   if (fleet_size > 0) {
+    if (!snapshot_out.empty()) {
+      std::fprintf(stderr, "ringsim: --snapshot-out is only valid in single-machine mode\n");
+      return 2;
+    }
     return rings::RunFleet(path, fleet_size, static_cast<int>(threads), slice_cycles,
-                           fast_path, block_engine, stats, max_cycles, fault_seed, fault_rate);
+                           checkpoint_every, static_cast<int>(max_restarts), fast_path,
+                           block_engine, stats, max_cycles, fault_seed, fault_rate);
   }
   const rings::FaultConfig fault = rings::FaultConfig::Uniform(fault_seed, fault_rate);
   return rings::Run(path, list, trace, audit, fast_path, block_engine, stats, max_cycles,
-                    fault);
+                    fault, snapshot_out);
 }

@@ -1,0 +1,30 @@
+# Snapshot round trip through the ringsim CLI:
+#   1. run the program under a small cycle budget and write an image
+#   2. restore the image and run to completion
+#   3. the restored run must finish cleanly and produce the program's tty
+# Invoked by ctest with -DRINGSIM=... -DPROGRAM=... -DWORKDIR=...
+set(image "${WORKDIR}/roundtrip.snapshot")
+file(REMOVE "${image}")
+
+execute_process(
+  COMMAND "${RINGSIM}" --max-cycles=2000 "--snapshot-out=${image}" "${PROGRAM}"
+  RESULT_VARIABLE save_result
+  OUTPUT_VARIABLE save_output
+  ERROR_VARIABLE save_output)
+# The truncated run may or may not have finished; only the image matters.
+if(NOT EXISTS "${image}")
+  message(FATAL_ERROR "snapshot image was not written (exit ${save_result}): ${save_output}")
+endif()
+
+execute_process(
+  COMMAND "${RINGSIM}" "--restore=${image}"
+  RESULT_VARIABLE restore_result
+  OUTPUT_VARIABLE restore_output
+  ERROR_VARIABLE restore_output)
+# hello.asm's process exits with code 5, which ringsim propagates.
+if(NOT restore_result EQUAL 5)
+  message(FATAL_ERROR "restored run failed (exit ${restore_result}): ${restore_output}")
+endif()
+if(NOT restore_output MATCHES "tty: HELLO")
+  message(FATAL_ERROR "restored run did not produce the program tty: ${restore_output}")
+endif()
