@@ -491,6 +491,9 @@ bool Cpu::StepBlock(uint64_t cycle_bound) {
     }
     regs_.ipr.wordno = op.wordno + 1;
     Execute(op.ins);
+    if (block_call_ablation_ && op.ins.opcode == Opcode::kCall) {
+      ++cycles_;  // deliberately broken (fuzz-oracle test hook); see cpu.h
+    }
     if (trap_pending_) {
       return false;
     }

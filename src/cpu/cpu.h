@@ -97,6 +97,15 @@ class Cpu {
   }
   const BlockCache& block_cache() const { return block_cache_; }
 
+  // Test-only sabotage of the superblock engine, used by the fuzz
+  // harness (src/fuzz) to prove its differential oracle catches a broken
+  // engine: every CALL executed from inside a block charges one spurious
+  // cycle the per-instruction path never charges — exactly the class of
+  // bug (a host execution path drifting from the architectural one) the
+  // fuzzer exists to catch. Never set outside tests and --fuzz-ablation.
+  bool block_call_ablation() const { return block_call_ablation_; }
+  void set_block_call_ablation(bool enabled) { block_call_ablation_ = enabled; }
+
   // Hardware fault injection (nullptr = disabled; the hooks are a single
   // pointer test when off). The injector is consulted at SDW fetch, at
   // instruction boundaries (cache drops, spurious page faults), and when
@@ -432,6 +441,7 @@ class Cpu {
   InsnCache insn_cache_;
   Tlb tlb_;
   bool block_engine_enabled_ = true;
+  bool block_call_ablation_ = false;
   BlockCache block_cache_;
   FaultInjector* fault_injector_ = nullptr;
   uint64_t cycles_ = 0;

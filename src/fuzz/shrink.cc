@@ -1,0 +1,227 @@
+#include "src/fuzz/shrink.h"
+
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/isa/opcode.h"
+
+namespace rings {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::istringstream stream(source);
+  std::string line;
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// Lines the delete pass never removes: manifest directives and segment
+// structure. Everything else (code, data, labels, comments, blanks) is
+// fair game — a candidate that breaks assembly just fails the oracle.
+bool Protected(const std::string& line) {
+  const std::string_view t = StripWhitespace(line);
+  return t.substr(0, 2) == ";;" || t.substr(0, 8) == ".segment" || t.substr(0, 6) == ".gates";
+}
+
+// Splits "label:   rest" into its parts; label empty when absent.
+void SplitLabel(const std::string& line, std::string* label, std::string* rest) {
+  const size_t colon = line.find(':');
+  const size_t semi = line.find(';');
+  if (colon != std::string::npos && (semi == std::string::npos || colon < semi) &&
+      line.find_first_not_of(" \t") < colon) {
+    *label = std::string(StripWhitespace(line.substr(0, colon)));
+    *rest = std::string(StripWhitespace(line.substr(colon + 1)));
+  } else {
+    label->clear();
+    *rest = std::string(StripWhitespace(line));
+  }
+}
+
+// The mnemonic of an instruction line ("" for directives/data/comments).
+std::string MnemonicOf(const std::string& line) {
+  std::string label;
+  std::string rest;
+  SplitLabel(line, &label, &rest);
+  if (rest.empty() || rest[0] == ';' || rest[0] == '.') {
+    return "";
+  }
+  const size_t end = rest.find_first_of(" \t");
+  const std::string word = rest.substr(0, end);
+  return OpcodeFromMnemonic(word).has_value() ? word : "";
+}
+
+class Shrinker {
+ public:
+  Shrinker(std::vector<std::string> lines, const ShrinkOracle& oracle, const ShrinkOptions& options)
+      : lines_(std::move(lines)), oracle_(oracle), options_(options) {}
+
+  ShrinkResult Run() {
+    bool progress = true;
+    while (progress && calls_ < options_.max_oracle_calls) {
+      progress = false;
+      progress |= DeletePass();
+      progress |= SimplifyPass();
+    }
+    ShrinkResult result;
+    result.source = JoinLines(lines_);
+    result.oracle_calls = calls_;
+    result.instructions = CountInstructions(result.source);
+    return result;
+  }
+
+ private:
+  bool Accepts(const std::vector<std::string>& candidate) {
+    if (calls_ >= options_.max_oracle_calls) {
+      return false;
+    }
+    ++calls_;
+    return oracle_(JoinLines(candidate));
+  }
+
+  // Tries deleting contiguous chunks, chunk size halving from n/2 down
+  // to 1. Returns true if anything was deleted.
+  bool DeletePass() {
+    bool any = false;
+    for (size_t chunk = lines_.size() / 2; chunk >= 1; chunk /= 2) {
+      bool deleted = true;
+      while (deleted) {
+        deleted = false;
+        for (size_t at = 0; at + chunk <= lines_.size();) {
+          bool deletable = true;
+          for (size_t i = at; i < at + chunk; ++i) {
+            if (Protected(lines_[i])) {
+              deletable = false;
+              break;
+            }
+          }
+          if (!deletable) {
+            ++at;
+            continue;
+          }
+          std::vector<std::string> candidate = lines_;
+          candidate.erase(candidate.begin() + static_cast<long>(at),
+                          candidate.begin() + static_cast<long>(at + chunk));
+          if (Accepts(candidate)) {
+            lines_ = std::move(candidate);
+            deleted = true;
+            any = true;
+            // keep `at` — the next chunk slid into place
+          } else {
+            ++at;
+          }
+          if (calls_ >= options_.max_oracle_calls) {
+            return any;
+          }
+        }
+      }
+      if (chunk == 1) {
+        break;
+      }
+    }
+    return any;
+  }
+
+  // Per-line operand simplifications, each kept only if the oracle still
+  // accepts. Returns true if any line changed.
+  bool SimplifyPass() {
+    bool any = false;
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      if (calls_ >= options_.max_oracle_calls) {
+        return any;
+      }
+      if (Protected(lines_[i])) {
+        continue;
+      }
+      std::string label;
+      std::string rest;
+      SplitLabel(lines_[i], &label, &rest);
+      const std::string prefix = label.empty() ? "        " : label + ": ";
+
+      std::vector<std::string> replacements;
+      // Drop a trailing indirection.
+      if (rest.size() > 2 && rest.substr(rest.size() - 2) == ",*") {
+        replacements.push_back(prefix + rest.substr(0, rest.size() - 2));
+      }
+      // Zero a data word.
+      if (rest.substr(0, 5) == ".word" && StripWhitespace(rest.substr(5)) != "0") {
+        replacements.push_back(prefix + ".word 0");
+      }
+      // Neuter an instruction entirely.
+      const std::string mnemonic = MnemonicOf(lines_[i]);
+      if (!mnemonic.empty() && mnemonic != "nop") {
+        replacements.push_back(prefix + "nop");
+      }
+      for (const std::string& replacement : replacements) {
+        if (replacement == lines_[i]) {
+          continue;
+        }
+        std::vector<std::string> candidate = lines_;
+        candidate[i] = replacement;
+        if (Accepts(candidate)) {
+          lines_ = std::move(candidate);
+          any = true;
+          break;  // re-derived replacements for this line next pass
+        }
+        if (calls_ >= options_.max_oracle_calls) {
+          return any;
+        }
+      }
+    }
+    return any;
+  }
+
+  std::vector<std::string> lines_;
+  const ShrinkOracle& oracle_;
+  ShrinkOptions options_;
+  int calls_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult Shrink(const std::string& source, const ShrinkOracle& oracle,
+                    const ShrinkOptions& options) {
+  return Shrinker(SplitLines(source), oracle, options).Run();
+}
+
+int CountInstructions(const std::string& source) {
+  int count = 0;
+  for (const std::string& line : SplitLines(source)) {
+    if (!MnemonicOf(line).empty()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string FormatRepro(uint64_t seed, const std::string& divergence, const std::string& source) {
+  std::string out;
+  out += "; ---- fuzz divergence repro ------------------------------------\n";
+  out += StrFormat("; seed:       %llu\n", static_cast<unsigned long long>(seed));
+  out += StrFormat("; divergence: %s\n", divergence.c_str());
+  out += "; replay this file directly:   ringsim <this-file>\n";
+  out += StrFormat("; regenerate from the seed:    ringsim --fuzz=1 --fuzz-seed=%llu\n",
+                   static_cast<unsigned long long>(seed));
+  out += "; ---------------------------------------------------------------\n";
+  out += source;
+  if (!out.empty() && out.back() != '\n') {
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rings

@@ -1,0 +1,50 @@
+// Divergence shrinker: given a guest source on which an oracle (normally
+// "CheckGuest still diverges") returns true, reduce the source to a
+// minimal form the oracle still accepts. Two passes iterate to fixpoint:
+// delete-instruction-ranges (ddmin-style contiguous chunks, halving the
+// chunk size down to single lines), then simplify-operands (drop an
+// indirection, turn an instruction into nop, zero a .word). Candidates
+// that no longer assemble or instantiate simply fail the oracle, so
+// structural validity never needs special-casing.
+#ifndef SRC_FUZZ_SHRINK_H_
+#define SRC_FUZZ_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rings {
+
+// Returns true when the candidate source still exhibits the behaviour
+// being minimized (for fuzz repros: still diverges).
+using ShrinkOracle = std::function<bool(const std::string& source)>;
+
+struct ShrinkOptions {
+  // Hard cap on oracle invocations; the best reduction so far is
+  // returned when it runs out.
+  int max_oracle_calls = 600;
+};
+
+struct ShrinkResult {
+  std::string source;
+  int oracle_calls = 0;
+  int instructions = 0;  // executable instructions remaining (CountInstructions)
+};
+
+// Precondition: oracle(source) is true. The result source also satisfies
+// the oracle.
+ShrinkResult Shrink(const std::string& source, const ShrinkOracle& oracle,
+                    const ShrinkOptions& options = ShrinkOptions{});
+
+// Number of executable instruction lines (lines whose mnemonic names an
+// opcode; directives, labels-only lines, data, and comments don't count).
+int CountInstructions(const std::string& source);
+
+// A self-contained repro file: a comment header carrying the seed, the
+// divergence description, and the commands that replay it, followed by
+// the (shrunken) guest source. The result is itself a runnable guest.
+std::string FormatRepro(uint64_t seed, const std::string& divergence, const std::string& source);
+
+}  // namespace rings
+
+#endif  // SRC_FUZZ_SHRINK_H_

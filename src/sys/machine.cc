@@ -22,6 +22,7 @@ Machine::Machine(MachineConfig config)
   cpu_.set_mode(config.mode);
   cpu_.set_fast_path_enabled(config.fast_path);
   cpu_.set_block_engine_enabled(config.block_engine);
+  cpu_.set_block_call_ablation(config.block_call_ablation);
   cpu_.set_trace(&trace_);
   supervisor_.set_start_io([this](uint8_t device, Word detail) { StartIo(device, detail); });
   if (config_.fault.enabled) {

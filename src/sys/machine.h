@@ -37,6 +37,10 @@ struct MachineConfig {
   // blocks executed one dispatch at a time (see DESIGN.md §7). Host-side
   // only, like the fast path; bit-identical simulation either way.
   bool block_engine = true;
+  // Test-only: deliberately break the block engine (one spurious cycle
+  // per CALL executed inside a block) so the differential fuzz oracle's
+  // catch-and-shrink path can be exercised. See Cpu::block_call_ablation.
+  bool block_call_ablation = false;
   // Deterministic fault injection (see DESIGN.md, "Fault model &
   // recovery"). Disabled by default; zero overhead when disabled.
   FaultConfig fault{};

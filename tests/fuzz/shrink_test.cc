@@ -1,0 +1,101 @@
+// Shrinker contract: delete-ranges plus simplify-operands reduce a
+// diverging source to a minimal form the oracle still accepts, protected
+// structure (manifest lines, .segment/.gates) survives, and the real
+// catch-and-shrink path — a deliberately broken block engine — ends at a
+// repro of at most 16 instructions that still diverges.
+#include "src/fuzz/shrink.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fuzz/differential.h"
+#include "src/fuzz/generator.h"
+
+namespace rings {
+namespace {
+
+TEST(ShrinkTest, CountInstructionsCountsOnlyExecutableLines) {
+  const std::string source =
+      ";; acl main * procedure 4 4\n"
+      "        .segment main\n"
+      "start:  nop\n"
+      "        lda   d0\n"
+      "        mme   0\n"
+      "d0:     .word 7\n"
+      "; a comment\n";
+  EXPECT_EQ(CountInstructions(source), 3);
+}
+
+TEST(ShrinkTest, SyntheticOracleReachesMinimalForm) {
+  // The oracle wants exactly two specific lines; everything else is noise
+  // the shrinker must strip.
+  std::string source = ";; start main start 4\n        .segment main\n";
+  for (int i = 0; i < 20; ++i) {
+    source += "        nop\n";
+  }
+  source += "        lda   keep1\n";
+  for (int i = 0; i < 20; ++i) {
+    source += "        adai  1\n";
+  }
+  source += "        sta   keep2\n";
+  const auto oracle = [](const std::string& candidate) {
+    return candidate.find("lda   keep1") != std::string::npos &&
+           candidate.find("sta   keep2") != std::string::npos;
+  };
+  const ShrinkResult result = Shrink(source, oracle);
+  EXPECT_NE(result.source.find("lda   keep1"), std::string::npos);
+  EXPECT_NE(result.source.find("sta   keep2"), std::string::npos);
+  // Protected structure survives even though the oracle ignores it.
+  EXPECT_NE(result.source.find(";; start"), std::string::npos);
+  EXPECT_NE(result.source.find(".segment main"), std::string::npos);
+  // All 40 noise instructions are gone.
+  EXPECT_EQ(result.instructions, 2) << result.source;
+  EXPECT_GT(result.oracle_calls, 0);
+}
+
+TEST(ShrinkTest, OracleBudgetIsRespected) {
+  std::string source;
+  for (int i = 0; i < 50; ++i) {
+    source += "        nop\n";
+  }
+  int calls = 0;
+  const auto oracle = [&calls](const std::string&) {
+    ++calls;
+    return true;
+  };
+  ShrinkOptions options;
+  options.max_oracle_calls = 10;
+  const ShrinkResult result = Shrink(source, oracle, options);
+  EXPECT_LE(result.oracle_calls, 10);
+  EXPECT_EQ(result.oracle_calls, calls);
+}
+
+TEST(ShrinkTest, BrokenBlockEngineShrinksToSmallRepro) {
+  // The acceptance ablation: a block engine that charges one spurious
+  // cycle per in-block CALL must be caught and shrunk to <= 16
+  // instructions that still diverge.
+  FuzzOptions options;
+  options.ablate_block_call = true;
+  const GeneratedGuest guest = GenerateGuest(1);
+  const CheckResult check = CheckGuest(guest.source, options);
+  ASSERT_TRUE(check.ok) << check.error;
+  ASSERT_TRUE(check.divergence.found);
+
+  const auto oracle = [&options](const std::string& candidate) {
+    const CheckResult r = CheckGuest(candidate, options);
+    return r.ok && r.divergence.found;
+  };
+  const ShrinkResult shrunk = Shrink(guest.source, oracle);
+  EXPECT_LE(shrunk.instructions, 16) << shrunk.source;
+  EXPECT_TRUE(oracle(shrunk.source)) << shrunk.source;
+
+  // The formatted repro is itself a checkable guest that still diverges.
+  const std::string repro = FormatRepro(1, check.divergence.ToString(), shrunk.source);
+  const CheckResult again = CheckGuest(repro, options);
+  EXPECT_TRUE(again.ok) << again.error;
+  EXPECT_TRUE(again.divergence.found);
+}
+
+}  // namespace
+}  // namespace rings

@@ -72,14 +72,23 @@ WALL_REL_TOLERANCE = 0.5
 
 
 def load_results(paths):
-    """Merge google-benchmark JSON files into {name: {real_time, time_unit, sim}}."""
+    """Merge google-benchmark JSON files into {name: {real_time, time_unit, sim}}.
+
+    Also returns {name: {"source": json_path, "executable": binary}} so a
+    failing gate can print the exact command that reruns just that
+    benchmark ("executable" comes from the google-benchmark context block;
+    it is None for hand-written JSON).
+    """
     merged = {}
+    origins = {}
     for path in paths:
         try:
             with open(path) as f:
                 data = json.load(f)
         except (OSError, ValueError) as e:
             sys.exit(f"bench_check: cannot read {path}: {e}")
+        context = data.get("context", {})
+        executable = context.get("executable") if isinstance(context, dict) else None
         benches = data.get("benchmarks", [])
         if not isinstance(benches, list):
             sys.exit(f'bench_check: {path}: "benchmarks" is not a list')
@@ -101,7 +110,32 @@ def load_results(paths):
                 "sim": sim,
                 "wall": wall,
             }
-    return merged
+            origins[name] = {"source": path, "executable": executable}
+    return merged, origins
+
+
+def rerun_commands(failing_names, origins, baseline_path):
+    """Build the copy-pasteable rerun lines for a set of failing gates."""
+    lines = []
+    by_exe = {}
+    for name in sorted(failing_names):
+        origin = origins.get(name)
+        if origin is None:
+            lines.append(
+                f"  (no result file produced {name}; rerun the full suite —"
+                " see tools/bench_check.py --help)"
+            )
+            continue
+        exe = origin["executable"] or f"<the benchmark binary behind {origin['source']}>"
+        by_exe.setdefault(exe, []).append(name)
+    for exe, names in sorted(by_exe.items()):
+        pattern = "|".join(re.escape(n) for n in names)
+        lines.append(f"  {exe} --benchmark_filter='^({pattern})$'")
+    lines.append(
+        f"  python3 tools/bench_check.py check --baseline {baseline_path}"
+        " <result.json ...>   # full gate"
+    )
+    return lines
 
 
 def drifted(baseline_value, pr_value):
@@ -114,7 +148,8 @@ def check_thread_invariance(results):
 
     Groups benchmarks whose names differ only in a ``threads:N`` argument
     and reports any sim_* counter that varies within a group. Returns a
-    list of failure lines (empty when the invariant holds).
+    list of failure lines (empty when the invariant holds) and the set of
+    benchmark names involved in a failure.
     """
     groups = {}
     for name, entry in sorted(results.items()):
@@ -122,6 +157,7 @@ def check_thread_invariance(results):
         if key != name:
             groups.setdefault(key, []).append((name, entry["sim"]))
     failures = []
+    failing_names = set()
     for key, members in sorted(groups.items()):
         if len(members) < 2:
             continue
@@ -138,12 +174,13 @@ def check_thread_invariance(results):
             failures.append(
                 f"  {key}: {counter} varies with thread count ({detail})"
             )
+            failing_names.update(values)
         if not any(key in f for f in failures):
             print(
                 f"ok: {key}: {len(counters)} sim counter(s) invariant across"
                 f" {len(members)} thread variant(s)"
             )
-    return failures
+    return failures, failing_names
 
 
 def cmd_check(args):
@@ -170,18 +207,19 @@ def cmd_check(args):
                     f'bench_check: baseline {args.baseline}: "{name}" counter'
                     f' "{counter}" is not a number (got {value!r})'
                 )
-    results = load_results(args.results)
+    results, origins = load_results(args.results)
 
     if args.merge_out:
         with open(args.merge_out, "w") as f:
             json.dump({"benchmarks": results}, f, indent=2, sort_keys=True)
             f.write("\n")
 
-    failures = check_thread_invariance(results)
+    failures, failing_names = check_thread_invariance(results)
     for name, expected in sorted(baseline.items()):
         got = results.get(name)
         if got is None:
             failures.append(f"  {name}: benchmark missing from results")
+            failing_names.add(name)
             continue
         for counter, expected_value in sorted(expected.items()):
             if counter.startswith("wall_"):
@@ -190,29 +228,36 @@ def cmd_check(args):
                 actual = got["wall"].get(counter)
                 if actual is None:
                     failures.append(f"  {name}: counter {counter} missing")
+                    failing_names.add(name)
                 elif actual > expected_value * (1.0 + WALL_REL_TOLERANCE):
                     failures.append(
                         f"  {name}: {counter} regressed: baseline"
                         f" {expected_value:.0f} ns vs result {actual:.0f} ns"
                         f" (> {WALL_REL_TOLERANCE:.0%} slower)"
                     )
+                    failing_names.add(name)
                 else:
                     print(f"ok: {name}: {counter} = {actual:.0f} ns (wall gate)")
                 continue
             actual = got["sim"].get(counter)
             if actual is None:
                 failures.append(f"  {name}: counter {counter} missing")
+                failing_names.add(name)
             elif drifted(expected_value, actual):
                 failures.append(
                     f"  {name}: {counter} drifted: baseline {expected_value!r}"
                     f" vs result {actual!r}"
                 )
+                failing_names.add(name)
             else:
                 print(f"ok: {name}: {counter} = {actual}")
 
     if failures:
         print("\nbench_check: simulated-cost drift detected:", file=sys.stderr)
         for line in failures:
+            print(line, file=sys.stderr)
+        print("\nTo rerun just the failing gate(s) locally:", file=sys.stderr)
+        for line in rerun_commands(failing_names, origins, args.baseline):
             print(line, file=sys.stderr)
         print(
             "\nIf the drift is an intentional cycle-model change, regenerate the\n"
@@ -226,7 +271,7 @@ def cmd_check(args):
 
 
 def cmd_update(args):
-    results = load_results(args.results)
+    results, _ = load_results(args.results)
     benchmarks = {}
     for name, entry in sorted(results.items()):
         if not entry["sim"]:

@@ -34,13 +34,28 @@
 //                    capture a mid-program image)
 //   --restore=F      restore a machine from image F (instead of loading a
 //                    program) and run it to completion
+//   --fuzz=N         differential fuzzing: generate N random guest
+//                    programs (seeds S, S+1, ...) and check each under
+//                    the slow path, fast path, superblock engine, fleet
+//                    (1/4/8 threads), and a snapshot/restore cut; exits 1
+//                    on the first divergence, writing a self-contained
+//                    repro file
+//   --fuzz-seed=S    first generator seed (default 1); a seed fully
+//                    determines the program, so a seed is a repro
+//   --shrink         (fuzz) minimize a diverging program before writing
+//                    the repro (delete-ranges, then simplify-operands)
+//   --fuzz-repro-out=F  (fuzz) repro file path (default fuzz_repro_<seed>.asm)
+//   --fuzz-ablation  (fuzz) deliberately sabotage the superblock engine
+//                    (one spurious cycle per in-block CALL) to prove the
+//                    oracle catches a broken engine; exits 1 when caught
 //
 // The program file carries its own manifest in `;;` directive lines
-// (ordinary `;` comments to the assembler):
+// (ordinary `;` comments to the assembler; see src/sys/manifest.h):
 //
-//   ;; acl <segment> <user|*> procedure <r1> <r2> [<r3>]
+//   ;; acl <segment> <user|*> procedure <r1> <r2> [<r3>] [write]
 //   ;; acl <segment> <user|*> data <write_top> <read_top>
 //   ;; acl <segment> <user|*> rodata <read_top>
+//   ;; segment <name> <words> paged [demand|populate]
 //   ;; start <segment> <entry> <ring> [<user>]
 //   ;; tty-input <text until end of line>
 //
@@ -58,128 +73,18 @@
 
 #include "src/base/strings.h"
 #include "src/fleet/fleet.h"
+#include "src/fuzz/differential.h"
+#include "src/fuzz/generator.h"
+#include "src/fuzz/shrink.h"
 #include "src/kasm/assembler.h"
 #include "src/kasm/disassembler.h"
 #include "src/snapshot/snapshot.h"
 #include "src/sup/audit.h"
 #include "src/sys/machine.h"
+#include "src/sys/manifest.h"
 
 namespace rings {
 namespace {
-
-struct StartSpec {
-  std::string segment;
-  std::string entry;
-  Ring ring = kUserRing;
-  std::string user = "user";
-};
-
-struct Manifest {
-  std::map<std::string, AccessControlList> acls;
-  std::vector<StartSpec> starts;
-  std::string tty_input;
-  std::string error;
-
-  bool ok() const { return error.empty(); }
-};
-
-bool ParseRingValue(const std::string& text, unsigned* out) {
-  if (text.size() != 1 || text[0] < '0' || text[0] > '7') {
-    return false;
-  }
-  *out = static_cast<unsigned>(text[0] - '0');
-  return true;
-}
-
-Manifest ParseManifest(const std::string& source) {
-  Manifest manifest;
-  std::istringstream stream(source);
-  std::string line;
-  int line_no = 0;
-  while (std::getline(stream, line)) {
-    ++line_no;
-    const std::string_view trimmed = StripWhitespace(line);
-    if (trimmed.substr(0, 2) != ";;") {
-      continue;
-    }
-    const std::string body(StripWhitespace(trimmed.substr(2)));
-    std::istringstream words(body);
-    std::string verb;
-    words >> verb;
-    if (verb == "acl") {
-      std::string segment;
-      std::string user;
-      std::string kind;
-      words >> segment >> user >> kind;
-      SegmentAccess access;
-      unsigned a = 0;
-      unsigned b = 0;
-      unsigned c = 0;
-      std::string sa, sb, sc;
-      if (kind == "procedure") {
-        words >> sa >> sb;
-        if (!ParseRingValue(sa, &a) || !ParseRingValue(sb, &b)) {
-          manifest.error = StrFormat("line %d: bad procedure rings", line_no);
-          return manifest;
-        }
-        c = b;
-        if (words >> sc && !ParseRingValue(sc, &c)) {
-          manifest.error = StrFormat("line %d: bad gate extension", line_no);
-          return manifest;
-        }
-        access = MakeProcedureSegment(static_cast<Ring>(a), static_cast<Ring>(b),
-                                      static_cast<Ring>(c), /*gate_count=*/0);
-      } else if (kind == "data") {
-        words >> sa >> sb;
-        if (!ParseRingValue(sa, &a) || !ParseRingValue(sb, &b)) {
-          manifest.error = StrFormat("line %d: bad data rings", line_no);
-          return manifest;
-        }
-        access = MakeDataSegment(static_cast<Ring>(a), static_cast<Ring>(b));
-      } else if (kind == "rodata") {
-        words >> sa;
-        if (!ParseRingValue(sa, &a)) {
-          manifest.error = StrFormat("line %d: bad rodata ring", line_no);
-          return manifest;
-        }
-        access = MakeReadOnlyDataSegment(static_cast<Ring>(a));
-      } else {
-        manifest.error = StrFormat("line %d: unknown acl kind '%s'", line_no, kind.c_str());
-        return manifest;
-      }
-      if (!access.brackets.IsWellFormed()) {
-        manifest.error = StrFormat("line %d: ill-formed brackets", line_no);
-        return manifest;
-      }
-      manifest.acls[segment].Add(AclEntry{user, access});
-    } else if (verb == "start") {
-      StartSpec spec;
-      std::string ring_text;
-      words >> spec.segment >> spec.entry >> ring_text;
-      unsigned ring = 0;
-      if (spec.segment.empty() || spec.entry.empty() || !ParseRingValue(ring_text, &ring)) {
-        manifest.error = StrFormat("line %d: bad start directive", line_no);
-        return manifest;
-      }
-      spec.ring = static_cast<Ring>(ring);
-      std::string user;
-      if (words >> user) {
-        spec.user = user;
-      }
-      manifest.starts.push_back(spec);
-    } else if (verb == "tty-input") {
-      const size_t pos = body.find("tty-input");
-      manifest.tty_input += std::string(StripWhitespace(body.substr(pos + 9)));
-    } else if (!verb.empty()) {
-      manifest.error = StrFormat("line %d: unknown directive '%s'", line_no, verb.c_str());
-      return manifest;
-    }
-  }
-  if (manifest.starts.empty()) {
-    manifest.error = "no ';; start <segment> <entry> <ring>' directive found";
-  }
-  return manifest;
-}
 
 // Everything a run needs from the program file: the raw source, the `;;`
 // manifest, and the assembled segments. ok=false means the error was
@@ -287,28 +192,11 @@ int Run(const std::string& path, bool list, bool trace, bool audit, bool fast_pa
     std::fprintf(stderr, "ringsim: machine construction failed\n");
     return 2;
   }
-  std::string error;
-  if (!machine.LoadProgram(assembled.program, manifest.acls, &error)) {
-    std::fprintf(stderr, "ringsim: load: %s\n", error.c_str());
-    return 2;
-  }
-  machine.TtyFeedInput(manifest.tty_input);
   machine.trace().set_enabled(trace);
-
-  std::vector<Process*> processes;
-  for (const StartSpec& spec : manifest.starts) {
-    Process* p = machine.Login(spec.user);
-    if (p == nullptr) {
-      std::fprintf(stderr, "ringsim: login failed\n");
-      return 2;
-    }
-    machine.supervisor().InitiateAll(p);
-    if (!machine.Start(p, spec.segment, spec.entry, spec.ring)) {
-      std::fprintf(stderr, "ringsim: cannot start %s$%s in ring %u\n", spec.segment.c_str(),
-                   spec.entry.c_str(), spec.ring);
-      return 2;
-    }
-    processes.push_back(p);
+  std::string error;
+  if (!InstantiateGuest(assembled.program, manifest, &machine, &error)) {
+    std::fprintf(stderr, "ringsim: %s\n", error.c_str());
+    return 2;
   }
 
   if (audit) {
@@ -414,20 +302,10 @@ int RunFleet(const std::string& path, uint64_t fleet_size, int threads, uint64_t
         config.fault = FaultConfig::Uniform(fault_seed + i, fault_rate);
       }
       auto machine = std::make_unique<Machine>(config);
+      std::string error;
       if (!machine->ok() ||
-          !machine->LoadProgram(loaded.assembled.program, loaded.manifest.acls)) {
+          !InstantiateGuest(loaded.assembled.program, loaded.manifest, machine.get(), &error)) {
         return nullptr;
-      }
-      machine->TtyFeedInput(loaded.manifest.tty_input);
-      for (const StartSpec& spec : loaded.manifest.starts) {
-        Process* p = machine->Login(spec.user);
-        if (p == nullptr) {
-          return nullptr;
-        }
-        machine->supervisor().InitiateAll(p);
-        if (!machine->Start(p, spec.segment, spec.entry, spec.ring)) {
-          return nullptr;
-        }
       }
       return machine;
     };
@@ -450,6 +328,62 @@ int RunFleet(const std::string& path, uint64_t fleet_size, int threads, uint64_t
   }
   std::printf("%s\n", fleet_stats.ToString().c_str());
   return fleet.ExitCode();
+}
+
+// Differential fuzzing mode: N generated guests, each checked under
+// every engine configuration; the first divergence stops the run, is
+// optionally shrunk, and is written out as a self-contained repro file.
+// Exit codes: 0 all trials agree, 1 divergence found, 2 harness error
+// (a generated guest failed to assemble/instantiate — a generator bug).
+int RunFuzz(uint64_t trials, uint64_t first_seed, bool shrink, std::string repro_out,
+            bool ablation) {
+  FuzzOptions options;
+  options.ablate_block_call = ablation;
+  for (uint64_t i = 0; i < trials; ++i) {
+    const uint64_t seed = first_seed + i;
+    const GeneratedGuest guest = GenerateGuest(seed);
+    const CheckResult check = CheckGuest(guest.source, options);
+    if (!check.ok) {
+      std::fprintf(stderr, "ringsim: fuzz: seed %llu: %s\n",
+                   static_cast<unsigned long long>(seed), check.error.c_str());
+      return 2;
+    }
+    if (!check.divergence.found) {
+      continue;
+    }
+    std::printf("fuzz: seed %llu: DIVERGENCE: %s\n", static_cast<unsigned long long>(seed),
+                check.divergence.ToString().c_str());
+    std::string repro_source = guest.source;
+    if (shrink) {
+      const auto oracle = [&options](const std::string& candidate) {
+        const CheckResult r = CheckGuest(candidate, options);
+        return r.ok && r.divergence.found;
+      };
+      const ShrinkResult shrunk = Shrink(guest.source, oracle);
+      repro_source = shrunk.source;
+      std::printf("fuzz: shrunk to %d instruction(s) in %d oracle call(s)\n",
+                  shrunk.instructions, shrunk.oracle_calls);
+    }
+    if (repro_out.empty()) {
+      repro_out = StrFormat("fuzz_repro_%llu.asm", static_cast<unsigned long long>(seed));
+    }
+    const std::string repro =
+        FormatRepro(seed, check.divergence.ToString(), repro_source);
+    std::ofstream file(repro_out);
+    file << repro;
+    if (!file) {
+      std::fprintf(stderr, "ringsim: fuzz: cannot write %s\n", repro_out.c_str());
+      return 2;
+    }
+    file.close();
+    std::printf("fuzz: repro written to %s\n", repro_out.c_str());
+    std::printf("fuzz: %llu trial(s), 1 divergence(s)\n",
+                static_cast<unsigned long long>(trials));
+    return 1;
+  }
+  std::printf("fuzz: %llu trial(s), 0 divergence(s)\n",
+              static_cast<unsigned long long>(trials));
+  return 0;
 }
 
 // Strict decimal parse: the whole string must be digits. strtoul alone
@@ -484,6 +418,13 @@ int main(int argc, char** argv) {
   uint64_t max_restarts = 0;
   bool saw_fleet_only_flag = false;
   std::string fleet_only_flag;
+  uint64_t fuzz_trials = 0;
+  uint64_t fuzz_seed = 1;
+  bool fuzz_shrink = false;
+  bool fuzz_ablation = false;
+  std::string fuzz_repro_out;
+  bool saw_fuzz_only_flag = false;
+  std::string fuzz_only_flag;
   std::string path;
   std::string snapshot_out;
   std::string restore_path;
@@ -495,7 +436,9 @@ int main(int argc, char** argv) {
       "                [--checkpoint-every=N] [--max-restarts=R]]\n"
       "               program.asm\n"
       "       ringsim --restore=FILE [--trace] [--stats] [--max-cycles=N]\n"
-      "               [--no-fastpath] [--no-block-engine] [--snapshot-out=FILE]\n";
+      "               [--no-fastpath] [--no-block-engine] [--snapshot-out=FILE]\n"
+      "       ringsim --fuzz=N [--fuzz-seed=S] [--shrink] [--fuzz-repro-out=FILE]\n"
+      "               [--fuzz-ablation]\n";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -560,6 +503,34 @@ int main(int argc, char** argv) {
       }
       saw_fleet_only_flag = true;
       fleet_only_flag = "--max-restarts";
+    } else if (arg.rfind("--fuzz=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 7, &fuzz_trials) || fuzz_trials == 0) {
+        std::fprintf(stderr, "ringsim: %s: expected a trial count >= 1\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--fuzz-seed=", 0) == 0) {
+      if (!rings::ParseU64(arg.c_str() + 12, &fuzz_seed)) {
+        std::fprintf(stderr, "ringsim: %s: not a number\n", arg.c_str());
+        return 2;
+      }
+      saw_fuzz_only_flag = true;
+      fuzz_only_flag = "--fuzz-seed";
+    } else if (arg == "--shrink") {
+      fuzz_shrink = true;
+      saw_fuzz_only_flag = true;
+      fuzz_only_flag = "--shrink";
+    } else if (arg == "--fuzz-ablation") {
+      fuzz_ablation = true;
+      saw_fuzz_only_flag = true;
+      fuzz_only_flag = "--fuzz-ablation";
+    } else if (arg.rfind("--fuzz-repro-out=", 0) == 0) {
+      fuzz_repro_out = arg.substr(17);
+      if (fuzz_repro_out.empty()) {
+        std::fprintf(stderr, "ringsim: %s: expected a file path\n", arg.c_str());
+        return 2;
+      }
+      saw_fuzz_only_flag = true;
+      fuzz_only_flag = "--fuzz-repro-out";
     } else if (arg.rfind("--snapshot-out=", 0) == 0) {
       snapshot_out = arg.substr(15);
       if (snapshot_out.empty()) {
@@ -590,6 +561,21 @@ int main(int argc, char** argv) {
   if (fleet_size == 0 && saw_fleet_only_flag) {
     std::fprintf(stderr, "ringsim: %s is only valid with --fleet=N\n", fleet_only_flag.c_str());
     return 2;
+  }
+  if (fuzz_trials == 0 && saw_fuzz_only_flag) {
+    std::fprintf(stderr, "ringsim: %s is only valid with --fuzz=N\n", fuzz_only_flag.c_str());
+    return 2;
+  }
+  if (fuzz_trials > 0) {
+    if (!path.empty()) {
+      std::fprintf(stderr, "ringsim: --fuzz takes no program file (got '%s')\n", path.c_str());
+      return 2;
+    }
+    if (fleet_size > 0 || !restore_path.empty()) {
+      std::fprintf(stderr, "ringsim: --fuzz cannot be combined with --fleet or --restore\n");
+      return 2;
+    }
+    return rings::RunFuzz(fuzz_trials, fuzz_seed, fuzz_shrink, fuzz_repro_out, fuzz_ablation);
   }
   if (!restore_path.empty()) {
     if (!path.empty()) {
