@@ -70,12 +70,4 @@ TransferOutcome ResolveReturn(const SegmentAccess& target, Ring ring_of_executio
                                 /*changed=*/effective_ring != ring_of_execution);
 }
 
-uint64_t SelectStackSegment(bool ring_changed, uint64_t current_stack_segno,
-                            uint64_t dbr_stack_base, Ring new_ring) {
-  if (!ring_changed) {
-    return current_stack_segno;
-  }
-  return dbr_stack_base + new_ring;
-}
-
 }  // namespace rings

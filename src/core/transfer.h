@@ -88,8 +88,13 @@ TransferOutcome ResolveReturn(const SegmentAccess& target, Ring ring_of_executio
 // stack segment is stack_base + new_ring, where stack_base is the DBR
 // field designating the process's eight consecutive standard stack
 // segments.
-uint64_t SelectStackSegment(bool ring_changed, uint64_t current_stack_segno,
-                            uint64_t dbr_stack_base, Ring new_ring);
+inline uint64_t SelectStackSegment(bool ring_changed, uint64_t current_stack_segno,
+                                   uint64_t dbr_stack_base, Ring new_ring) {
+  if (!ring_changed) {
+    return current_stack_segno;
+  }
+  return dbr_stack_base + new_ring;
+}
 
 }  // namespace rings
 

@@ -35,6 +35,8 @@ class BlockCache {
  public:
   static constexpr size_t kEntries = 256;  // direct-mapped by (segno, start)
   static constexpr size_t kMaxOps = 32;
+  // Sentinel for Block::link_slot: no successor patched in.
+  static constexpr uint16_t kNoLink = 0xFFFF;
 
   struct Op {
     Instruction ins{};
@@ -52,6 +54,25 @@ class BlockCache {
     bool checks = false;  // checks_enabled() at build time
     bool paged = false;   // the verdict's paging shape at build time
     AbsAddr base = 0;     // the verdict's base (page-table base if paged)
+    // Direct chaining (see DESIGN.md §7): the slot of the successor block
+    // this one last transferred into, stamped with the cache version at
+    // patch time. A link is only followed when link_version equals the
+    // current version — every invalidation site bumps the version (or the
+    // generation, which retires the target outright), so a stale link can
+    // never be followed; it is simply dead until repatched. The builder
+    // resets the link when a slot is repurposed.
+    uint16_t link_slot = kNoLink;
+    uint64_t link_version = 0;
+    // Whether the terminator op may chain into a successor at all
+    // (Cpu::ChainEligible, precomputed at build time so the chain point
+    // tests one flag instead of re-deriving it per transition).
+    bool chain_ok = false;
+    // Host shortcut: the fixed simulated-cycle charge every op in this
+    // block pays before execution (instruction base + fetch check under
+    // this block's checks regime + page walk if paged + the fetch read),
+    // folded into one add at build time. Identical to the sum the
+    // per-instruction path charges piecewise.
+    uint64_t op_charge = 0;
     std::array<Op, kMaxOps> ops{};
   };
 
@@ -61,6 +82,23 @@ class BlockCache {
       return &b;
     }
     return nullptr;
+  }
+
+  // Mutable lookup for the chaining engine (links are patched into live
+  // blocks); same validity test as Lookup.
+  Block* LookupMutable(Segno segno, Wordno start) {
+    Block& b = blocks_[Index(segno, start)];
+    if (b.gen == gen_ && b.segno == segno && b.start == start) {
+      return &b;
+    }
+    return nullptr;
+  }
+
+  // Link-follow accessors: a patched link names a slot, not a pointer, so
+  // the follower re-reads the slot and revalidates what it holds now.
+  Block* BlockAt(uint16_t slot) { return &blocks_[slot % kEntries]; }
+  uint16_t SlotIndexOf(const Block* block) const {
+    return static_cast<uint16_t>(block - blocks_.data());
   }
 
   // The slot a block starting at (segno, start) builds into; the builder

@@ -128,8 +128,10 @@ bool Cpu::FetchSdw(Segno segno, Sdw* out) {
     }
   }
   // Whatever the insert evicts from this slot, the matching verdict slot
-  // can no longer vouch for it (verdict validity implies SDW residency).
+  // can no longer vouch for it (verdict validity implies SDW residency),
+  // and neither can any crossing memo whose target mapped there.
   verdict_cache_.InvalidateSlot(segno % SdwCache::kEntries);
+  crossing_cache_.InvalidateSdwSlot(segno % SdwCache::kEntries);
   // A running block's per-op charges assume its segment's SDW stays
   // resident; this insert may have just evicted it (or cached a damaged
   // copy), so any in-flight block must bail and revalidate.
@@ -318,30 +320,36 @@ bool Cpu::InstructionBoundary() {
     --timer_;
   }
 
-  // Fault-injection opportunities at the instruction boundary.
+  // Fault-injection opportunities at the instruction boundary (split out
+  // so the injector-free boundary inlines into the per-op loops).
   if (fault_injector_ != nullptr) {
-    size_t index = 0;
-    if (fault_injector_->MaybeDropCacheEntry(cycles_, SdwCache::kEntries, &index)) {
-      // The dropped register's verdict goes with it, as do any TLB
-      // translations and decoded blocks derived through the descriptor it
-      // held; the next reference takes the slow path and re-walks the
-      // descriptor segment, exactly as it would have without the fast
-      // path.
-      if (const auto dropped = sdw_cache_.SegnoAtIndex(index); dropped.has_value()) {
-        tlb_.InvalidateSegment(*dropped);
-        ++counters_.tlb_invalidations;
-        counters_.block_invalidations += block_cache_.InvalidateSegment(*dropped);
-      }
-      sdw_cache_.InvalidateIndex(index);
-      verdict_cache_.InvalidateSlot(index);
-      ++counters_.verdict_invalidations;
+    return BoundaryInjectionHooks();
+  }
+  return true;
+}
+
+bool Cpu::BoundaryInjectionHooks() {
+  size_t index = 0;
+  if (fault_injector_->MaybeDropCacheEntry(cycles_, SdwCache::kEntries, &index)) {
+    // The dropped register's verdict goes with it, as do any TLB
+    // translations and decoded blocks derived through the descriptor it
+    // held; the next reference takes the slow path and re-walks the
+    // descriptor segment, exactly as it would have without the fast
+    // path.
+    if (const auto dropped = sdw_cache_.SegnoAtIndex(index); dropped.has_value()) {
+      tlb_.InvalidateSegment(*dropped);
+      ++counters_.tlb_invalidations;
+      counters_.block_invalidations += block_cache_.InvalidateSegment(*dropped);
     }
-    if (fault_injector_->MaybeSpuriousMissingPage(cycles_, regs_.ipr.segno,
-                                                  regs_.ipr.wordno)) {
-      pending_fault_addr_ = SegAddr{regs_.ipr.segno, regs_.ipr.wordno};
-      RaiseTrap(TrapCause::kMissingPage);
-      return false;
-    }
+    sdw_cache_.InvalidateIndex(index);
+    verdict_cache_.InvalidateSlot(index);
+    crossing_cache_.InvalidateSdwSlot(index);
+    ++counters_.verdict_invalidations;
+  }
+  if (fault_injector_->MaybeSpuriousMissingPage(cycles_, regs_.ipr.segno, regs_.ipr.wordno)) {
+    pending_fault_addr_ = SegAddr{regs_.ipr.segno, regs_.ipr.wordno};
+    RaiseTrap(TrapCause::kMissingPage);
+    return false;
   }
   return true;
 }
@@ -411,99 +419,146 @@ bool Cpu::StepBlock(uint64_t cycle_bound) {
   if (!block_engine_enabled_ || !fast_path_enabled_ || !sdw_cache_.enabled()) {
     return StepBody();
   }
-  const Ring ring = EffectiveRing(regs_.ipr.ring);
-  const VerdictCache::Entry* v = FastVerdict(regs_.ipr.segno, ring);
-  if (v == nullptr || (checks_enabled_ && !v->execute_ok)) {
+  BlockCache::Block* b = ProbeOrBuildBlock();
+  if (b == nullptr) {
     return StepBody();
   }
-  const BlockCache::Block* b = block_cache_.Lookup(regs_.ipr.segno, regs_.ipr.wordno);
-  if (b != nullptr && BlockCurrent(*b, *v)) {
-    ++counters_.block_hits;
-  } else {
-    // Miss or stale under the current verdict/mode: rebuild in place from
-    // whatever decodes the insn cache holds right now.
-    b = TryBuildBlock(*v);
-    if (b == nullptr) {
-      return StepBody();
-    }
-  }
 
-  const uint64_t version = block_cache_.version();
-  for (uint16_t i = 0; i < b->count; ++i) {
-    if (i != 0) {
-      // Boundary conditions the caller's run loop services between
-      // instructions: its cycle budget / due I/O (cycle_bound) and a
-      // latched physical-store fault. Stop *before* consuming this op's
-      // instruction boundary so no fault-injection opportunity is taken
-      // that the per-instruction loop would not have taken.
-      if (cycles_ >= cycle_bound || memory_->fault_pending()) {
-        return true;
+  // The outer loop is the chaining engine (see DESIGN.md §7): after a
+  // block completes trap-free inside the cycle bound, the chain point
+  // either follows the block's patched successor link (validated by its
+  // version stamp plus a key compare against the live IPR) or runs the
+  // dispatch preamble once and patches the link for next time. Either way
+  // execution stays in this frame block after block instead of returning
+  // to the run loop per block; a follow additionally skips the verdict
+  // probe, the cache hash, and the BlockCurrent revalidation.
+  for (;;) {
+    const uint64_t version = block_cache_.version();
+    for (uint16_t i = 0; i < b->count; ++i) {
+      if (i != 0) {
+        // Boundary conditions the caller's run loop services between
+        // instructions: its cycle budget / due I/O (cycle_bound) and a
+        // latched physical-store fault. Stop *before* consuming this op's
+        // instruction boundary so no fault-injection opportunity is taken
+        // that the per-instruction loop would not have taken.
+        if (cycles_ >= cycle_bound || memory_->fault_pending()) {
+          return true;
+        }
+        if (!InstructionBoundary()) {
+          return false;
+        }
+        // Once the boundary ran we are committed to exactly one
+        // instruction; if an invalidation landed under the block (SDW
+        // eviction or drop, store into this code, descriptor edit), take
+        // it through the per-instruction path instead.
+        if (block_cache_.version() != version) {
+          ++counters_.block_bailouts;
+          return StepBody();
+        }
       }
-      if (!InstructionBoundary()) {
+      const BlockCache::Op& op = b->ops[i];
+      if (b->paged) {
+        // Paged fetches revalidate through the live TLB every op: a moved
+        // page, snooped PTW, or evicted translation makes the comparison
+        // fail and the op re-fetches on the slow path (which re-walks and,
+        // if the page vanished, takes the same missing-page trap the
+        // per-instruction path would take).
+        const Tlb::Entry* t = tlb_.Lookup(b->segno, op.wordno >> kPageShift, b->base);
+        if (t == nullptr || t->frame + (op.wordno & kPageMask) != op.addr) {
+          ++counters_.block_bailouts;
+          return StepBody();
+        }
+      }
+      // The fetch charges of the per-instruction fast path (identical to
+      // the slow path taken with an SDW-cache hit). The cycle portion is
+      // the block's precomputed per-op charge — one add for the
+      // instruction base, the fetch check, the page walk, and the fetch
+      // read together.
+      cycles_ += b->op_charge;
+      ++counters_.instructions;
+      ++counters_.block_ops;
+      ++counters_.verdict_hits;
+      ++counters_.insn_cache_hits;
+      ++counters_.sdw_cache_hits;
+      sdw_cache_.CountHit();
+      if (checks_enabled_) {
+        ++counters_.checks_fetch;
+      }
+      if (b->paged) {
+        // The page-table walk the slow path would have performed.
+        ++counters_.page_walks;
+        ++counters_.tlb_hits;
+      }
+      ++counters_.memory_reads;
+      current_ins_ = op.ins;
+      if (op.needs_ea && !FormEffectiveAddress(op.ins)) {
         return false;
       }
-      // Once the boundary ran we are committed to exactly one
-      // instruction; if an invalidation landed under the block (SDW
-      // eviction or drop, store into this code, descriptor edit), take
-      // it through the per-instruction path instead.
-      if (block_cache_.version() != version) {
-        ++counters_.block_bailouts;
-        return StepBody();
+      regs_.ipr.wordno = op.wordno + 1;
+      Execute(op.ins);
+      if (block_call_ablation_ && op.ins.opcode == Opcode::kCall) {
+        ++cycles_;  // deliberately broken (fuzz-oracle test hook); see cpu.h
+      }
+      if (trap_pending_) {
+        return false;
+      }
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Record(TraceEvent{EventKind::kInstruction, cycles_, regs_.ipr.ring,
+                                  SegAddr{ipr_at_fetch_.segno, ipr_at_fetch_.wordno},
+                                  TrapCause::kNone, 0, {}});
       }
     }
-    const BlockCache::Op& op = b->ops[i];
-    if (b->paged) {
-      // Paged fetches revalidate through the live TLB every op: a moved
-      // page, snooped PTW, or evicted translation makes the comparison
-      // fail and the op re-fetches on the slow path (which re-walks and,
-      // if the page vanished, takes the same missing-page trap the
-      // per-instruction path would take).
-      const Tlb::Entry* t = tlb_.Lookup(b->segno, op.wordno >> kPageShift, b->base);
-      if (t == nullptr || t->frame + (op.wordno & kPageMask) != op.addr) {
-        ++counters_.block_bailouts;
-        return StepBody();
+
+    // Chain point: the block completed without a trap, so regs_.ipr names
+    // the architectural successor (transfer target or fall-through).
+    if (!chain_enabled_ || !b->chain_ok) {
+      return true;
+    }
+    if (cycles_ >= cycle_bound || memory_->fault_pending()) {
+      return true;
+    }
+    // The next instruction's boundary (timer, fault hooks), exactly as a
+    // fresh dispatch would run it before probing.
+    if (!InstructionBoundary()) {
+      return false;
+    }
+    const uint64_t now = block_cache_.version();
+    BlockCache::Block* next = nullptr;
+    if (b->link_slot != BlockCache::kNoLink && b->link_version == now) {
+      // The stamp proves the linked slot held a block valid under the
+      // current version when the link was patched, and that no
+      // invalidation has landed since — so base/paging/bound revalidation
+      // (BlockCurrent) is already implied. The key compare handles
+      // everything the version does not pin: slot repurposing for a
+      // different start, a conditional transfer going the other way this
+      // time, and ring or checks regime changes.
+      BlockCache::Block* cand = block_cache_.BlockAt(b->link_slot);
+      if (cand->gen == block_cache_.generation() && cand->segno == regs_.ipr.segno &&
+          cand->start == regs_.ipr.wordno && cand->ring == regs_.ipr.ring &&
+          cand->checks == checks_enabled_) {
+        next = cand;
+        ++counters_.chain_follows;
+        if (chain_ablation_) {
+          ++cycles_;  // deliberately broken (fuzz-oracle test hook); see cpu.h
+        }
       }
     }
-    // The fetch charges of the per-instruction fast path (identical to
-    // the slow path taken with an SDW-cache hit).
-    ++counters_.instructions;
-    cycles_ += cycle_model_.instruction_base;
-    ++counters_.block_ops;
-    ++counters_.verdict_hits;
-    ++counters_.insn_cache_hits;
-    ++counters_.sdw_cache_hits;
-    sdw_cache_.CountHit();
-    if (checks_enabled_) {
-      ++counters_.checks_fetch;
-      cycles_ += cycle_model_.access_check;
+    if (next == nullptr) {
+      next = ProbeOrBuildBlock();
+      if (next == nullptr) {
+        // The boundary was consumed; fall back exactly as a dispatch miss
+        // does, so block formation is identical with chaining on or off.
+        return StepBody();
+      }
+      // Patch (or repatch — a conditional site flips between targets) the
+      // successor link, stamped with the version the target was just
+      // validated under.
+      b->link_slot = block_cache_.SlotIndexOf(next);
+      b->link_version = now;
+      ++counters_.chain_links;
     }
-    if (b->paged) {
-      // The page-table walk the slow path would have performed.
-      ++counters_.page_walks;
-      cycles_ += cycle_model_.memory_ref;
-      ++counters_.tlb_hits;
-    }
-    ++counters_.memory_reads;
-    cycles_ += cycle_model_.memory_ref;
-    current_ins_ = op.ins;
-    if (op.needs_ea && !FormEffectiveAddress(op.ins)) {
-      return false;
-    }
-    regs_.ipr.wordno = op.wordno + 1;
-    Execute(op.ins);
-    if (block_call_ablation_ && op.ins.opcode == Opcode::kCall) {
-      ++cycles_;  // deliberately broken (fuzz-oracle test hook); see cpu.h
-    }
-    if (trap_pending_) {
-      return false;
-    }
-    if (trace_ != nullptr && trace_->enabled()) {
-      trace_->Record(TraceEvent{EventKind::kInstruction, cycles_, regs_.ipr.ring,
-                                SegAddr{ipr_at_fetch_.segno, ipr_at_fetch_.wordno},
-                                TrapCause::kNone, 0, {}});
-    }
+    b = next;
   }
-  return true;
 }
 
 // Block formation: chain consecutive cached decodes, stopping at the
@@ -511,7 +566,7 @@ bool Cpu::StepBlock(uint64_t cycle_bound) {
 // unverifiable decode, an op the current ring may not execute (it must
 // trap on the per-instruction path), and — inclusively — any control
 // transfer or trap-raising/privileged terminator.
-const BlockCache::Block* Cpu::TryBuildBlock(const VerdictCache::Entry& v) {
+BlockCache::Block* Cpu::TryBuildBlock(const VerdictCache::Entry& v) {
   const Segno segno = regs_.ipr.segno;
   const Wordno start = regs_.ipr.wordno;
   // The verdict's invariant guarantees the SDW is resident; its gate
@@ -521,6 +576,10 @@ const BlockCache::Block* Cpu::TryBuildBlock(const VerdictCache::Entry& v) {
 
   BlockCache::Block* b = block_cache_.SlotFor(segno, start);
   b->gen = 0;  // unpublish whatever the slot held while we fill it
+  // The slot's old occupant may have carried a successor link; the new
+  // block has not resolved one yet.
+  b->link_slot = BlockCache::kNoLink;
+  b->link_version = 0;
   uint16_t count = 0;
   while (count < BlockCache::kMaxOps) {
     const Wordno w = start + count;
@@ -572,6 +631,10 @@ const BlockCache::Block* Cpu::TryBuildBlock(const VerdictCache::Entry& v) {
   b->checks = checks_enabled_;
   b->paged = v.paged;
   b->base = v.base;
+  b->op_charge = cycle_model_.instruction_base + cycle_model_.memory_ref +
+                 (checks_enabled_ ? cycle_model_.access_check : 0) +
+                 (v.paged ? cycle_model_.memory_ref : 0);
+  b->chain_ok = ChainEligible(b->ops[count - 1].ins.opcode);
   b->gen = block_cache_.generation();
   ++counters_.block_builds;
   return b;
@@ -595,6 +658,44 @@ bool Cpu::EndsBlock(Opcode op) {
       return true;
     default:
       return false;
+  }
+}
+
+// The dispatch preamble shared by StepBlock's entry and its chain point:
+// verdict probe, block-cache probe with revalidation, rebuild on miss.
+BlockCache::Block* Cpu::ProbeOrBuildBlock() {
+  const Ring ring = EffectiveRing(regs_.ipr.ring);
+  const VerdictCache::Entry* v = FastVerdict(regs_.ipr.segno, ring);
+  if (v == nullptr || (checks_enabled_ && !v->execute_ok)) {
+    return nullptr;
+  }
+  BlockCache::Block* b = block_cache_.LookupMutable(regs_.ipr.segno, regs_.ipr.wordno);
+  if (b != nullptr && BlockCurrent(*b, *v)) {
+    ++counters_.block_hits;
+    return b;
+  }
+  // Miss or stale under the current verdict/mode: rebuild in place from
+  // whatever decodes the insn cache holds right now.
+  return TryBuildBlock(*v);
+}
+
+// Whether a block ending in `op` may chain straight into its successor.
+// Trap-raising terminators (MME, SVC, RETT, HLT, failed transfers) never
+// reach the chain point — a pending trap ends the dispatch first.
+bool Cpu::ChainEligible(Opcode op) {
+  switch (op) {
+    case Opcode::kSio:
+      // SIO may queue I/O with a due cycle inside the bound the run loop
+      // computed before this dispatch; chaining past it would run on a
+      // stale bound and deliver the completion late.
+      return false;
+    case Opcode::kLdbr:
+      // The DBR reload flushed every cache; any link stamp is already
+      // dead, and the successor must be rebuilt under the new descriptor
+      // regime anyway.
+      return false;
+    default:
+      return true;
   }
 }
 
@@ -677,7 +778,24 @@ bool Cpu::FetchInstruction(Instruction* ins) {
   ++counters_.memory_reads;
   cycles_ += cycle_model_.memory_ref;
   const Word word = memory_->Read(addr);
-  if (!DecodeInstruction(word, ins)) {
+  // Fleet-shared decode: if this segment is backed by a published image
+  // and the live word still matches the image's raw word, reuse the
+  // pre-decoded instruction instead of decoding again. A mismatch is the
+  // copy-on-write split — this machine wrote (or had patched) the word,
+  // so it decodes its own copy while fleet siblings keep the shared one.
+  const SharedDecodeImage::Entry* pre = DecodeImageEntry(regs_.ipr.segno, regs_.ipr.wordno);
+  if (pre != nullptr && pre->raw != word) {
+    ++counters_.shared_decode_misses;
+    pre = nullptr;
+  }
+  if (pre != nullptr) {
+    ++counters_.shared_decode_hits;
+    if (!pre->decodable) {
+      RaiseTrap(TrapCause::kIllegalOpcode);
+      return false;
+    }
+    *ins = pre->ins;
+  } else if (!DecodeInstruction(word, ins)) {
     RaiseTrap(TrapCause::kIllegalOpcode);
     return false;
   }
@@ -721,7 +839,14 @@ bool Cpu::FormEffectiveAddress(const Instruction& ins) {
   }
   tpr_.wordno = static_cast<Wordno>(wordno);
 
-  bool indirect = ins.indirect;
+  if (!ins.indirect) {
+    return true;
+  }
+  return ChaseIndirectWords();
+}
+
+bool Cpu::ChaseIndirectWords() {
+  bool indirect = true;
   unsigned depth = 0;
   while (indirect) {
     if (++depth > kMaxIndirectionDepth) {
@@ -1000,7 +1125,10 @@ void Cpu::ExecuteTransfer() {
   regs_.ipr.wordno = tpr_.wordno;
 }
 
-// Figure 8: the CALL instruction.
+// Figure 8: the CALL instruction. The crossing cache memoizes the
+// resolution per call site (see crossing_cache.h): on a hit the SDW
+// fetch, gate check, and bracket comparison are all replayed from the
+// memo with the exact charges the slow path takes on an SDW-cache hit.
 void Cpu::ExecuteCall() {
   if (mode_ == ProtectionMode::kFlags645) {
     // The 645-style base has no call hardware; rings are crossed by MME
@@ -1008,30 +1136,59 @@ void Cpu::ExecuteCall() {
     RaiseTrap(TrapCause::kIllegalOpcode);
     return;
   }
-  Sdw sdw;
-  if (!FetchSdw(tpr_.segno, &sdw)) {
-    return;
-  }
-  ++counters_.checks_call;
-  cycles_ += cycle_model_.access_check;
-
   const Ring old_ring = regs_.ipr.ring;
-  const bool same_segment = tpr_.segno == ipr_at_fetch_.segno;
-
-  TransferOutcome outcome = TransferOutcome::Enter(old_ring, false);
-  if (checks_enabled_) {
-    outcome = ResolveCall(sdw.access, old_ring, tpr_.ring, tpr_.wordno, same_segment);
-    if (!outcome.ok()) {
-      RaiseTrap(outcome.cause);
-      return;
+  const bool memo_enabled = CrossingCacheEnabled();
+  Ring new_ring = old_ring;
+  bool ring_changed = false;
+  bool memo_hit = false;
+  if (memo_enabled) {
+    const CrossingCache::Entry& e =
+        crossing_cache_.SlotFor(ipr_at_fetch_.segno, ipr_at_fetch_.wordno);
+    if (crossing_cache_.Valid(e, /*is_call=*/true, ipr_at_fetch_.segno, ipr_at_fetch_.wordno,
+                              tpr_.segno, tpr_.wordno, tpr_.ring, old_ring,
+                              sdw_cache_.flush_epoch())) {
+      ++counters_.sdw_cache_hits;
+      sdw_cache_.CountHit();
+      ++counters_.checks_call;
+      cycles_ += cycle_model_.access_check;
+      ++counters_.crossing_hits;
+      new_ring = e.new_ring;
+      ring_changed = e.ring_changed;
+      memo_hit = true;
     }
   }
-  if (!CheckBounds(sdw, tpr_.wordno)) {
-    return;
+  if (!memo_hit) {
+    Sdw sdw;
+    if (!FetchSdw(tpr_.segno, &sdw)) {
+      return;
+    }
+    ++counters_.checks_call;
+    cycles_ += cycle_model_.access_check;
+
+    const bool same_segment = tpr_.segno == ipr_at_fetch_.segno;
+    TransferOutcome outcome = TransferOutcome::Enter(old_ring, false);
+    if (checks_enabled_) {
+      outcome = ResolveCall(sdw.access, old_ring, tpr_.ring, tpr_.wordno, same_segment);
+      if (!outcome.ok()) {
+        RaiseTrap(outcome.cause);
+        return;
+      }
+    }
+    if (!CheckBounds(sdw, tpr_.wordno)) {
+      return;
+    }
+    new_ring = outcome.new_ring;
+    ring_changed = outcome.ring_changed;
+    if (memo_enabled) {
+      ++counters_.crossing_misses;
+      crossing_cache_.Fill(crossing_cache_.SlotFor(ipr_at_fetch_.segno, ipr_at_fetch_.wordno),
+                           /*is_call=*/true, ipr_at_fetch_.segno, ipr_at_fetch_.wordno,
+                           tpr_.segno, tpr_.wordno, tpr_.ring, old_ring,
+                           sdw_cache_.flush_epoch(), new_ring, ring_changed);
+    }
   }
 
-  const Ring new_ring = outcome.new_ring;
-  if (outcome.ring_changed) {
+  if (ring_changed) {
     ++counters_.calls_downward;
   } else {
     ++counters_.calls_same_ring;
@@ -1041,7 +1198,7 @@ void Cpu::ExecuteCall() {
   // segment (from the stack pointer register); ring-changing calls use the
   // standard stack segment DBR.stack_base + new ring.
   const uint64_t stack_segno = SelectStackSegment(
-      outcome.ring_changed, regs_.pr[kPrStack].segno, regs_.dbr.stack_base, new_ring);
+      ring_changed, regs_.pr[kPrStack].segno, regs_.dbr.stack_base, new_ring);
   regs_.pr[kPrStackBase] =
       PointerRegister{new_ring, static_cast<Segno>(stack_segno), 0};
 
@@ -1050,7 +1207,7 @@ void Cpu::ExecuteCall() {
   regs_.pr[kPrReturn] = PointerRegister{old_ring, ipr_at_fetch_.segno,
                                         ipr_at_fetch_.wordno + 1};
 
-  if (outcome.ring_changed && trace_ != nullptr && trace_->enabled()) {
+  if (ring_changed && trace_ != nullptr && trace_->enabled()) {
     trace_->Record(TraceEvent{EventKind::kRingSwitch, cycles_, old_ring,
                               SegAddr{tpr_.segno, tpr_.wordno}, TrapCause::kNone, new_ring, {}});
   }
@@ -1068,27 +1225,53 @@ void Cpu::ExecuteReturn() {
     RaiseTrap(TrapCause::kIllegalOpcode);
     return;
   }
-  Sdw sdw;
-  if (!FetchSdw(tpr_.segno, &sdw)) {
-    return;
-  }
-  ++counters_.checks_return;
-  cycles_ += cycle_model_.access_check;
-
   const Ring old_ring = regs_.ipr.ring;
-  TransferOutcome outcome = TransferOutcome::Enter(old_ring, false);
-  if (checks_enabled_) {
-    outcome = ResolveReturn(sdw.access, old_ring, tpr_.ring);
-    if (!outcome.ok()) {
-      RaiseTrap(outcome.cause);
-      return;
+  const bool memo_enabled = CrossingCacheEnabled();
+  Ring new_ring = old_ring;
+  bool memo_hit = false;
+  if (memo_enabled) {
+    const CrossingCache::Entry& e =
+        crossing_cache_.SlotFor(ipr_at_fetch_.segno, ipr_at_fetch_.wordno);
+    if (crossing_cache_.Valid(e, /*is_call=*/false, ipr_at_fetch_.segno, ipr_at_fetch_.wordno,
+                              tpr_.segno, tpr_.wordno, tpr_.ring, old_ring,
+                              sdw_cache_.flush_epoch())) {
+      ++counters_.sdw_cache_hits;
+      sdw_cache_.CountHit();
+      ++counters_.checks_return;
+      cycles_ += cycle_model_.access_check;
+      ++counters_.crossing_hits;
+      new_ring = e.new_ring;
+      memo_hit = true;
     }
   }
-  if (!CheckBounds(sdw, tpr_.wordno)) {
-    return;
-  }
+  if (!memo_hit) {
+    Sdw sdw;
+    if (!FetchSdw(tpr_.segno, &sdw)) {
+      return;
+    }
+    ++counters_.checks_return;
+    cycles_ += cycle_model_.access_check;
 
-  const Ring new_ring = outcome.new_ring;
+    TransferOutcome outcome = TransferOutcome::Enter(old_ring, false);
+    if (checks_enabled_) {
+      outcome = ResolveReturn(sdw.access, old_ring, tpr_.ring);
+      if (!outcome.ok()) {
+        RaiseTrap(outcome.cause);
+        return;
+      }
+    }
+    if (!CheckBounds(sdw, tpr_.wordno)) {
+      return;
+    }
+    new_ring = outcome.new_ring;
+    if (memo_enabled) {
+      ++counters_.crossing_misses;
+      crossing_cache_.Fill(crossing_cache_.SlotFor(ipr_at_fetch_.segno, ipr_at_fetch_.wordno),
+                           /*is_call=*/false, ipr_at_fetch_.segno, ipr_at_fetch_.wordno,
+                           tpr_.segno, tpr_.wordno, tpr_.ring, old_ring,
+                           sdw_cache_.flush_epoch(), new_ring, new_ring > old_ring);
+    }
+  }
   if (new_ring > old_ring) {
     ++counters_.returns_upward;
     for (PointerRegister& pr : regs_.pr) {

@@ -9,15 +9,19 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "src/core/access.h"
 #include "src/core/transfer.h"
 #include "src/cpu/block_cache.h"
+#include "src/cpu/crossing_cache.h"
 #include "src/cpu/insn_cache.h"
 #include "src/cpu/registers.h"
 #include "src/fault/fault_injector.h"
 #include "src/cpu/sdw_cache.h"
+#include "src/cpu/shared_decode.h"
 #include "src/cpu/tlb.h"
 #include "src/cpu/trap.h"
 #include "src/cpu/verdict_cache.h"
@@ -80,6 +84,7 @@ class Cpu {
     insn_cache_.Flush();
     tlb_.Flush();
     block_cache_.Flush();
+    crossing_cache_.Flush();
   }
   const VerdictCache& verdict_cache() const { return verdict_cache_; }
   const InsnCache& insn_cache() const { return insn_cache_; }
@@ -96,6 +101,57 @@ class Cpu {
     block_cache_.Flush();
   }
   const BlockCache& block_cache() const { return block_cache_; }
+
+  // Direct block chaining + the monomorphic CALL/RETURN crossing cache
+  // (see DESIGN.md §7). Both ride on the block engine / fast path and,
+  // like them, never change simulated cycles, counters, trap sequences,
+  // or the fault-injection stream. One switch governs both: they are two
+  // halves of the same dispatch optimization (the crossing cache is what
+  // lets a CALL-terminated block chain straight into its callee).
+  bool chain_enabled() const { return chain_enabled_; }
+  void set_chain_enabled(bool enabled) {
+    chain_enabled_ = enabled;
+    // Retire every patched link (the generation bump kills their stamps)
+    // and every memoized crossing.
+    block_cache_.Flush();
+    crossing_cache_.Flush();
+  }
+  const CrossingCache& crossing_cache() const { return crossing_cache_; }
+
+  // Test-only sabotage of the chaining engine, the chaining analog of
+  // block_call_ablation: every followed successor link charges one
+  // spurious cycle the per-instruction path never charges. Used by the
+  // fuzz harness to prove the oracle catches (and the shrinker minimizes)
+  // a chaining bug. Never set outside tests and --fuzz-ablation paths.
+  bool chain_ablation() const { return chain_ablation_; }
+  void set_chain_ablation(bool enabled) { chain_ablation_ = enabled; }
+
+  // Fleet-shared read-only decode (see src/cpu/shared_decode.h). The
+  // machine attaches the per-segno decoded tables after program load; the
+  // slow fetch path consults them after reading the live word and falls
+  // back to live decode on any mismatch (the CoW split). Host-only: the
+  // image never changes what a fetch charges or traps.
+  void AttachDecodeImage(
+      std::shared_ptr<const SharedDecodeImage> image,
+      const std::vector<std::pair<Segno, const SharedDecodeImage::Segment*>>& map) {
+    for (const auto& [segno, seg] : map) {
+      if (decode_map_.size() <= segno) {
+        decode_map_.resize(static_cast<size_t>(segno) + 1, nullptr);
+      }
+      decode_map_[segno] = seg;
+    }
+    decode_images_.push_back(std::move(image));
+  }
+  bool has_decode_image() const { return !decode_images_.empty(); }
+  // Host bytes of decoded tables this machine references (shared or
+  // private); bench_fleet reports the fleet-wide dedup from this.
+  size_t decode_image_bytes() const {
+    size_t total = 0;
+    for (const auto& image : decode_images_) {
+      total += image->bytes();
+    }
+    return total;
+  }
 
   // Test-only sabotage of the superblock engine, used by the fuzz
   // harness (src/fuzz) to prove its differential oracle catches a broken
@@ -153,6 +209,9 @@ class Cpu {
   void InvalidateSdw(Segno segno) {
     sdw_cache_.Invalidate(segno);
     verdict_cache_.InvalidateSegment(segno);
+    // Crossing memos targeting this segment were resolved through the
+    // edited descriptor.
+    crossing_cache_.InvalidateTarget(segno);
     insn_cache_.InvalidateSegment(segno);
     // The descriptor may have pointed the segment at a different page
     // table; every translation derived through it is suspect.
@@ -273,6 +332,10 @@ class Cpu {
   // the injector's RNG stream is identical with blocks on or off. Returns
   // false when a boundary trap (timer runout, injected fault) was raised.
   bool InstructionBoundary();
+  // The fault-injection opportunities of the boundary, split out so the
+  // common no-injector boundary stays small enough to inline into the
+  // block inner loop.
+  bool BoundaryInjectionHooks();
   // Fetches, validates, and executes one instruction; the remainder of
   // Step after InstructionBoundary. The block engine falls back to this
   // (after its own boundary call) whenever a block cannot vouch for the
@@ -280,6 +343,10 @@ class Cpu {
   bool StepBody();
   bool FetchInstruction(Instruction* ins);
   bool FormEffectiveAddress(const Instruction& ins);
+  // The indirection loop of Figure 5, split out of FormEffectiveAddress
+  // so the direct-operand case (the overwhelming majority) inlines into
+  // the per-op loops without dragging the chase along.
+  bool ChaseIndirectWords();
   void Execute(const Instruction& ins);
 
   // --- superblock engine (see DESIGN.md) ---
@@ -291,11 +358,39 @@ class Cpu {
            static_cast<uint64_t>(block.start) + block.count <= v.bound;
   }
   // Chains cached decodes starting at the current IPR into a block;
-  // returns nullptr when nothing is cacheable there yet.
-  const BlockCache::Block* TryBuildBlock(const VerdictCache::Entry& v);
+  // returns nullptr when nothing is cacheable there yet. Mutable: the
+  // chaining engine patches successor links into published blocks.
+  BlockCache::Block* TryBuildBlock(const VerdictCache::Entry& v);
+  // The full dispatch preamble of StepBlock: verdict probe, block lookup
+  // (counting a hit) or build. Returns nullptr when the per-instruction
+  // path must take this dispatch.
+  BlockCache::Block* ProbeOrBuildBlock();
   // True for opcodes that must end a block: control transfers, trap
   // raisers, and state-changing privileged instructions.
   static bool EndsBlock(Opcode op);
+  // Whether the chaining engine may continue past a completed block whose
+  // last opcode is `op`. A subset of the EndsBlock set: trap raisers
+  // never reach the chain point (the trap ends the dispatch), and SIO /
+  // LDBR are excluded — SIO schedules I/O the run loop must fold into its
+  // next cycle bound, and LDBR's flush kills every link stamp anyway.
+  static bool ChainEligible(Opcode op);
+  // Whether the CALL/RETURN crossing cache may fill and answer: ring
+  // hardware with checks on, riding the same host caches as chaining.
+  bool CrossingCacheEnabled() const {
+    return chain_enabled_ && checks_enabled_ && fast_path_enabled_ && sdw_cache_.enabled() &&
+           mode_ == ProtectionMode::kRingHardware;
+  }
+  // The shared-decode entry covering (segno, wordno), if any.
+  const SharedDecodeImage::Entry* DecodeImageEntry(Segno segno, Wordno wordno) const {
+    if (segno >= decode_map_.size()) {
+      return nullptr;
+    }
+    const SharedDecodeImage::Segment* seg = decode_map_[segno];
+    if (seg == nullptr || wordno >= seg->words.size()) {
+      return nullptr;
+    }
+    return &seg->words[wordno];
+  }
 
   // --- per-opcode execute handlers; both the per-instruction path and
   // the block inner loop dispatch through the Execute switch so the
@@ -443,6 +538,13 @@ class Cpu {
   bool block_engine_enabled_ = true;
   bool block_call_ablation_ = false;
   BlockCache block_cache_;
+  bool chain_enabled_ = true;
+  bool chain_ablation_ = false;
+  CrossingCache crossing_cache_;
+  // Shared decode: refcounts pin the attached images; decode_map_ indexes
+  // their per-segment tables by segno.
+  std::vector<std::shared_ptr<const SharedDecodeImage>> decode_images_;
+  std::vector<const SharedDecodeImage::Segment*> decode_map_;
   FaultInjector* fault_injector_ = nullptr;
   uint64_t cycles_ = 0;
   Counters counters_;

@@ -1,0 +1,130 @@
+// Monomorphic CALL/RETURN target cache: a per-site inline cache of the
+// Figure 8/9 crossing resolution. Most call sites are monomorphic — the
+// same instruction word transfers into the same gate of the same target
+// segment on every execution — so the resolved outcome (new ring, whether
+// the ring changed) can be memoized per site and replayed without
+// re-fetching the target SDW or re-running ResolveCall/ResolveReturn.
+//
+// Like the verdict cache, an entry is purely derived state and its
+// correctness rests on one invariant:
+//
+//   a valid entry implies the SDW cache holds the target segment's
+//   descriptor, unchanged since the entry was filled.
+//
+// The invariant is enforced with two stamps. flush_epoch is
+// SdwCache::flush_epoch() at fill time (DBR reloads and wholesale flushes
+// bump it). slot_epoch is this cache's own per-SDW-slot generation at
+// fill time: the Cpu bumps the target's slot on every SDW-cache insert
+// into it, every fault-injected register drop of it, and every
+// InvalidateSdw — exactly the sites that can change or evict what the
+// slot holds between two crossings. Under the invariant the memoized
+// outcome is a pure function of the entry's key (site, target, rings), so
+// replaying it charges exactly what the slow path charges on an SDW-cache
+// hit and the simulation stays bit-identical with the cache on or off.
+//
+// A polymorphic site (computed target, alternating rings) simply misses
+// on the key compare and is refilled — the megamorphic fallback is the
+// existing slow path, which this cache never bypasses on a miss.
+#ifndef SRC_CPU_CROSSING_CACHE_H_
+#define SRC_CPU_CROSSING_CACHE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/ring.h"
+#include "src/cpu/sdw_cache.h"
+#include "src/mem/word.h"
+
+namespace rings {
+
+class CrossingCache {
+ public:
+  static constexpr size_t kEntries = 64;  // direct-mapped by call site
+
+  struct Entry {
+    // The match key, packed into three words so the hit path compares
+    // three values instead of probing eight fields: where the crossing
+    // instruction was fetched from, the effective address it resolved
+    // with, and (ring_key) CALL/RETURN discrimination plus the effective
+    // and executing rings. ring_key carries a set low bit for every
+    // filled entry, so the zero-initialized state can never match.
+    uint64_t site_key = 0;
+    uint64_t target_key = 0;
+    uint32_t ring_key = 0;
+    // Validity stamps (see the invariant above).
+    uint64_t flush_epoch = 0;
+    uint64_t slot_epoch = 0;
+    // Memoized resolution.
+    Ring new_ring = 0;
+    bool ring_changed = false;
+  };
+
+  static uint64_t PackAddr(Segno segno, Wordno wordno) {
+    return (static_cast<uint64_t>(segno) << 32) | static_cast<uint64_t>(wordno);
+  }
+  static uint32_t PackRings(bool is_call, Ring tpr_ring, Ring old_ring) {
+    return 1u | (static_cast<uint32_t>(is_call) << 1) | (static_cast<uint32_t>(tpr_ring) << 8) |
+           (static_cast<uint32_t>(old_ring) << 16);
+  }
+
+  Entry& SlotFor(Segno site_segno, Wordno site_wordno) {
+    return entries_[Index(site_segno, site_wordno)];
+  }
+
+  // Whether `e` may answer a crossing at (site, target, rings) right now.
+  // The caller supplies the live SDW-cache flush epoch.
+  bool Valid(const Entry& e, bool is_call, Segno site_segno, Wordno site_wordno,
+             Segno target_segno, Wordno target_wordno, Ring tpr_ring, Ring old_ring,
+             uint64_t sdw_flush_epoch) const {
+    return e.site_key == PackAddr(site_segno, site_wordno) &&
+           e.target_key == PackAddr(target_segno, target_wordno) &&
+           e.ring_key == PackRings(is_call, tpr_ring, old_ring) &&
+           e.flush_epoch == sdw_flush_epoch &&
+           e.slot_epoch == slot_epochs_[target_segno % SdwCache::kEntries];
+  }
+
+  // Fills `e` with the resolution of the crossing it just missed on; the
+  // caller's own SDW fetch has already bumped the target's slot epoch, so
+  // the stamps captured here are the post-fetch ones.
+  void Fill(Entry& e, bool is_call, Segno site_segno, Wordno site_wordno, Segno target_segno,
+            Wordno target_wordno, Ring tpr_ring, Ring old_ring, uint64_t sdw_flush_epoch,
+            Ring new_ring, bool ring_changed) {
+    e.site_key = PackAddr(site_segno, site_wordno);
+    e.target_key = PackAddr(target_segno, target_wordno);
+    e.ring_key = PackRings(is_call, tpr_ring, old_ring);
+    e.flush_epoch = sdw_flush_epoch;
+    e.slot_epoch = SlotEpoch(target_segno);
+    e.new_ring = new_ring;
+    e.ring_changed = ring_changed;
+  }
+
+  // The current generation of the SDW slot the target maps to; captured
+  // into entries at fill time.
+  uint64_t SlotEpoch(Segno target_segno) const {
+    return slot_epochs_[target_segno % SdwCache::kEntries];
+  }
+
+  // The SDW register at `index` changed (insert, fault drop): any memo
+  // whose target mapped there can no longer vouch for it.
+  void InvalidateSdwSlot(size_t index) { ++slot_epochs_[index % SdwCache::kEntries]; }
+  // Supervisor edit of `segno`'s descriptor (InvalidateSdw).
+  void InvalidateTarget(Segno segno) { InvalidateSdwSlot(segno % SdwCache::kEntries); }
+
+  void Flush() {
+    for (Entry& e : entries_) {
+      e.ring_key = 0;  // no packed key has a clear low bit
+    }
+  }
+
+ private:
+  static size_t Index(Segno segno, Wordno wordno) {
+    return (wordno ^ (static_cast<uint32_t>(segno) * 0x9E3779B1u)) & (kEntries - 1);
+  }
+
+  std::array<Entry, kEntries> entries_{};
+  std::array<uint64_t, SdwCache::kEntries> slot_epochs_{};
+};
+
+}  // namespace rings
+
+#endif  // SRC_CPU_CROSSING_CACHE_H_

@@ -7,6 +7,7 @@
 
 #include "src/base/log.h"
 #include "src/base/strings.h"
+#include "src/cpu/shared_decode.h"
 #include "src/fleet/fingerprint.h"
 #include "src/snapshot/snapshot.h"
 
@@ -301,6 +302,12 @@ FleetStats Fleet::Run() {
     workers_[i % threads]->queue.push_back(i);
   }
   live_.store(n, std::memory_order_release);
+
+  // Keep every shared decode image acquired during this run alive until
+  // the run ends: machines are retired one at a time to bound memory, so
+  // without the pin a program's image would expire with its last live
+  // machine and the next wave would rebuild it.
+  const SharedDecodeRegistry::Pin decode_pin;
 
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> pool;

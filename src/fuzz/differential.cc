@@ -151,21 +151,26 @@ CheckResult CheckGuest(const std::string& source, const FuzzOptions& options) {
     result.divergence.detail = std::move(detail);
   };
 
-  // --- standalone legs: fast path, superblock engine ---------------------
+  // --- standalone legs: fast path, superblock engine, chaining off -------
   struct EngineLeg {
     const char* name;
     bool fast_path;
     bool block_engine;
+    bool chain;
   };
   static constexpr EngineLeg kLegs[] = {
-      {"fast", true, false},
-      {"block", true, true},
+      {"fast", true, false, false},
+      {"block", true, true, true},
+      {"block-nochain", true, true, false},
   };
   for (const EngineLeg& leg : kLegs) {
     MachineConfig config = BaseConfig();
     config.fast_path = leg.fast_path;
     config.block_engine = leg.block_engine;
+    config.chain = leg.chain && options.chain;
+    config.shared_decode = options.shared_decode;
     config.block_call_ablation = options.ablate_block_call;
+    config.chain_ablation = options.ablate_chain;
     auto machine = MakeGuestMachine(config, program, manifest, &error);
     if (machine == nullptr) {
       diverged(leg.name, "instantiate: " + error);
@@ -183,6 +188,9 @@ CheckResult CheckGuest(const std::string& source, const FuzzOptions& options) {
   // worker/steal interleavings of the quantum schedule).
   MachineConfig fleet_config = BaseConfig();
   fleet_config.block_call_ablation = options.ablate_block_call;
+  fleet_config.chain = options.chain;
+  fleet_config.shared_decode = options.shared_decode;
+  fleet_config.chain_ablation = options.ablate_chain;
   if (options.check_fleet) {
     for (const int threads : options.fleet_threads) {
       FleetConfig fc;
@@ -216,6 +224,9 @@ CheckResult CheckGuest(const std::string& source, const FuzzOptions& options) {
   if (options.check_snapshot && result.reference.cycles >= 2) {
     MachineConfig config = BaseConfig();
     config.block_call_ablation = options.ablate_block_call;
+    config.chain = options.chain;
+    config.shared_decode = options.shared_decode;
+    config.chain_ablation = options.ablate_chain;
     auto live = MakeGuestMachine(config, program, manifest, &error);
     if (live == nullptr) {
       diverged("snapshot", "instantiate: " + error);

@@ -23,6 +23,8 @@ Machine::Machine(MachineConfig config)
   cpu_.set_fast_path_enabled(config.fast_path);
   cpu_.set_block_engine_enabled(config.block_engine);
   cpu_.set_block_call_ablation(config.block_call_ablation);
+  cpu_.set_chain_enabled(config.chain);
+  cpu_.set_chain_ablation(config.chain_ablation);
   cpu_.set_trace(&trace_);
   supervisor_.set_start_io([this](uint8_t device, Word detail) { StartIo(device, detail); });
   if (config_.fault.enabled) {
@@ -42,7 +44,80 @@ bool Machine::LoadProgram(const Program& program,
   // core store.
   cpu_.FlushInsnCache();
   cpu_.FlushTlb();
+  if (ok) {
+    AttachSharedDecode(program);
+  }
   return ok;
+}
+
+namespace {
+
+// Program-image identity for the shared-decode registry: FNV-1a over the
+// segment names, gate counts, reserve sizes, and assembled words. Two
+// machines loading byte-identical programs hash to the same image; any
+// difference (even one word) yields a distinct one.
+uint64_t ProgramIdentity(const Program& program) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix = [&mix_byte](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<uint8_t>(v >> (i * 8)));
+    }
+  };
+  for (const AssembledSegment& seg : program.segments) {
+    mix(seg.name.size());
+    for (const char c : seg.name) {
+      mix_byte(static_cast<uint8_t>(c));
+    }
+    mix(seg.gate_count);
+    mix(seg.reserve_words);
+    mix(seg.words.size());
+    for (const Word w : seg.words) {
+      mix(w);
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const SharedDecodeImage> BuildDecodeImage(const Program& program,
+                                                          uint64_t identity) {
+  SharedDecodeImage::Builder builder;
+  for (const AssembledSegment& seg : program.segments) {
+    builder.AddSegment(seg.name, seg.words);
+  }
+  return builder.Publish(identity);
+}
+
+}  // namespace
+
+void Machine::AttachSharedDecode(const Program& program) {
+  const uint64_t identity = ProgramIdentity(program);
+  bool built = false;
+  std::shared_ptr<const SharedDecodeImage> image;
+  if (config_.shared_decode) {
+    image = SharedDecodeRegistry::Instance().Acquire(
+        identity, [&] { return BuildDecodeImage(program, identity); }, &built);
+  } else {
+    // Private image, never registered: the decode results are identical,
+    // only the cross-machine sharing is ablated.
+    image = BuildDecodeImage(program, identity);
+    built = true;
+  }
+  if (built) {
+    ++cpu_.counters().shared_decode_builds;
+  }
+  std::vector<std::pair<Segno, const SharedDecodeImage::Segment*>> map;
+  for (const AssembledSegment& seg : program.segments) {
+    const RegisteredSegment* reg = registry_.Find(seg.name);
+    const SharedDecodeImage::Segment* img = image->FindSegment(seg.name);
+    if (reg != nullptr && img != nullptr) {
+      map.emplace_back(reg->segno, img);
+    }
+  }
+  cpu_.AttachDecodeImage(std::move(image), map);
 }
 
 bool Machine::LoadProgramSource(std::string_view source,

@@ -41,6 +41,18 @@ struct MachineConfig {
   // per CALL executed inside a block) so the differential fuzz oracle's
   // catch-and-shrink path can be exercised. See Cpu::block_call_ablation.
   bool block_call_ablation = false;
+  // Block-to-block chaining inside the superblock engine, plus the
+  // monomorphic CALL/RETURN crossing cache (see DESIGN.md §7). Host-side
+  // only, like the fast path; bit-identical simulation either way.
+  bool chain = true;
+  // Test-only: deliberately break chaining (one spurious cycle per
+  // followed link) for the fuzz oracle. See Cpu::chain_ablation.
+  bool chain_ablation = false;
+  // Share one read-only pre-decoded image per distinct program across all
+  // machines in this process (fleet members running the same guest).
+  // Off = each machine builds a private image; decode results are
+  // identical either way, only the host sharing differs.
+  bool shared_decode = true;
   // Deterministic fault injection (see DESIGN.md, "Fault model &
   // recovery"). Disabled by default; zero overhead when disabled.
   FaultConfig fault{};
@@ -145,6 +157,10 @@ class Machine {
 
  private:
   void StartIo(uint8_t device, Word detail);
+
+  // Builds or acquires the program's shared decode image and maps its
+  // segments onto the segnos the registry just assigned.
+  void AttachSharedDecode(const Program& program);
 
   // Runs the protection auditor once and accumulates findings.
   void RunAudit();

@@ -14,49 +14,9 @@ uint64_t Counters::TotalTraps() const {
 
 Counters Counters::Since(const Counters& earlier) const {
   Counters d;
-  d.instructions = instructions - earlier.instructions;
-  d.memory_reads = memory_reads - earlier.memory_reads;
-  d.memory_writes = memory_writes - earlier.memory_writes;
-  d.sdw_fetches = sdw_fetches - earlier.sdw_fetches;
-  d.sdw_cache_hits = sdw_cache_hits - earlier.sdw_cache_hits;
-  d.indirect_words = indirect_words - earlier.indirect_words;
-  d.page_walks = page_walks - earlier.page_walks;
-  d.pages_supplied = pages_supplied - earlier.pages_supplied;
-  d.links_snapped = links_snapped - earlier.links_snapped;
-  d.checks_fetch = checks_fetch - earlier.checks_fetch;
-  d.checks_read = checks_read - earlier.checks_read;
-  d.checks_write = checks_write - earlier.checks_write;
-  d.checks_indirect = checks_indirect - earlier.checks_indirect;
-  d.checks_transfer = checks_transfer - earlier.checks_transfer;
-  d.checks_call = checks_call - earlier.checks_call;
-  d.checks_return = checks_return - earlier.checks_return;
-  d.calls_same_ring = calls_same_ring - earlier.calls_same_ring;
-  d.calls_downward = calls_downward - earlier.calls_downward;
-  d.returns_same_ring = returns_same_ring - earlier.returns_same_ring;
-  d.returns_upward = returns_upward - earlier.returns_upward;
-  d.supervisor_steps = supervisor_steps - earlier.supervisor_steps;
-  d.upward_calls_emulated = upward_calls_emulated - earlier.upward_calls_emulated;
-  d.downward_returns_emulated = downward_returns_emulated - earlier.downward_returns_emulated;
-  d.argument_words_copied = argument_words_copied - earlier.argument_words_copied;
-  d.verdict_hits = verdict_hits - earlier.verdict_hits;
-  d.verdict_misses = verdict_misses - earlier.verdict_misses;
-  d.verdict_invalidations = verdict_invalidations - earlier.verdict_invalidations;
-  d.insn_cache_hits = insn_cache_hits - earlier.insn_cache_hits;
-  d.insn_cache_misses = insn_cache_misses - earlier.insn_cache_misses;
-  d.insn_cache_invalidations = insn_cache_invalidations - earlier.insn_cache_invalidations;
-  d.tlb_hits = tlb_hits - earlier.tlb_hits;
-  d.tlb_misses = tlb_misses - earlier.tlb_misses;
-  d.tlb_invalidations = tlb_invalidations - earlier.tlb_invalidations;
-  d.block_builds = block_builds - earlier.block_builds;
-  d.block_hits = block_hits - earlier.block_hits;
-  d.block_ops = block_ops - earlier.block_ops;
-  d.block_bailouts = block_bailouts - earlier.block_bailouts;
-  d.block_invalidations = block_invalidations - earlier.block_invalidations;
-  d.sdw_recoveries = sdw_recoveries - earlier.sdw_recoveries;
-  d.spurious_pages_ignored = spurious_pages_ignored - earlier.spurious_pages_ignored;
-  d.machine_faults = machine_faults - earlier.machine_faults;
-  d.trap_storm_kills = trap_storm_kills - earlier.trap_storm_kills;
-  d.double_faults = double_faults - earlier.double_faults;
+  ForEachField([this, &earlier, &d](const char*, uint64_t Counters::* member, bool) {
+    d.*member = this->*member - earlier.*member;
+  });
   for (size_t i = 0; i < traps.size(); ++i) {
     d.traps[i] = traps[i] - earlier.traps[i];
   }

@@ -63,6 +63,13 @@ struct Counters {
   uint64_t block_ops = 0;               // instructions executed inside blocks
   uint64_t block_bailouts = 0;          // mid-block exits to the per-instruction path
   uint64_t block_invalidations = 0;     // blocks retired (stores, SDW edits, drops, flushes)
+  uint64_t chain_links = 0;             // successor links patched into blocks
+  uint64_t chain_follows = 0;           // dispatches served by following a patched link
+  uint64_t crossing_hits = 0;           // CALL/RETURNs resolved by the crossing cache
+  uint64_t crossing_misses = 0;         // CALL/RETURNs that re-resolved (and refilled a site)
+  uint64_t shared_decode_hits = 0;      // slow-path fetches decoded from the shared image
+  uint64_t shared_decode_misses = 0;    // image attached but the stored word diverged (CoW)
+  uint64_t shared_decode_builds = 0;    // decode images this machine built (vs. shared)
 
   // Hardened trap paths (see DESIGN.md, "Fault model & recovery").
   uint64_t sdw_recoveries = 0;         // corrupted cached SDW detected, flushed, resumed
@@ -92,10 +99,11 @@ struct Counters {
 
   // Visits every scalar counter as fn(name, member_pointer, host_only).
   // host_only marks the host-side fast-path statistics (verdict_* /
-  // insn_cache_* / tlb_* / block_*): they describe host work saved, not
-  // simulated events, and are the only counters excluded from
-  // differential fingerprints. The traps array is architectural and is
-  // visited by callers directly.
+  // insn_cache_* / tlb_* / block_* / chain_* / crossing_* /
+  // shared_decode_*): they describe host work saved, not simulated
+  // events, and are the only counters excluded from differential
+  // fingerprints. The traps array is architectural and is visited by
+  // callers directly.
   template <typename Fn>
   static void ForEachField(Fn&& fn) {
     auto arch = [&fn](const char* name, uint64_t Counters::* member) {
@@ -142,6 +150,13 @@ struct Counters {
     host("block_ops", &Counters::block_ops);
     host("block_bailouts", &Counters::block_bailouts);
     host("block_invalidations", &Counters::block_invalidations);
+    host("chain_links", &Counters::chain_links);
+    host("chain_follows", &Counters::chain_follows);
+    host("crossing_hits", &Counters::crossing_hits);
+    host("crossing_misses", &Counters::crossing_misses);
+    host("shared_decode_hits", &Counters::shared_decode_hits);
+    host("shared_decode_misses", &Counters::shared_decode_misses);
+    host("shared_decode_builds", &Counters::shared_decode_builds);
     arch("sdw_recoveries", &Counters::sdw_recoveries);
     arch("spurious_pages_ignored", &Counters::spurious_pages_ignored);
     arch("machine_faults", &Counters::machine_faults);

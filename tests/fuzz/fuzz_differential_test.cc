@@ -64,6 +64,32 @@ TEST(FuzzDifferentialTest, SabotageIsCaughtAcrossTheSeedPopulation) {
   }
 }
 
+TEST(FuzzDifferentialTest, SabotagedChainingIsCaughtOnTheBlockLeg) {
+  FuzzOptions options;
+  options.ablate_chain = true;
+  const CheckResult result = CheckGuest(GenerateGuest(1).source, options);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_TRUE(result.divergence.found);
+  // The ablation charges a spurious cycle per followed successor link, so
+  // it can only surface on the leg that chains: `block`. The fast leg has
+  // no block engine and the block-nochain leg never follows a link.
+  EXPECT_EQ(result.divergence.leg, "block");
+  EXPECT_NE(result.divergence.detail.find("cycles"), std::string::npos)
+      << result.divergence.detail;
+}
+
+TEST(FuzzDifferentialTest, ChainSabotageIsCaughtAcrossTheSeedPopulation) {
+  // Every generated program loops, so every seed forms and follows
+  // block-to-block links; the ablation must be caught for any seed.
+  FuzzOptions options;
+  options.ablate_chain = true;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const CheckResult result = CheckGuest(GenerateGuest(seed).source, options);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.error;
+    EXPECT_TRUE(result.divergence.found) << "seed " << seed;
+  }
+}
+
 TEST(FuzzDifferentialTest, MalformedGuestIsAnErrorNotADivergence) {
   const CheckResult bad_asm = CheckGuest(";; start main start 4\n        .segment main\n"
                                          "start:  frobnicate x\n");

@@ -97,5 +97,25 @@ TEST(ShrinkTest, BrokenBlockEngineShrinksToSmallRepro) {
   EXPECT_TRUE(again.divergence.found);
 }
 
+TEST(ShrinkTest, BrokenChainingShrinksToSmallRepro) {
+  // The chaining analog of the block-engine ablation: one spurious cycle
+  // per followed successor link must be caught and shrunk to a small
+  // guest that still diverges.
+  FuzzOptions options;
+  options.ablate_chain = true;
+  const GeneratedGuest guest = GenerateGuest(1);
+  const CheckResult check = CheckGuest(guest.source, options);
+  ASSERT_TRUE(check.ok) << check.error;
+  ASSERT_TRUE(check.divergence.found);
+
+  const auto oracle = [&options](const std::string& candidate) {
+    const CheckResult r = CheckGuest(candidate, options);
+    return r.ok && r.divergence.found;
+  };
+  const ShrinkResult shrunk = Shrink(guest.source, oracle);
+  EXPECT_LE(shrunk.instructions, 16) << shrunk.source;
+  EXPECT_TRUE(oracle(shrunk.source)) << shrunk.source;
+}
+
 }  // namespace
 }  // namespace rings
