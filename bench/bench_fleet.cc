@@ -384,12 +384,70 @@ void PrintDecodeShareReport() {
               static_cast<unsigned long long>(rows[0].fold));
 }
 
+// Golden-image frame sharing: N machines cloned copy-on-write from one
+// sealed pager golden. At spawn every written frame is shared with the
+// golden (a clone owns no pages of its own); the run privatizes exactly
+// the frames each clone stores to. Mirrors the decode-share report: the
+// sharing is host-only bookkeeping — every clone runs to the same
+// fingerprint a cold-booted machine does, and peak RSS is the monotone
+// high-water mark, so sizes run smallest first.
+void PrintFrameShareReport() {
+  auto cold = MakePagerMachine();
+  cold->Run(2'000'000'000);
+  const uint64_t reference = FingerprintMachine(*cold);
+  cold.reset();
+
+  const auto golden = MakePagerMachine();
+  golden->memory().SealForCloning();
+
+  std::printf("\n  golden-image frame sharing (clones of one sealed pager golden,\n"
+              "  %zu-KiB frames; fleet-wide page bytes at spawn and after the run):\n",
+              PhysicalMemory::kFrameBytes / 1024);
+  std::printf("  machines  spawn-shared-KiB  spawn-priv-KiB  run-shared-KiB  run-priv-KiB"
+              "  peak-RSS-MiB\n");
+  for (const int n : {4, 12, 24}) {
+    std::vector<std::unique_ptr<Machine>> clones;
+    for (int i = 0; i < n; ++i) {
+      clones.push_back(Machine::CloneFrom(*golden));
+      if (clones.back() == nullptr) {
+        std::fprintf(stderr, "bench_fleet: golden clone failed\n");
+        std::abort();
+      }
+    }
+    const auto totals = [&clones] {
+      double shared = 0, priv = 0;
+      for (const auto& clone : clones) {
+        const PhysicalMemory::FrameStats s = clone->memory().frame_stats();
+        shared += static_cast<double>(s.shared_bytes());
+        priv += static_cast<double>(s.private_bytes());
+      }
+      return std::make_pair(shared, priv);
+    };
+    const auto [spawn_shared, spawn_priv] = totals();
+    for (const auto& clone : clones) {
+      clone->Run(2'000'000'000);
+      if (FingerprintMachine(*clone) != reference) {
+        std::fprintf(stderr, "bench_fleet: clone diverged from cold boot\n");
+        std::abort();
+      }
+    }
+    const auto [run_shared, run_priv] = totals();
+    std::printf("  %8d  %16.1f  %14.1f  %14.1f  %12.1f  %12.1f\n", n, spawn_shared / 1024.0,
+                spawn_priv / 1024.0, run_shared / 1024.0, run_priv / 1024.0,
+                PeakRssBytes() / (1024.0 * 1024.0));
+  }
+  std::printf("\n  every clone's fingerprint equals the cold boot's (%08llx): COW\n"
+              "  frame sharing changes no simulated outcome.\n",
+              static_cast<unsigned long long>(reference & 0xffffffffull));
+}
+
 }  // namespace
 }  // namespace rings
 
 int main(int argc, char** argv) {
   rings::PrintReport();
   rings::PrintDecodeShareReport();
+  rings::PrintFrameShareReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

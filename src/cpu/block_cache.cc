@@ -4,7 +4,12 @@ namespace rings {
 
 size_t BlockCache::InvalidateSegment(Segno segno) {
   size_t dropped = 0;
-  for (Block& b : blocks_) {
+  if (blocks_ == nullptr) {
+    ++version_;
+    return 0;
+  }
+  for (size_t i = 0; i < kEntries; ++i) {
+    Block& b = blocks_[i];
     if (b.gen == gen_ && b.segno == segno) {
       b.gen = 0;
       ++dropped;

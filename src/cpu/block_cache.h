@@ -24,6 +24,9 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <type_traits>
 
 #include "src/core/ring.h"
 #include "src/isa/instruction.h"
@@ -77,6 +80,9 @@ class BlockCache {
   };
 
   const Block* Lookup(Segno segno, Wordno start) const {
+    if (blocks_ == nullptr) {
+      return nullptr;
+    }
     const Block& b = blocks_[Index(segno, start)];
     if (b.gen == gen_ && b.segno == segno && b.start == start) {
       return &b;
@@ -87,6 +93,9 @@ class BlockCache {
   // Mutable lookup for the chaining engine (links are patched into live
   // blocks); same validity test as Lookup.
   Block* LookupMutable(Segno segno, Wordno start) {
+    if (blocks_ == nullptr) {
+      return nullptr;
+    }
     Block& b = blocks_[Index(segno, start)];
     if (b.gen == gen_ && b.segno == segno && b.start == start) {
       return &b;
@@ -96,14 +105,22 @@ class BlockCache {
 
   // Link-follow accessors: a patched link names a slot, not a pointer, so
   // the follower re-reads the slot and revalidates what it holds now.
+  // Links are only ever patched into built blocks, so a followed link
+  // implies the backing store exists.
   Block* BlockAt(uint16_t slot) { return &blocks_[slot % kEntries]; }
   uint16_t SlotIndexOf(const Block* block) const {
-    return static_cast<uint16_t>(block - blocks_.data());
+    return static_cast<uint16_t>(block - blocks_.get());
   }
 
   // The slot a block starting at (segno, start) builds into; the builder
   // fills it in place and stamps `gen` with generation() to publish it.
-  Block* SlotFor(Segno segno, Wordno start) { return &blocks_[Index(segno, start)]; }
+  // First build allocates the backing store (see blocks_ below).
+  Block* SlotFor(Segno segno, Wordno start) {
+    if (blocks_ == nullptr) {
+      blocks_.reset(static_cast<Block*>(std::calloc(kEntries, sizeof(Block))));
+    }
+    return &blocks_[Index(segno, start)];
+  }
 
   // Retires every block built from `segno` (its SDW was edited, dropped,
   // or a store landed in its code). Returns blocks dropped; always bumps
@@ -132,7 +149,20 @@ class BlockCache {
 
   uint64_t gen_ = 1;  // blocks zero-initialize to gen 0 == invalid
   uint64_t version_ = 0;
-  std::array<Block, kEntries> blocks_{};
+  // The backing store is calloc'd on first build, not an inline array:
+  // 256 blocks of 32 decoded ops each are ~270 KiB, and paying for that
+  // at construction (whether as inline zero-fill or as an eager mmap-class
+  // allocation) dominated Machine construction — which a fleet daemon pays
+  // per spawned clone. A null store reads as an empty cache; the first
+  // SlotFor call allocates, and calloc's zero bytes are a valid empty
+  // state because gen 0 == invalid. Block is an implicit-lifetime
+  // aggregate, so the calloc'd array is usable without placement-new.
+  static_assert(std::is_trivially_destructible_v<Block>);
+  static_assert(std::is_trivially_copyable_v<Block>);
+  struct FreeDeleter {
+    void operator()(Block* p) const { std::free(p); }
+  };
+  std::unique_ptr<Block[], FreeDeleter> blocks_;
 };
 
 }  // namespace rings

@@ -143,6 +143,13 @@ class Cpu {
     decode_images_.push_back(std::move(image));
   }
   bool has_decode_image() const { return !decode_images_.empty(); }
+  // Clone support (Machine::CloneFrom): share the parent's attached decode
+  // images and per-segno map wholesale. The images are immutable after
+  // publication, so aliasing them is free and safe across threads.
+  void CopyDecodeTablesFrom(const Cpu& parent) {
+    decode_images_ = parent.decode_images_;
+    decode_map_ = parent.decode_map_;
+  }
   // Host bytes of decoded tables this machine references (shared or
   // private); bench_fleet reports the fleet-wide dedup from this.
   size_t decode_image_bytes() const {

@@ -9,6 +9,7 @@
 #include "src/base/strings.h"
 #include "src/cpu/shared_decode.h"
 #include "src/fleet/fingerprint.h"
+#include "src/fleet/golden_image.h"
 #include "src/snapshot/snapshot.h"
 
 namespace rings {
@@ -303,11 +304,13 @@ FleetStats Fleet::Run() {
   }
   live_.store(n, std::memory_order_release);
 
-  // Keep every shared decode image acquired during this run alive until
-  // the run ends: machines are retired one at a time to bound memory, so
-  // without the pin a program's image would expire with its last live
-  // machine and the next wave would rebuild it.
+  // Keep every shared decode image and golden machine image acquired
+  // during this run alive until the run ends: machines are retired one at
+  // a time to bound memory, so without the pins a program's image would
+  // expire with its last live machine and the next wave would rebuild
+  // (or re-boot) it.
   const SharedDecodeRegistry::Pin decode_pin;
+  const GoldenImageRegistry::Pin golden_pin;
 
   const Clock::time_point start = Clock::now();
   std::vector<std::thread> pool;

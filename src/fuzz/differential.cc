@@ -192,12 +192,28 @@ CheckResult CheckGuest(const std::string& source, const FuzzOptions& options) {
   fleet_config.shared_decode = options.shared_decode;
   fleet_config.chain_ablation = options.ablate_chain;
   if (options.check_fleet) {
+    // One cold build, sealed as a golden image; every fleet leg then
+    // spawns by copy-on-write clone (the serving daemon's path), so the
+    // fleet legs double as a clone-vs-cold bit-identity check.
+    std::shared_ptr<const Machine> golden;
+    if (options.fleet_clone) {
+      auto cold = MakeGuestMachine(fleet_config, program, manifest, &error);
+      if (cold == nullptr) {
+        diverged("fleet-golden", "instantiate: " + error);
+        return result;
+      }
+      cold->memory().SealForCloning();
+      golden = std::move(cold);
+    }
     for (const int threads : options.fleet_threads) {
       FleetConfig fc;
       fc.threads = threads;
       fc.slice_cycles = 50'000;
       Fleet fleet(fc);
-      fleet.Add("fuzz", [fleet_config, program, manifest]() -> std::unique_ptr<Machine> {
+      fleet.Add("fuzz", [golden, fleet_config, program, manifest]() -> std::unique_ptr<Machine> {
+        if (golden != nullptr) {
+          return Machine::CloneFrom(*golden);
+        }
         std::string factory_error;
         return MakeGuestMachine(fleet_config, program, manifest, &factory_error);
       });

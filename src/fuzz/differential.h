@@ -28,6 +28,10 @@ struct FuzzOptions {
   // fleet must agree with the standalone reference at every count.
   std::vector<int> fleet_threads = {1, 4, 8};
   bool check_fleet = true;
+  // Spawn the fleet legs' machines the way the serving daemon does: by
+  // copy-on-write clone from a sealed golden image rather than a cold
+  // build, so every fuzz trial also pins clone-vs-cold bit identity.
+  bool fleet_clone = true;
   // Snapshot leg: run the block-engine machine to roughly half the
   // reference run, snapshot, restore into a bare machine, finish there.
   bool check_snapshot = true;

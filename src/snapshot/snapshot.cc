@@ -514,25 +514,27 @@ std::vector<uint8_t> EncodeMemory(const Machine& machine) {
   }
   // Zero-run RLE over the core store: the typical machine allocates a few
   // hundred K words out of a multi-megaword store, so images stay compact.
-  const std::vector<Word>& store = memory.contents();
-  w.U64(store.size());
+  // Read through the non-latching word() accessor — the COW store has no
+  // contiguous backing array to hand out.
+  const size_t size = memory.size();
+  w.U64(size);
   size_t i = 0;
-  while (i < store.size()) {
+  while (i < size) {
     size_t j = i;
-    if (store[i] == 0) {
-      while (j < store.size() && store[j] == 0) {
+    if (memory.word(i) == 0) {
+      while (j < size && memory.word(j) == 0) {
         ++j;
       }
       w.U8(0);
       w.U64(j - i);
     } else {
-      while (j < store.size() && store[j] != 0) {
+      while (j < size && memory.word(j) != 0) {
         ++j;
       }
       w.U8(1);
       w.U64(j - i);
       for (size_t k = i; k < j; ++k) {
-        w.U64(store[k]);
+        w.U64(memory.word(k));
       }
     }
     i = j;

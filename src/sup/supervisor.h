@@ -93,6 +93,7 @@ class Supervisor {
   std::string& tty_output() { return tty_output_; }
   const std::string& tty_output() const { return tty_output_; }
   std::string& tty_input() { return tty_input_; }
+  const std::string& tty_input() const { return tty_input_; }
 
   // Wakes processes blocked in kSvcTtyRead (the machine calls this when
   // typewriter input arrives). Each awakened process re-executes its SVC.

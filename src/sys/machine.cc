@@ -34,6 +34,86 @@ Machine::Machine(MachineConfig config)
   ok_ = supervisor_.Initialize();
 }
 
+Machine::Machine(const Machine& parent, CloneTag)
+    : config_(parent.config_),
+      memory_(parent.memory_, PhysicalMemory::CowClone{}),
+      cpu_(&memory_, config_.cycle_model),
+      registry_(&memory_),
+      supervisor_(&cpu_, &memory_, &registry_, parent.supervisor_.options()) {
+  cpu_.set_mode(config_.mode);
+  cpu_.set_fast_path_enabled(config_.fast_path);
+  cpu_.set_block_engine_enabled(config_.block_engine);
+  cpu_.set_block_call_ablation(config_.block_call_ablation);
+  cpu_.set_chain_enabled(config_.chain);
+  cpu_.set_chain_ablation(config_.chain_ablation);
+  cpu_.set_trace(&trace_);
+  supervisor_.set_start_io([this](uint8_t device, Word detail) { StartIo(device, detail); });
+  // No supervisor_.Initialize(), no program load: the cloned core store
+  // and the copied registry/process state below already carry both.
+  ok_ = true;
+}
+
+std::unique_ptr<Machine> Machine::CloneFrom(const Machine& golden) {
+  if (!golden.ok()) {
+    return nullptr;
+  }
+  std::unique_ptr<Machine> clone(new Machine(golden, CloneTag{}));
+
+  // Copy processor state in snapshot-restore order: architectural state
+  // first, host caches stay cold (they are rebuilt on demand and, like
+  // tlb_*/block_*, never feed fingerprints), counters last so nothing
+  // below perturbs them.
+  const Cpu& src = golden.cpu_;
+  Cpu& dst = clone->cpu_;
+  dst.set_checks_enabled(src.checks_enabled());
+  dst.RestoreExecutionState(src.regs(), src.tpr(), src.cycles());
+  dst.RestoreTimer(src.timer_enabled(), src.timer());
+  dst.RestoreTrapState(src.trap_pending(), src.trap_state());
+  // The SDW cache is timing-architectural (its hits and misses feed the
+  // cycle account), so its exact contents come along.
+  dst.sdw_cache().set_enabled(src.sdw_cache().enabled());
+  for (size_t e = 0; e < SdwCache::kEntries; ++e) {
+    const SdwCache::SnapshotEntry entry = src.sdw_cache().SnapshotAt(e);
+    dst.sdw_cache().RestoreEntry(e, entry.valid, entry.segno, entry.sdw);
+  }
+  dst.sdw_cache().RestoreStats(src.sdw_cache().hits(), src.sdw_cache().misses());
+  dst.CopyDecodeTablesFrom(src);
+  dst.counters() = src.counters();
+
+  clone->registry_.RestoreState(golden.registry_.next_segno(),
+                                std::vector<RegisteredSegment>(golden.registry_.segments()));
+
+  std::vector<std::unique_ptr<Process>> processes;
+  processes.reserve(golden.supervisor_.processes().size());
+  for (const auto& process : golden.supervisor_.processes()) {
+    processes.push_back(std::make_unique<Process>(*process));
+  }
+  std::string error;
+  if (!clone->supervisor_.RestoreProcesses(std::move(processes),
+                                           golden.supervisor_.SnapshotScheduler(), &error)) {
+    return nullptr;  // unreachable: the parent's pids are consistent
+  }
+  clone->supervisor_.RestoreTty(golden.supervisor_.tty_output(), golden.supervisor_.tty_input());
+  clone->supervisor_.RestoreRegisteredUsers(golden.supervisor_.registered_users());
+
+  clone->trace_.Restore(golden.trace_.enabled(),
+                        std::deque<TraceEvent>(golden.trace_.events()));
+
+  if (golden.fault_injector_ != nullptr) {
+    const FaultInjector& fi = *golden.fault_injector_;
+    FaultInjector* injector = clone->EnsureFaultInjector(fi.config());
+    injector->RestoreStream(fi.rng().state(0), fi.rng().state(1), fi.snapshot_rng().state(0),
+                            fi.snapshot_rng().state(1), fi.counts(), fi.sequence(),
+                            std::vector<FaultEvent>(fi.events()));
+  }
+
+  clone->pending_io_ = golden.pending_io_;
+  clone->audit_findings_ = golden.audit_findings_;
+  clone->audit_runs_ = golden.audit_runs_;
+  clone->tty_operations_ = golden.tty_operations_;
+  return clone;
+}
+
 bool Machine::LoadProgram(const Program& program,
                           const std::map<std::string, AccessControlList>& acls,
                           std::string* error) {
@@ -50,12 +130,10 @@ bool Machine::LoadProgram(const Program& program,
   return ok;
 }
 
-namespace {
-
-// Program-image identity for the shared-decode registry: FNV-1a over the
-// segment names, gate counts, reserve sizes, and assembled words. Two
-// machines loading byte-identical programs hash to the same image; any
-// difference (even one word) yields a distinct one.
+// Program-image identity for the shared-decode and golden-image
+// registries: FNV-1a over the segment names, gate counts, reserve sizes,
+// and assembled words. Two machines loading byte-identical programs hash
+// to the same image; any difference (even one word) yields a distinct one.
 uint64_t ProgramIdentity(const Program& program) {
   uint64_t h = 1469598103934665603ull;
   const auto mix_byte = [&h](uint8_t b) {
@@ -81,6 +159,8 @@ uint64_t ProgramIdentity(const Program& program) {
   }
   return h;
 }
+
+namespace {
 
 std::shared_ptr<const SharedDecodeImage> BuildDecodeImage(const Program& program,
                                                           uint64_t identity) {

@@ -83,6 +83,18 @@ class Machine {
 
   explicit Machine(MachineConfig config = MachineConfig{});
 
+  // Copy-on-write clone: a new machine whose core store aliases `golden`'s
+  // frames read-only (privatized frame-by-frame on first store) and whose
+  // processor, registry, supervisor, trace, and device state are exact
+  // copies — so the clone runs the same trajectory, fingerprint, and
+  // counters a fresh boot+load of the same program would, at O(registers +
+  // frame table) spawn cost instead of O(memory). Skips supervisor
+  // initialization and program load entirely. Cloning the same sealed
+  // golden machine from multiple threads is safe (see
+  // GoldenImageRegistry); cloning a machine that is still running is safe
+  // only single-threaded. Returns null if `golden` is not ok().
+  static std::unique_ptr<Machine> CloneFrom(const Machine& golden);
+
   // False if construction failed (resource exhaustion during supervisor
   // initialization) — all other calls are invalid then.
   bool ok() const { return ok_; }
@@ -156,6 +168,12 @@ class Machine {
   void ClearFaultInjector();
 
  private:
+  // Tag for the cloning constructor: builds the shell (COW memory, cpu,
+  // empty registry/supervisor) without running supervisor initialization;
+  // CloneFrom then copies the parent's state in.
+  struct CloneTag {};
+  Machine(const Machine& parent, CloneTag);
+
   void StartIo(uint8_t device, Word detail);
 
   // Builds or acquires the program's shared decode image and maps its
@@ -179,6 +197,14 @@ class Machine {
   bool ok_ = false;
 };
 
+// Program-image identity: FNV-1a over the segment names, gate counts,
+// reserve sizes, and assembled words. Two machines loading byte-identical
+// programs hash to the same identity; any difference (even one word)
+// yields a distinct one. Keys both the shared-decode registry and the
+// golden-image registry (src/fleet/golden_image.h).
+uint64_t ProgramIdentity(const Program& program);
+
 }  // namespace rings
 
 #endif  // SRC_SYS_MACHINE_H_
+

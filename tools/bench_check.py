@@ -24,19 +24,22 @@ change host throughput but never any simulated result. The gate enforces
 this invariance across every loaded result, independent of the baseline,
 so a determinism break fails CI even before the baseline is consulted.
 
-Wall-clock CAN be gated opt-in, on the noise-robust statistic: each
+Wall-clock CAN be gated opt-in, on noise-robust statistics: each
 benchmark samples its timed region at least 5 times and reports the
 minimum as ``wall_min_ns`` (scheduling and frequency jitter only ever
-add time, so the min converges on the true cost). The wall gate needs
-BOTH a baseline entry with ``wall_min_ns`` — produced by ``update
---include-wall`` — AND the ``check --wall`` flag; without the flag,
-wall entries in the baseline are ignored, so the same committed
+add time, so the min converges on the true cost); the serving benchmark
+additionally reports ``wall_machines_per_sec`` (best observed
+throughput) and ``wall_p99_ns`` (best observed tail turnaround). The
+wall gate needs BOTH a baseline entry with those counters — produced by
+``update --include-wall`` — AND the ``check --wall`` flag; without the
+flag, wall entries in the baseline are ignored, so the same committed
 baseline serves the exact sim gate everywhere and the wall gate only
 where it is meaningful (a host comparable to the one that produced the
 baseline, running the default engine configuration — the CI ablation
 passes with the engines forced off are slower by design and check
-sim-only). When armed, the gate fails if the measured min regresses by
-more than WALL_REL_TOLERANCE (one-sided: getting faster never fails).
+sim-only). When armed, the gate fails one-sided by WALL_REL_TOLERANCE:
+latencies (``wall_min_ns``, ``wall_p99_ns``) may not rise, throughput
+(``wall_machines_per_sec``) may not drop; getting better never fails.
 
 Usage:
 
@@ -73,6 +76,18 @@ REL_TOLERANCE = 1e-9
 # on purpose — even the min-of-N statistic moves with the host's thermal
 # and scheduling state.
 WALL_REL_TOLERANCE = 0.5
+
+# Wall counters the opt-in gate understands, with the direction that
+# counts as a regression. "lower": the result may not exceed baseline *
+# (1 + WALL_REL_TOLERANCE) (latencies). "higher": the result may not fall
+# below baseline * (1 - WALL_REL_TOLERANCE) (throughput — the serving
+# benchmark reports machines retired per second). Getting better never
+# fails in either direction.
+WALL_GATED = {
+    "wall_min_ns": "lower",
+    "wall_p99_ns": "lower",
+    "wall_machines_per_sec": "higher",
+}
 
 
 def load_results(paths):
@@ -227,21 +242,33 @@ def cmd_check(args):
             continue
         for counter, expected_value in sorted(expected.items()):
             if counter.startswith("wall_"):
-                if counter != "wall_min_ns" or not args.wall:
+                direction = WALL_GATED.get(counter)
+                if direction is None or not args.wall:
                     continue  # informational unless the wall gate is armed
                 actual = got["wall"].get(counter)
                 if actual is None:
                     failures.append(f"  {name}: counter {counter} missing")
                     failing_names.add(name)
-                elif actual > expected_value * (1.0 + WALL_REL_TOLERANCE):
+                elif direction == "lower" and actual > expected_value * (
+                    1.0 + WALL_REL_TOLERANCE
+                ):
                     failures.append(
                         f"  {name}: {counter} regressed: baseline"
-                        f" {expected_value:.0f} ns vs result {actual:.0f} ns"
+                        f" {expected_value:.0f} vs result {actual:.0f}"
                         f" (> {WALL_REL_TOLERANCE:.0%} slower)"
                     )
                     failing_names.add(name)
+                elif direction == "higher" and actual < expected_value * (
+                    1.0 - WALL_REL_TOLERANCE
+                ):
+                    failures.append(
+                        f"  {name}: {counter} regressed: baseline"
+                        f" {expected_value:.0f} vs result {actual:.0f}"
+                        f" (> {WALL_REL_TOLERANCE:.0%} throughput drop)"
+                    )
+                    failing_names.add(name)
                 else:
-                    print(f"ok: {name}: {counter} = {actual:.0f} ns (wall gate)")
+                    print(f"ok: {name}: {counter} = {actual:.0f} (wall gate)")
                 continue
             actual = got["sim"].get(counter)
             if actual is None:
@@ -281,8 +308,10 @@ def cmd_update(args):
         if not entry["sim"]:
             continue
         counters = dict(entry["sim"])
-        if args.include_wall and "wall_min_ns" in entry["wall"]:
-            counters["wall_min_ns"] = entry["wall"]["wall_min_ns"]
+        if args.include_wall:
+            for wall_counter in WALL_GATED:
+                if wall_counter in entry["wall"]:
+                    counters[wall_counter] = entry["wall"][wall_counter]
         benchmarks[name] = counters
     if not benchmarks:
         sys.exit("bench_check: no sim_* counters found; nothing to baseline")

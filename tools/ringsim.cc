@@ -29,6 +29,11 @@
 //   --threads=T      fleet worker threads (default 1); per-machine
 //                    results are bit-identical for every T
 //   --slice-cycles=N simulated cycles per fleet scheduling quantum
+//   --cold-boot      (fleet) construct+load every machine from scratch
+//                    instead of cloning a golden image (ablation; the
+//                    per-machine results are bit-identical either way —
+//                    --fault-rate implies it, since each machine needs
+//                    its own injector stream)
 //   --checkpoint-every=N  (fleet) checkpoint each machine every N quanta
 //                    and restart failed machines from their last verified
 //                    checkpoint (see --max-restarts)
@@ -80,6 +85,7 @@
 
 #include "src/base/strings.h"
 #include "src/fleet/fleet.h"
+#include "src/fleet/golden_image.h"
 #include "src/fuzz/differential.h"
 #include "src/fuzz/generator.h"
 #include "src/fuzz/shrink.h"
@@ -286,12 +292,46 @@ int RunRestore(const std::string& restore_path, const std::string& snapshot_out,
 // status) are bit-identical at any --threads value; only the host
 // throughput and per-thread utilization in the summary vary.
 int RunFleet(const std::string& path, uint64_t fleet_size, int threads, uint64_t slice_cycles,
-             uint64_t checkpoint_every, int max_restarts, bool fast_path, bool block_engine,
-             bool chain, bool shared_decode, bool stats, uint64_t max_cycles,
+             uint64_t checkpoint_every, int max_restarts, bool cold_boot, bool fast_path,
+             bool block_engine, bool chain, bool shared_decode, bool stats, uint64_t max_cycles,
              uint64_t fault_seed, uint32_t fault_rate) {
   const LoadedSource loaded = LoadSource(path);
   if (!loaded.ok) {
     return 2;
+  }
+
+  // Golden-image spawning: pay assemble+boot+load once, then clone every
+  // fleet member copy-on-write. Fault injection keeps the cold path —
+  // each machine needs its own derived-seed injector stream, which a
+  // clone of one golden would share.
+  std::shared_ptr<const GoldenImage> golden;
+  if (!cold_boot && fault_rate == 0) {
+    // Host engine flags are part of the identity: a golden built with
+    // the block engine off must not serve a run that wants it on.
+    const uint64_t identity = ProgramIdentity(loaded.assembled.program) ^
+                              ((fast_path ? 1u : 0u) | (block_engine ? 2u : 0u) |
+                               (chain ? 4u : 0u) | (shared_decode ? 8u : 0u));
+    golden = GoldenImageRegistry::Instance().Acquire(
+        identity, [&loaded, fast_path, block_engine, chain,
+                   shared_decode]() -> std::unique_ptr<Machine> {
+          MachineConfig config;
+          config.fast_path = fast_path;
+          config.block_engine = block_engine;
+          config.chain = chain;
+          config.shared_decode = shared_decode;
+          auto machine = std::make_unique<Machine>(config);
+          std::string error;
+          if (!machine->ok() ||
+              !InstantiateGuest(loaded.assembled.program, loaded.manifest, machine.get(),
+                                &error)) {
+            return nullptr;
+          }
+          return machine;
+        });
+    if (golden == nullptr) {
+      std::fprintf(stderr, "ringsim: fleet: golden image construction failed\n");
+      return 2;
+    }
   }
 
   FleetConfig fleet_config;
@@ -303,10 +343,13 @@ int RunFleet(const std::string& path, uint64_t fleet_size, int threads, uint64_t
   fleet_config.max_restarts = max_restarts;
   Fleet fleet(fleet_config);
   for (uint64_t i = 0; i < fleet_size; ++i) {
-    // The factory runs on a worker thread; `loaded` outlives fleet.Run(),
-    // which blocks until every machine retires.
-    const auto factory = [&loaded, fast_path, block_engine, chain, shared_decode, fault_seed,
-                          fault_rate, i]() -> std::unique_ptr<Machine> {
+    // The factory runs on a worker thread; `loaded` and `golden` outlive
+    // fleet.Run(), which blocks until every machine retires.
+    const auto factory = [&loaded, &golden, fast_path, block_engine, chain, shared_decode,
+                          fault_seed, fault_rate, i]() -> std::unique_ptr<Machine> {
+      if (golden != nullptr) {
+        return golden->Spawn();
+      }
       MachineConfig config;
       config.fast_path = fast_path;
       config.block_engine = block_engine;
@@ -436,6 +479,7 @@ int main(int argc, char** argv) {
   uint64_t slice_cycles = 0;
   uint64_t checkpoint_every = 0;
   uint64_t max_restarts = 0;
+  bool cold_boot = false;
   bool saw_fleet_only_flag = false;
   std::string fleet_only_flag;
   uint64_t fuzz_trials = 0;
@@ -455,7 +499,7 @@ int main(int argc, char** argv) {
       "               [--max-cycles=N] [--fault-rate=PPM]\n"
       "               [--fault-seed=N] [--snapshot-out=FILE]\n"
       "               [--fleet=N [--threads=T] [--slice-cycles=N]\n"
-      "                [--checkpoint-every=N] [--max-restarts=R]]\n"
+      "                [--checkpoint-every=N] [--max-restarts=R] [--cold-boot]]\n"
       "               program.asm\n"
       "       ringsim --restore=FILE [--trace] [--stats] [--max-cycles=N]\n"
       "               [--no-fastpath] [--no-block-engine] [--no-chain]\n"
@@ -531,6 +575,10 @@ int main(int argc, char** argv) {
       }
       saw_fleet_only_flag = true;
       fleet_only_flag = "--max-restarts";
+    } else if (arg == "--cold-boot") {
+      cold_boot = true;
+      saw_fleet_only_flag = true;
+      fleet_only_flag = "--cold-boot";
     } else if (arg.rfind("--fuzz=", 0) == 0) {
       if (!rings::ParseU64(arg.c_str() + 7, &fuzz_trials) || fuzz_trials == 0) {
         std::fprintf(stderr, "ringsim: %s: expected a trial count >= 1\n", arg.c_str());
@@ -633,9 +681,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     return rings::RunFleet(path, fleet_size, static_cast<int>(threads), slice_cycles,
-                           checkpoint_every, static_cast<int>(max_restarts), fast_path,
-                           block_engine, chain, shared_decode, stats, max_cycles, fault_seed,
-                           fault_rate);
+                           checkpoint_every, static_cast<int>(max_restarts), cold_boot,
+                           fast_path, block_engine, chain, shared_decode, stats, max_cycles,
+                           fault_seed, fault_rate);
   }
   const rings::FaultConfig fault = rings::FaultConfig::Uniform(fault_seed, fault_rate);
   return rings::Run(path, list, trace, audit, fast_path, block_engine, chain, shared_decode,
